@@ -1,0 +1,60 @@
+"""Micro-benchmarks of Daydream's own analysis cost.
+
+The paper's pitch is that what-if analysis is *cheap* relative to
+implementing optimizations (or renting a cluster).  These benchmarks time
+the three pipeline stages on the largest workload (BERT_large: ~13k tasks)
+so regressions in the graph machinery are caught.
+"""
+
+import pytest
+
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import Engine
+from repro.models.registry import build_model
+from repro.optimizations import AutomaticMixedPrecision
+from repro.optimizations.base import WhatIfContext
+
+
+@pytest.fixture(scope="module")
+def bert_trace():
+    model = build_model("bert_large")
+    return Engine(model=model, config=TrainingConfig()).run_iteration()
+
+
+@pytest.fixture(scope="module")
+def bert_graph(bert_trace):
+    return build_graph(bert_trace)
+
+
+def test_perf_engine_profile(benchmark):
+    model = build_model("resnet50")
+    engine = Engine(model=model, config=TrainingConfig())
+    trace = benchmark(engine.run_iteration)
+    assert len(trace) > 1000
+
+
+def test_perf_graph_construction(benchmark, bert_trace):
+    graph = benchmark(build_graph, bert_trace)
+    assert len(graph) > 10_000
+
+
+def test_perf_simulation(benchmark, bert_graph):
+    result = benchmark(simulate, bert_graph)
+    assert result.makespan_us > 0
+
+
+def test_perf_graph_copy(benchmark, bert_graph):
+    clone = benchmark(bert_graph.copy)
+    assert len(clone) == len(bert_graph)
+
+
+def test_perf_amp_transform(benchmark, bert_graph):
+    def transform_copy():
+        graph = bert_graph.copy()
+        AutomaticMixedPrecision().apply(graph, WhatIfContext())
+        return graph
+
+    graph = benchmark(transform_copy)
+    assert len(graph) == len(bert_graph)

@@ -1,0 +1,33 @@
+"""Figure 10 benchmark: P3 on ResNet-50 and VGG-19 over bandwidth sweeps."""
+
+from conftest import run_once, save_result
+from repro.experiments import fig10_p3
+
+
+def _check(result):
+    baselines = result.column("baseline_ms")
+    truths = result.column("p3_ground_truth_ms")
+    errors = result.column("prediction_error_%")
+    # higher bandwidth -> faster baseline (trend)
+    assert baselines == sorted(baselines, reverse=True)
+    # P3 never slower than the PS baseline
+    for base, truth in zip(baselines, truths):
+        assert truth <= base * 1.01
+    # paper: at most 16.2% error (allow a little headroom)
+    assert max(errors) < 20.0
+
+
+def test_fig10_p3_resnet50(benchmark):
+    result = run_once(benchmark, fig10_p3.run, "resnet50")
+    result.experiment = "fig10a_resnet50"
+    save_result(result)
+    print("\n" + result.render())
+    _check(result)
+
+
+def test_fig10_p3_vgg19(benchmark):
+    result = run_once(benchmark, fig10_p3.run, "vgg19")
+    result.experiment = "fig10b_vgg19"
+    save_result(result)
+    print("\n" + result.render())
+    _check(result)

@@ -1,0 +1,22 @@
+"""Figure 1 and Table 1 benchmarks: profiler timeline and catalog."""
+
+from conftest import run_once, save_result
+from repro.experiments import fig1_timeline, table1_catalog
+
+
+def test_fig1_timeline(benchmark):
+    result = run_once(benchmark, fig1_timeline.run)
+    save_result(result)
+    print("\n" + result.render())
+    values = dict(zip(result.column("quantity"), result.column("value")))
+    assert values["gpu_kernels"] > 500      # kernel-level granularity
+    assert values["threads"] == 3           # 2 CPU threads + default stream
+    assert "#" in result.notes              # the ASCII timeline painted
+
+
+def test_table1_catalog(benchmark):
+    result = run_once(benchmark, table1_catalog.run)
+    save_result(result)
+    print("\n" + result.render())
+    assert len(result.rows) == 10
+    assert sum(1 for r in result.rows if r[3] == "yes") == 5

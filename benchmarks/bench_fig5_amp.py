@@ -1,0 +1,19 @@
+"""Figure 5 benchmark: AMP prediction vs ground truth on all four models."""
+
+from conftest import run_once, save_result
+from repro.experiments import fig5_amp
+
+
+def test_fig5_amp(benchmark):
+    result = run_once(benchmark, fig5_amp.run)
+    save_result(result)
+    print("\n" + result.render())
+    assert len(result.rows) == 4
+    for row in result.rows:
+        model, baseline, truth, pred, gain, error = row
+        assert truth < baseline, f"AMP should help {model}"
+        assert error < 13.0, f"{model}: error {error:.1f}% exceeds paper band"
+    # BERT gains modest, CNN/seq2seq gains large (paper Section 6.2)
+    gains = dict(zip(result.column("model"),
+                     result.column("gt_improvement_%")))
+    assert gains["bert_large"] < gains["resnet50"]

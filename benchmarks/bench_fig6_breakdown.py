@@ -1,0 +1,21 @@
+"""Figure 6 benchmark: FP32 vs FP16 runtime decomposition."""
+
+from conftest import run_once, save_result
+from repro.experiments import fig6_breakdown
+
+
+def test_fig6_breakdown(benchmark):
+    result = run_once(benchmark, fig6_breakdown.run)
+    save_result(result)
+    print("\n" + result.render())
+    assert len(result.rows) == 8  # 4 models x 2 precisions
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    for model in ("resnet50", "gnmt", "bert_base", "bert_large"):
+        fp32 = by_key[(model, "fp32")]
+        fp16 = by_key[(model, "fp16")]
+        total32, cpu32, gpu32, par32 = fp32[2:]
+        total16, cpu16, gpu16, par16 = fp16[2:]
+        assert total16 < total32, f"fp16 should be faster on {model}"
+        assert gpu16 < gpu32, f"GPU-only should shrink on {model}"
+        # the paper's signature: CPU-side runtime barely changes
+        assert cpu16 + par16 <= (cpu32 + par32) * 1.05

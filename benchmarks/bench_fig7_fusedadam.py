@@ -1,0 +1,21 @@
+"""Figure 7 benchmark: FusedAdam prediction vs ground truth."""
+
+from conftest import run_once, save_result
+from repro.experiments import fig7_fusedadam
+
+
+def test_fig7_fusedadam(benchmark):
+    result = run_once(benchmark, fig7_fusedadam.run)
+    save_result(result)
+    print("\n" + result.render())
+    rows = {r[0]: r for r in result.rows}
+    for model, row in rows.items():
+        assert row[5] < 13.0, f"{model}: error {row[5]:.1f}%"
+    # BERT improves dramatically; GNMT barely (weight update <10% of iter)
+    def gain(row):
+        return (row[1] - row[2]) / row[1] * 100.0
+    assert gain(rows["bert_large"]) > 30.0
+    assert gain(rows["gnmt"]) < 15.0
+    # kernel counts from Section 6.3
+    assert abs(rows["bert_base"][6] - 2633) / 2633 < 0.05
+    assert abs(rows["bert_large"][6] - 5164) / 5164 < 0.05

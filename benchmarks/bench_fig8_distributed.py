@@ -1,0 +1,20 @@
+"""Figure 8 benchmark: distributed-training predictions across deployments.
+
+Covers all four sub-figures (ResNet-50, GNMT, BERT_base, BERT_large) across
+the paper's 7 cluster shapes and 3 bandwidths: 84 (config, model) points.
+"""
+
+from conftest import run_once, save_result
+from repro.experiments import fig8_distributed
+
+
+def test_fig8_distributed(benchmark):
+    result = run_once(benchmark, fig8_distributed.run)
+    save_result(result)
+    print("\n" + result.render())
+    assert len(result.rows) == 4 * 3 * 7
+    errors = result.column("prediction_error_%")
+    # Paper: at most ~10% error in most configurations, few exceptions
+    over_10 = sum(1 for e in errors if e > 10.0)
+    assert over_10 <= len(errors) * 0.15
+    assert max(errors) < 20.0

@@ -1,0 +1,29 @@
+"""Figure 9 benchmark: per-allreduce runtimes in one GNMT iteration."""
+
+from conftest import run_once, save_result
+from repro.experiments import fig9_nccl
+
+
+def test_fig9_per_reduction(benchmark):
+    result = run_once(benchmark, fig9_nccl.run)
+    save_result(result)
+    print("\n" + result.render())
+    ratios = result.column("baseline_over_theoretical")
+    mean_ratio = sum(ratios) / len(ratios)
+    # Paper: ground truth ~34% above theoretical on average
+    assert 1.2 < mean_ratio < 1.55
+    # sync brings primitives close to optimal
+    base = sum(result.column("baseline_ms"))
+    sync = sum(result.column("sync_ms"))
+    improvement = (base - sync) / base * 100.0
+    assert 10.0 < improvement < 35.0  # paper: 22.8% on average
+
+
+def test_fig9_sync_never_degrades(benchmark):
+    result = run_once(benchmark, fig9_nccl.run_sync_impact)
+    result.experiment = "fig9b"
+    save_result(result)
+    print("\n" + result.render())
+    improvements = result.column("improvement_%")
+    assert all(imp > -1.0 for imp in improvements)  # never degrades
+    assert max(improvements) > 5.0                  # and can help a lot

@@ -1,0 +1,16 @@
+"""Section 5.2 benchmark: the modeling-only optimizations."""
+
+from conftest import run_once, save_result
+from repro.experiments import sec52_modeling
+
+
+def test_sec52_modeling(benchmark):
+    result = run_once(benchmark, sec52_modeling.run)
+    save_result(result)
+    print("\n" + result.render())
+    deltas = dict(zip(result.column("optimization"), result.column("delta_%")))
+    assert deltas["blueconnect"] < 0   # hierarchical ring helps on 4x2
+    assert deltas["dgc"] < 0           # compression helps when comm-bound
+    assert deltas["metaflow"] < 0      # fusion removes memory-bound kernels
+    assert deltas["vdnn"] >= 0         # offloading costs runtime
+    assert deltas["gist"] > 0          # encode/decode costs runtime

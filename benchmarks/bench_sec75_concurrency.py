@@ -1,0 +1,13 @@
+"""Section 7.5 benchmark: concurrent kernels vs serialized profiles."""
+
+from conftest import run_once, save_result
+from repro.experiments import sec75_concurrency
+
+
+def test_sec75_concurrency(benchmark):
+    result = run_once(benchmark, sec75_concurrency.run)
+    save_result(result)
+    print("\n" + result.render())
+    values = dict(zip(result.column("quantity"), result.column("value")))
+    assert values["conservatism_%"] > 0            # estimate is conservative
+    assert values["prediction_error_%"] < 10.0     # but still accurate (GNMT)

@@ -1,0 +1,27 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one of the paper's tables/figures.  Because the
+underlying experiments are deterministic simulations, we run each exactly
+once (``pedantic(rounds=1)``) — the timing measures the analysis cost, and
+the *content* (the reproduced rows) is written to ``benchmarks/results/``
+and sanity-asserted against the paper's bands.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(result) -> str:
+    """Write an ExperimentResult's rendering to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment}.txt")
+    with open(path, "w") as f:
+        f.write(result.render() + "\n")
+    return path
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

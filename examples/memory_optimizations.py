@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Estimate the runtime cost of memory-footprint optimizations.
+
+vDNN and Gist trade runtime for GPU memory: offloading feature maps over
+PCIe or encoding them adds work.  Before adopting either (to fit a larger
+mini-batch), a practitioner wants the runtime bill — exactly the what-if
+question the paper models in Section 5.2 (Algorithms 10 and 11).
+
+Run:  python examples/memory_optimizations.py
+"""
+
+from repro import WhatIfSession
+from repro.common.texttable import render_table
+from repro.optimizations import Gist, VirtualizedDNN
+
+
+def main() -> None:
+    rows = []
+    for model in ("resnet50", "vgg19", "densenet121"):
+        session = WhatIfSession.profile(model)
+        vdnn = session.predict(VirtualizedDNN())
+        gist = session.predict(Gist())
+        gist_lossy = session.predict(Gist(lossy=True))
+        rows.append([
+            model,
+            session.baseline_us / 1000.0,
+            f"{-vdnn.improvement_percent:+.1f}%",
+            f"{-gist.improvement_percent:+.1f}%",
+            f"{-gist_lossy.improvement_percent:+.1f}%",
+        ])
+    print(render_table(
+        ["model", "baseline_ms", "vdnn_overhead", "gist_overhead",
+         "gist_lossy_overhead"],
+        rows,
+        title="Runtime overhead of memory-footprint optimizations"))
+    print("\nPositive numbers are slowdowns: the price paid for freeing "
+          "GPU memory.\nvDNN is PCIe-bound (large conv feature maps), Gist "
+          "adds encode/decode kernels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Capacity planning without a cluster (paper Section 6.5 / Figure 8).
+
+Answers, from a *single-GPU* profile:
+
+* "How will my workload scale with the number of GPUs?"
+* "Would upgrading to a faster network improve training throughput?"
+* "Would gradient compression (DGC) or hierarchical all-reduce
+  (BlueConnect) help at my bandwidth?"
+
+Run:  python examples/plan_cluster.py [model]
+"""
+
+import sys
+
+from repro import ClusterSpec, GPU_2080TI, NetworkSpec, WhatIfSession
+from repro.common.texttable import render_table
+from repro.core.simulate import simulate
+from repro.optimizations import (
+    BlueConnect,
+    DeepGradientCompression,
+    DistributedTraining,
+)
+
+
+def scaling_table(session: WhatIfSession) -> None:
+    configs = ((1, 1), (2, 1), (4, 1), (2, 2), (4, 2), (4, 4))
+    rows = []
+    for bw in (10.0, 20.0, 40.0):
+        for machines, gpus in configs:
+            cluster = ClusterSpec(machines, gpus, GPU_2080TI, NetworkSpec(bw))
+            if cluster.is_distributed:
+                pred = session.predict(DistributedTraining(), cluster=cluster)
+                iter_ms = pred.predicted_us / 1000.0
+            else:
+                iter_ms = session.baseline_us / 1000.0
+            # throughput relative to one GPU (samples/s, normalized)
+            scale = (cluster.n_workers * session.baseline_us
+                     / (iter_ms * 1000.0))
+            rows.append([f"{bw:g}", cluster.label(), iter_ms,
+                         f"{scale:.2f}x"])
+    print(render_table(
+        ["bandwidth_gbps", "config", "iteration_ms", "scaling_efficiency"],
+        rows, title="Predicted data-parallel scaling from one profile"))
+
+
+def communication_fixes(session: WhatIfSession, bandwidth: float) -> None:
+    """Stack communication optimizations on the distributed prediction."""
+    cluster = ClusterSpec(4, 2, GPU_2080TI, NetworkSpec(bandwidth))
+    context = session.context(cluster)
+    rows = []
+
+    base_graph = session.graph.copy()
+    DistributedTraining().apply(base_graph, context)
+    base = simulate(base_graph).makespan_us
+    rows.append(["plain NCCL ring", base / 1000.0, "-"])
+
+    for label, opt in (("BlueConnect decomposition", BlueConnect()),
+                       ("DGC 100x compression",
+                        DeepGradientCompression(compression_ratio=0.01))):
+        graph = session.graph.copy()
+        DistributedTraining().apply(graph, context)
+        outcome = opt.apply(graph, context)
+        t = simulate(outcome.graph, outcome.scheduler).makespan_us
+        rows.append([label, t / 1000.0, f"{(base - t) / base * 100:+.1f}%"])
+
+    print()
+    print(render_table(
+        ["communication strategy", "iteration_ms", "vs plain ring"],
+        rows, title=f"Communication what-ifs on 4x2 @ {bandwidth:g} Gbps"))
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "gnmt"
+    session = WhatIfSession.profile(model)
+    print(f"profiled {model}: {session.baseline_us / 1000:.1f} ms/iteration "
+          f"on one GPU\n")
+    scaling_table(session)
+    communication_fixes(session, bandwidth=10.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: profile once, ask what-if questions.
+
+Profiles one ResNet-50 training iteration on the simulated RTX 2080Ti
+substrate, then uses Daydream's dependency-graph machinery to answer:
+
+* "Will mixed precision help my model?"
+* "What does one iteration actually spend its time on?"
+* "How would my job scale to a 4-machine cluster on a 10 Gbps network?"
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterSpec, GPU_2080TI, NetworkSpec, WhatIfSession
+from repro.optimizations import AutomaticMixedPrecision, DistributedTraining
+
+
+def main() -> None:
+    # one profiled iteration = one trace = many questions
+    session = WhatIfSession.profile("resnet50")
+    print(f"baseline iteration: {session.baseline_us / 1000:.1f} ms")
+
+    # Where does the time go? (paper Figure 6 machinery)
+    breakdown = session.breakdown()
+    print(f"  CPU-only  {breakdown.cpu_only_us / 1000:7.1f} ms")
+    print(f"  GPU-only  {breakdown.gpu_only_us / 1000:7.1f} ms")
+    print(f"  parallel  {breakdown.parallel_us / 1000:7.1f} ms")
+
+    # What if we trained with mixed precision? (paper Algorithm 3)
+    amp = session.predict(AutomaticMixedPrecision())
+    print(f"\nAMP: {amp.predicted_us / 1000:.1f} ms "
+          f"({amp.improvement_percent:+.1f}%, {amp.speedup:.2f}x)")
+
+    # How would this scale out? (paper Algorithm 6, Figure 8)
+    print("\ndata-parallel scaling @ 10 Gbps:")
+    for machines, gpus in ((2, 1), (4, 1), (4, 2)):
+        cluster = ClusterSpec(machines, gpus, GPU_2080TI,
+                              NetworkSpec(bandwidth_gbps=10.0))
+        pred = session.predict(DistributedTraining(), cluster=cluster)
+        print(f"  {cluster.label()}: {pred.predicted_us / 1000:7.1f} ms/iter "
+              f"({cluster.n_workers}x batch throughput)")
+
+
+if __name__ == "__main__":
+    main()

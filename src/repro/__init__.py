@@ -1,0 +1,61 @@
+"""Daydream reproduction: what-if analysis for DNN training optimizations.
+
+Reproduces Zhu, Phanishayee & Pekhimenko, "Daydream: Accurately Estimating
+the Efficacy of Optimizations for DNN Training" (USENIX ATC 2020).
+
+Quickstart::
+
+    from repro import WhatIfSession
+    from repro.optimizations import AutomaticMixedPrecision
+
+    session = WhatIfSession.profile("resnet50")
+    print(session.predict(AutomaticMixedPrecision()))
+
+The package layers:
+
+* ``repro.hw`` / ``repro.kernels`` / ``repro.models`` — the simulated
+  hardware substrate (device specs, roofline cost model, model zoo);
+* ``repro.framework`` — the PyTorch/MXNet/Caffe-like execution engine that
+  produces CUPTI-style traces and the ground-truth optimization runs;
+* ``repro.tracing`` — trace records and containers;
+* ``repro.core`` — Daydream itself: dependency graph, construction,
+  task-to-layer mapping, Algorithm-1 simulator, transformation primitives;
+* ``repro.optimizations`` — the ten what-if models;
+* ``repro.analysis`` — the :class:`WhatIfSession` front-end and metrics;
+* ``repro.experiments`` — one runner per paper table/figure.
+"""
+
+from repro.analysis.session import Prediction, WhatIfSession
+from repro.core.construction import build_graph
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import simulate
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import Engine, profile_iteration
+from repro.hw.device import GPU_2080TI, GPU_P4000, GPU_V100, get_gpu
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.models.registry import available_models, build_model
+from repro.tracing.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WhatIfSession",
+    "Prediction",
+    "build_graph",
+    "DependencyGraph",
+    "simulate",
+    "TrainingConfig",
+    "Engine",
+    "profile_iteration",
+    "GPU_2080TI",
+    "GPU_P4000",
+    "GPU_V100",
+    "get_gpu",
+    "NetworkSpec",
+    "ClusterSpec",
+    "available_models",
+    "build_model",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``profile MODEL``      — profile one iteration, print summary (optionally
+                           save the trace or a Chrome-trace JSON);
+* ``whatif MODEL``       — run the standard what-if report for a model;
+* ``experiment NAME``    — regenerate one paper table/figure
+                           (fig1, table1, fig5, fig6, fig7, fig8, fig9,
+                           fig9b, fig10-resnet50, fig10-vgg19, sec52,
+                           sec64, sec75);
+* ``models``             — list available models.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.report import quick_report
+from repro.analysis.session import WhatIfSession
+from repro.models.registry import available_models
+from repro.optimizations import (
+    AutomaticMixedPrecision,
+    FusedAdam,
+    Gist,
+    VirtualizedDNN,
+)
+from repro.tracing.export import trace_to_chrome
+from repro.tracing.trace import render_timeline
+
+
+def cmd_models(_args) -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    session = WhatIfSession.profile(args.model, batch_size=args.batch_size)
+    trace = session.trace
+    print(f"{args.model}: {trace.duration_us / 1000:.2f} ms/iteration, "
+          f"{len(trace)} events on {len(trace.threads())} threads")
+    breakdown = session.breakdown()
+    print(f"  cpu-only {breakdown.cpu_only_us / 1000:.1f} ms | "
+          f"gpu-only {breakdown.gpu_only_us / 1000:.1f} ms | "
+          f"parallel {breakdown.parallel_us / 1000:.1f} ms")
+    print(render_timeline(trace, width=90))
+    if args.save:
+        trace.save(args.save)
+        print(f"trace saved to {args.save}")
+    if args.chrome:
+        with open(args.chrome, "w") as f:
+            f.write(trace_to_chrome(trace))
+        print(f"chrome trace saved to {args.chrome} "
+              "(load in chrome://tracing)")
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    session = WhatIfSession.profile(args.model, batch_size=args.batch_size)
+    optimizations = [AutomaticMixedPrecision(), VirtualizedDNN(), Gist()]
+    if session.trace.metadata.get("optimizer") == "adam":
+        optimizations.append(FusedAdam())
+    report = quick_report(session, optimizations)
+    print(report.render())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import (
+        fig1_timeline, fig5_amp, fig6_breakdown, fig7_fusedadam,
+        fig8_distributed, fig9_nccl, fig10_p3, sec52_modeling,
+        sec64_batchnorm, sec75_concurrency, table1_catalog,
+    )
+    runners = {
+        "fig1": fig1_timeline.run,
+        "table1": table1_catalog.run,
+        "fig5": fig5_amp.run,
+        "fig6": fig6_breakdown.run,
+        "fig7": fig7_fusedadam.run,
+        "fig8": fig8_distributed.run,
+        "fig9": fig9_nccl.run,
+        "fig9b": fig9_nccl.run_sync_impact,
+        "fig10-resnet50": lambda: fig10_p3.run("resnet50"),
+        "fig10-vgg19": lambda: fig10_p3.run("vgg19"),
+        "sec52": sec52_modeling.run,
+        "sec64": sec64_batchnorm.run,
+        "sec75": sec75_concurrency.run,
+    }
+    if args.name not in runners:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {sorted(runners)}", file=sys.stderr)
+        return 2
+    print(runners[args.name]().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Daydream reproduction: what-if analysis for DNN training",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available models")
+
+    profile = sub.add_parser("profile", help="profile one training iteration")
+    profile.add_argument("model")
+    profile.add_argument("--batch-size", type=int, default=None)
+    profile.add_argument("--save", help="write the trace JSON here")
+    profile.add_argument("--chrome", help="write a chrome://tracing JSON here")
+
+    whatif = sub.add_parser("whatif", help="standard what-if report")
+    whatif.add_argument("model")
+    whatif.add_argument("--batch-size", type=int, default=None)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": cmd_models,
+        "profile": cmd_profile,
+        "whatif": cmd_whatif,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

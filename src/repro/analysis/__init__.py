@@ -1,0 +1,12 @@
+"""High-level what-if API, metrics, and reporting."""
+
+from repro.analysis.metrics import improvement_percent, prediction_error, speedup
+from repro.analysis.session import Prediction, WhatIfSession
+
+__all__ = [
+    "WhatIfSession",
+    "Prediction",
+    "prediction_error",
+    "speedup",
+    "improvement_percent",
+]

@@ -1,0 +1,99 @@
+"""Per-layer time attribution — the 'framework built-in profiler' view.
+
+Section 2.3 of the paper describes the layer-level profilers built into
+PyTorch/MXNet/TensorFlow: intuitive for "where does time go?", but hiding
+the CPU/GPU parallelism that Daydream needs.  We provide that view *on top
+of* the kernel-level graph: per layer and phase, the CPU time, GPU time,
+and kernel counts — useful both as a reporting tool and as the baseline the
+paper argues is insufficient for what-if prediction.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.texttable import render_table
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import SimulationResult
+
+
+@dataclass
+class LayerPhaseProfile:
+    """Aggregated times of one (layer, phase) pair, in microseconds."""
+
+    layer: str
+    phase: str
+    cpu_us: float = 0.0
+    cpu_gap_us: float = 0.0
+    gpu_us: float = 0.0
+    kernels: int = 0
+
+    @property
+    def cpu_total_us(self) -> float:
+        """CPU API time plus the hidden framework gaps."""
+        return self.cpu_us + self.cpu_gap_us
+
+
+@dataclass
+class LayerProfile:
+    """Per-layer profile of a simulated (or replayed) iteration."""
+
+    entries: Dict[Tuple[str, str], LayerPhaseProfile] = field(
+        default_factory=dict)
+
+    def get(self, layer: str, phase: str) -> LayerPhaseProfile:
+        """Profile of one (layer, phase); zeros if never executed."""
+        return self.entries.get((layer, phase),
+                                LayerPhaseProfile(layer=layer, phase=phase))
+
+    def layers(self) -> List[str]:
+        """Distinct layer names, in first-seen order."""
+        seen: List[str] = []
+        for layer, _ in self.entries:
+            if layer not in seen:
+                seen.append(layer)
+        return seen
+
+    def top_layers(self, n: int = 10, phase: Optional[str] = None
+                   ) -> List[LayerPhaseProfile]:
+        """The heaviest (layer, phase) entries by GPU time."""
+        rows = [p for p in self.entries.values()
+                if phase is None or p.phase == phase]
+        rows.sort(key=lambda p: p.gpu_us, reverse=True)
+        return rows[:n]
+
+    def render(self, n: int = 15) -> str:
+        """Render the heaviest entries as a table."""
+        rows = []
+        for p in self.top_layers(n):
+            rows.append([p.layer, p.phase, p.gpu_us / 1000.0,
+                         p.cpu_total_us / 1000.0, p.kernels])
+        return render_table(
+            ["layer", "phase", "gpu_ms", "cpu_ms", "kernels"], rows,
+            title=f"Top {len(rows)} layer phases by GPU time")
+
+
+def profile_layers(graph: DependencyGraph,
+                   result: Optional[SimulationResult] = None) -> LayerProfile:
+    """Aggregate the graph's mapped tasks into a per-layer profile.
+
+    ``result`` is accepted for signature symmetry with other analyses but
+    durations come from the tasks themselves (the simulation does not change
+    them) — only inclusion requires the task to have been simulated when a
+    result is given.
+    """
+    profile = LayerProfile()
+    for task in graph.tasks():
+        if task.layer is None or task.phase is None:
+            continue
+        if result is not None and task not in result.start_us:
+            continue
+        key = (task.layer, task.phase)
+        entry = profile.entries.setdefault(
+            key, LayerPhaseProfile(layer=task.layer, phase=task.phase))
+        if task.is_gpu:
+            entry.gpu_us += task.duration
+            entry.kernels += 1
+        elif task.is_cpu:
+            entry.cpu_us += task.duration
+            entry.cpu_gap_us += task.gap
+    return profile

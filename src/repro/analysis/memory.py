@@ -1,0 +1,124 @@
+"""GPU memory-footprint estimation.
+
+Answers the paper's introduction question "Does GPU memory capacity limit
+the performance of my model?" and provides the *motivation* numbers for the
+memory optimizations (vDNN, Gist): how much memory a training iteration
+needs, split into weights, gradients, optimizer state, and stashed
+activations — and how large a mini-batch fits on a given GPU.
+
+Estimates follow the standard accounting:
+
+* weights + gradients: 4 bytes per parameter each;
+* optimizer state: Adam keeps two moments (8 bytes/param); SGD keeps one
+  momentum buffer (4 bytes/param);
+* activations: forward outputs stashed for the backward pass, estimated
+  from each layer's kernel output traffic;
+* workspace: cuDNN scratch, modeled as a fixed fraction of activations.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.hw.device import GPUSpec
+from repro.kernels.kernel import KernelKind
+from repro.models.base import ModelSpec
+
+FP32_BYTES = 4
+_WORKSPACE_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Estimated GPU memory use of one training iteration, in bytes."""
+
+    weights: float
+    gradients: float
+    optimizer_state: float
+    activations: float
+    workspace: float
+
+    @property
+    def total(self) -> float:
+        """Total bytes required."""
+        return (self.weights + self.gradients + self.optimizer_state
+                + self.activations + self.workspace)
+
+    def fits(self, gpu: GPUSpec, headroom: float = 0.92) -> bool:
+        """Whether the footprint fits in the GPU's DRAM (with headroom for
+        the CUDA context and allocator fragmentation)."""
+        return self.total <= gpu.memory_gb * 1e9 * headroom
+
+    def as_gb(self) -> dict:
+        """Human-readable breakdown in GB."""
+        return {
+            "weights_gb": self.weights / 1e9,
+            "gradients_gb": self.gradients / 1e9,
+            "optimizer_state_gb": self.optimizer_state / 1e9,
+            "activations_gb": self.activations / 1e9,
+            "workspace_gb": self.workspace / 1e9,
+            "total_gb": self.total / 1e9,
+        }
+
+
+def estimate_footprint(model: ModelSpec,
+                       optimizer: str = "") -> MemoryFootprint:
+    """Estimate the training memory footprint of a model spec."""
+    optimizer = optimizer or model.default_optimizer
+    if optimizer not in ("sgd", "adam", "fused_adam"):
+        raise ConfigError(f"unknown optimizer {optimizer!r}")
+    params = model.param_numel
+    weights = params * FP32_BYTES
+    gradients = params * FP32_BYTES
+    per_param_state = 8 if optimizer in ("adam", "fused_adam") else 4
+    optimizer_state = params * per_param_state
+
+    activations = 0.0
+    for layer in model.layers:
+        for kernel in layer.forward_kernels:
+            out_bytes = kernel.metadata.get("output_bytes")
+            if out_bytes is not None:
+                activations += float(out_bytes)
+            elif kernel.kind in (KernelKind.ELEMENTWISE, KernelKind.BATCHNORM,
+                                 KernelKind.LAYERNORM, KernelKind.SOFTMAX,
+                                 KernelKind.DROPOUT, KernelKind.GEMM,
+                                 KernelKind.POOLING, KernelKind.EMBEDDING):
+                # outputs are roughly a third of a kernel's total traffic
+                activations += kernel.bytes / 3.0
+
+    workspace = activations * _WORKSPACE_FRACTION
+    return MemoryFootprint(
+        weights=weights,
+        gradients=gradients,
+        optimizer_state=optimizer_state,
+        activations=activations,
+        workspace=workspace,
+    )
+
+
+def max_batch_size(build, gpu: GPUSpec, start: int = 1,
+                   limit: int = 4096) -> int:
+    """Largest power-of-two batch size that fits on ``gpu``.
+
+    Args:
+        build: callable ``batch_size -> ModelSpec`` (e.g. a registry
+            builder).
+        gpu: target device.
+        start: smallest batch size to try.
+        limit: give up above this.
+
+    Returns:
+        The largest fitting power-of-two batch size, or 0 if even ``start``
+        does not fit.
+    """
+    if start < 1:
+        raise ConfigError("start batch size must be >= 1")
+    best = 0
+    batch = start
+    while batch <= limit:
+        model = build(batch)
+        if estimate_footprint(model).fits(gpu):
+            best = batch
+            batch *= 2
+        else:
+            break
+    return best

@@ -1,0 +1,24 @@
+"""Prediction-quality metrics used throughout the evaluation."""
+
+from repro.common.errors import ConfigError
+
+
+def prediction_error(predicted_us: float, ground_truth_us: float) -> float:
+    """Relative prediction error ``|pred - truth| / truth`` (Figures 5-10)."""
+    if ground_truth_us <= 0:
+        raise ConfigError("ground truth must be positive")
+    return abs(predicted_us - ground_truth_us) / ground_truth_us
+
+
+def speedup(baseline_us: float, optimized_us: float) -> float:
+    """Baseline / optimized (how many times faster)."""
+    if optimized_us <= 0:
+        raise ConfigError("optimized time must be positive")
+    return baseline_us / optimized_us
+
+
+def improvement_percent(baseline_us: float, optimized_us: float) -> float:
+    """Iteration-time improvement in percent (paper's headline metric)."""
+    if baseline_us <= 0:
+        raise ConfigError("baseline must be positive")
+    return (baseline_us - optimized_us) / baseline_us * 100.0

@@ -1,0 +1,68 @@
+"""Session reports: compare many what-if predictions in one table.
+
+The workflow the paper advocates (Section 7.1) is 'profile once, evaluate
+every candidate optimization, implement only the winners'.  This module
+renders that decision table for a session, optionally with ground-truth
+columns when the caller has them.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.session import Prediction, WhatIfSession
+from repro.common.texttable import render_table
+from repro.hw.topology import ClusterSpec
+from repro.optimizations.base import OptimizationModel
+
+
+@dataclass
+class OptimizationReport:
+    """A ranked summary of what-if predictions for one profile."""
+
+    session: WhatIfSession
+    predictions: List[Prediction] = field(default_factory=list)
+
+    def evaluate(self, optimization: OptimizationModel,
+                 cluster: Optional[ClusterSpec] = None) -> Prediction:
+        """Predict one optimization and record it."""
+        prediction = self.session.predict(optimization, cluster=cluster)
+        self.predictions.append(prediction)
+        return prediction
+
+    def ranked(self) -> List[Prediction]:
+        """Predictions sorted by improvement, best first."""
+        return sorted(self.predictions,
+                      key=lambda p: p.predicted_us)
+
+    def best(self) -> Prediction:
+        """The most beneficial optimization evaluated so far."""
+        if not self.predictions:
+            raise ValueError("no predictions recorded yet")
+        return self.ranked()[0]
+
+    def render(self) -> str:
+        """Render the decision table."""
+        model = self.session.trace.metadata.get("model", "?")
+        rows = []
+        for pred in self.ranked():
+            rows.append([
+                pred.optimization,
+                pred.predicted_us / 1000.0,
+                f"{pred.improvement_percent:+.1f}%",
+                f"{pred.speedup:.2f}x",
+            ])
+        title = (f"What-if report for {model} "
+                 f"(baseline {self.session.baseline_us / 1000:.1f} ms)")
+        return render_table(
+            ["optimization", "predicted_ms", "improvement", "speedup"],
+            rows, title=title)
+
+
+def quick_report(session: WhatIfSession,
+                 optimizations: List[OptimizationModel],
+                 cluster: Optional[ClusterSpec] = None) -> OptimizationReport:
+    """Evaluate a list of optimizations and return the filled report."""
+    report = OptimizationReport(session=session)
+    for optimization in optimizations:
+        report.evaluate(optimization, cluster=cluster)
+    return report

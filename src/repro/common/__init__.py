@@ -1,0 +1,53 @@
+"""Shared utilities: units, errors, deterministic jitter, interval algebra."""
+
+from repro.common.errors import (
+    DaydreamError,
+    GraphConsistencyError,
+    MappingError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.units import (
+    GB,
+    GBPS,
+    KB,
+    MB,
+    MS,
+    SEC,
+    US,
+    bits_to_bytes,
+    gbps_to_bytes_per_us,
+    us_to_ms,
+)
+from repro.common.prng import jitter_factor, stable_hash, stable_uniform
+from repro.common.intervals import (
+    intersect_total,
+    merge_intervals,
+    subtract_total,
+    total_length,
+)
+
+__all__ = [
+    "DaydreamError",
+    "GraphConsistencyError",
+    "MappingError",
+    "SimulationError",
+    "TraceError",
+    "GB",
+    "GBPS",
+    "KB",
+    "MB",
+    "MS",
+    "SEC",
+    "US",
+    "bits_to_bytes",
+    "gbps_to_bytes_per_us",
+    "us_to_ms",
+    "jitter_factor",
+    "stable_hash",
+    "stable_uniform",
+    "merge_intervals",
+    "total_length",
+    "intersect_total",
+    "subtract_total",
+]

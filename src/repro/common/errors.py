@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Daydream reproduction.
+
+Every error raised by this package derives from :class:`DaydreamError` so
+callers can catch one base type.  Sub-classes mark which subsystem failed:
+trace handling, graph construction/consistency, task-to-layer mapping, or
+simulation.
+"""
+
+
+class DaydreamError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TraceError(DaydreamError):
+    """A trace is malformed (bad ordering, unknown record, missing field)."""
+
+
+class GraphConsistencyError(DaydreamError):
+    """The dependency graph violates an invariant (cycle, dangling edge)."""
+
+
+class MappingError(DaydreamError):
+    """Task-to-layer mapping failed (no marker window, ambiguous layer)."""
+
+
+class SimulationError(DaydreamError):
+    """Simulation cannot make progress (deadlock: non-empty graph, empty
+    frontier), or a scheduler returned a task outside the frontier."""
+
+
+class ConfigError(DaydreamError):
+    """An invalid configuration value was supplied (negative bandwidth,
+    unknown model name, zero workers...)."""

@@ -1,0 +1,83 @@
+"""Interval algebra over ``(start, end)`` pairs in microseconds.
+
+Used by :mod:`repro.core.breakdown` to compute the paper's Figure-6 runtime
+decomposition: *CPU-only*, *GPU-only*, and *CPU+GPU parallel* time are set
+differences / intersections of the busy intervals of the two processors.
+"""
+
+from typing import Iterable, List, Sequence, Tuple
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping/touching intervals into a sorted disjoint list.
+
+    Zero-length and inverted intervals are dropped.
+    """
+    cleaned = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Interval] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Total covered length of a set of (possibly overlapping) intervals."""
+    return sum(e - s for s, e in merge_intervals(intervals))
+
+
+def intersect(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Intersection of two interval sets (each may overlap internally)."""
+    a_merged = merge_intervals(a)
+    b_merged = merge_intervals(b)
+    out: List[Interval] = []
+    i = j = 0
+    while i < len(a_merged) and j < len(b_merged):
+        lo = max(a_merged[i][0], b_merged[j][0])
+        hi = min(a_merged[i][1], b_merged[j][1])
+        if hi > lo:
+            out.append((lo, hi))
+        if a_merged[i][1] < b_merged[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def subtract(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Set difference ``a - b`` as a disjoint interval list."""
+    a_merged = merge_intervals(a)
+    b_merged = merge_intervals(b)
+    out: List[Interval] = []
+    j = 0
+    for start, end in a_merged:
+        cursor = start
+        while j < len(b_merged) and b_merged[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(b_merged) and b_merged[k][0] < end:
+            b_start, b_end = b_merged[k]
+            if b_start > cursor:
+                out.append((cursor, min(b_start, end)))
+            cursor = max(cursor, b_end)
+            if cursor >= end:
+                break
+            k += 1
+        if cursor < end:
+            out.append((cursor, end))
+    return out
+
+
+def intersect_total(a: Sequence[Interval], b: Sequence[Interval]) -> float:
+    """Total length of the intersection of two interval sets."""
+    return total_length(intersect(a, b))
+
+
+def subtract_total(a: Sequence[Interval], b: Sequence[Interval]) -> float:
+    """Total length of ``a - b``."""
+    return total_length(subtract(a, b))

@@ -1,0 +1,51 @@
+"""Deterministic pseudo-randomness keyed by strings.
+
+The ground-truth executor perturbs analytical kernel costs so that real
+execution differs from Daydream's heuristic predictions — exactly as a real
+GPU differs from a roofline formula.  Perturbations must be:
+
+* **deterministic** — the same kernel in the same workload always gets the
+  same duration, so tests and benchmarks are reproducible;
+* **independent of iteration order** — keyed by *identity strings*, not by
+  a shared mutable RNG state.
+
+We derive a uniform value in ``[0, 1)`` from ``blake2b`` of the key, which is
+stable across processes and Python versions (unlike ``hash()``).
+"""
+
+import hashlib
+import struct
+
+
+def stable_hash(key: str) -> int:
+    """Return a stable 64-bit hash of ``key`` (identical across runs)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def stable_uniform(key: str) -> float:
+    """Return a deterministic uniform sample in ``[0, 1)`` keyed by ``key``."""
+    return stable_hash(key) / 2.0**64
+
+
+def jitter_factor(key: str, spread: float) -> float:
+    """Return a multiplicative jitter in ``[1 - spread, 1 + spread]``.
+
+    ``spread`` of 0.03 gives at most +-3% perturbation.  ``spread`` must be in
+    ``[0, 1)`` so the factor stays strictly positive.
+    """
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must be in [0, 1), got {spread}")
+    return 1.0 + spread * (2.0 * stable_uniform(key) - 1.0)
+
+
+def biased_factor(key: str, low: float, high: float) -> float:
+    """Return a deterministic factor uniform in ``[low, high]``.
+
+    Used for effects with a known sign, e.g. 'achieved tensor-core speedup is
+    between 2.4x and 3.2x' or 'NCCL contention inflates a primitive by
+    20-50%'.
+    """
+    if high < low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    return low + (high - low) * stable_uniform(key)

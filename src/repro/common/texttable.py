@@ -1,0 +1,63 @@
+"""Minimal fixed-width text tables for benchmark/report output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report.  We avoid external dependencies and keep the renderer tiny:
+left-aligned strings, right-aligned numbers, an optional title rule.
+"""
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats get 2 decimals, everything else ``str()``."""
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a list of rows as a fixed-width text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ----
+    1  2.50
+    """
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if _numeric(cells[i]) else
+                         cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 1))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").strip()
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False

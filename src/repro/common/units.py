@@ -1,0 +1,56 @@
+"""Time, size, and bandwidth units.
+
+Conventions used throughout the package:
+
+* **time** is a ``float`` in *microseconds* (the native unit of CUPTI traces);
+* **size** is a ``float``/``int`` in *bytes*;
+* **bandwidth** is expressed in the caller's natural unit (Gbit/s for
+  networks, GB/s for device memory) and converted here to bytes/µs.
+
+Keeping all durations in one unit avoids a whole class of silent
+unit-mismatch bugs, so every module imports its constants from this file
+rather than hard-coding conversion factors.
+"""
+
+# --- time constants (in microseconds) ---------------------------------------
+US = 1.0
+MS = 1_000.0
+SEC = 1_000_000.0
+
+# --- size constants (in bytes) -----------------------------------------------
+KB = 1_024
+MB = 1_024 * 1_024
+GB = 1_024 * 1_024 * 1_024
+
+# A gigabit/s expressed in bytes per microsecond:
+#   1 Gbps = 1e9 bits/s = 0.125e9 bytes/s = 125 bytes/us
+GBPS = 125.0
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a size in bits to bytes."""
+    return bits / 8.0
+
+
+def gbps_to_bytes_per_us(gbps: float) -> float:
+    """Convert a network bandwidth in Gbit/s to bytes per microsecond."""
+    if gbps < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {gbps}")
+    return gbps * GBPS
+
+
+def gBps_to_bytes_per_us(gigabytes_per_sec: float) -> float:
+    """Convert a memory bandwidth in GB/s to bytes per microsecond."""
+    if gigabytes_per_sec < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {gigabytes_per_sec}")
+    return gigabytes_per_sec * 1e9 / SEC
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / MS
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * MS

@@ -1,0 +1,79 @@
+"""Runtime decomposition: CPU-only / GPU-only / CPU+GPU parallel (Figure 6).
+
+The paper defines (Section 6.2):
+
+* **CPU-only** — CPU busy while no GPU kernel executes;
+* **GPU-only** — CPU waiting for the GPU (sync APIs, blocking copies);
+* **CPU+GPU** — both busy.
+
+We compute these with interval algebra over the simulated (or traced) busy
+intervals.  CPU busy time includes the inter-task gaps — they are real CPU
+work (Python front-end, framework dispatch) that CUPTI simply cannot see —
+but excludes the wait portion of synchronization APIs, which is GPU time
+from the CPU's perspective.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.intervals import intersect_total, subtract_total
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import SimulationResult
+
+Interval = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """The Figure-6 decomposition of one iteration, in microseconds."""
+
+    total_us: float
+    cpu_only_us: float
+    gpu_only_us: float
+    parallel_us: float
+
+    @property
+    def other_us(self) -> float:
+        """Idle residue (neither processor busy)."""
+        return max(0.0, self.total_us - self.cpu_only_us - self.gpu_only_us
+                   - self.parallel_us)
+
+    def as_row(self) -> List[float]:
+        """``[total, cpu_only, gpu_only, parallel]`` in milliseconds."""
+        return [self.total_us / 1000.0, self.cpu_only_us / 1000.0,
+                self.gpu_only_us / 1000.0, self.parallel_us / 1000.0]
+
+
+def compute_breakdown(
+    graph: DependencyGraph, result: SimulationResult
+) -> RuntimeBreakdown:
+    """Decompose a simulated iteration into the Figure-6 components."""
+    cpu_busy: List[Interval] = []
+    gpu_busy: List[Interval] = []
+    for thread, intervals in result.thread_busy.items():
+        if thread.is_cpu:
+            cpu_busy.extend(intervals)
+        elif thread.is_gpu:
+            gpu_busy.extend(intervals)
+    # gaps after CPU tasks are CPU work the profiler can't see
+    for task in graph.tasks():
+        if task.is_cpu and task.gap > 0 and task in result.start_us:
+            end = result.end_us(task)
+            cpu_busy.append((end, end + task.gap))
+
+    total = result.makespan_us
+    parallel = intersect_total(cpu_busy, gpu_busy)
+    cpu_only = subtract_total(cpu_busy, gpu_busy)
+    gpu_only = subtract_total(gpu_busy, cpu_busy)
+    # clamp tiny numerical residue
+    covered = parallel + cpu_only + gpu_only
+    if covered > total:
+        scale = total / covered
+        parallel, cpu_only, gpu_only = (parallel * scale, cpu_only * scale,
+                                        gpu_only * scale)
+    return RuntimeBreakdown(
+        total_us=total,
+        cpu_only_us=cpu_only,
+        gpu_only_us=gpu_only,
+        parallel_us=parallel,
+    )

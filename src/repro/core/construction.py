@@ -1,0 +1,259 @@
+"""Dependency-graph construction from CUPTI-like traces (paper Section 4.2).
+
+Implements the five dependency types:
+
+1. **CPU program order** — implicit via per-thread task lists.
+2. **CUDA-stream order** — implicit via per-thread task lists.
+3. **Correlation** — ``cudaLaunchKernel``/``cudaMemcpyAsync`` -> GPU task,
+   via CUPTI correlation IDs.
+4. **CUDA synchronization** — a synchronizing API depends on the last GPU
+   task (per stream/channel) that completes before the API returns.  The
+   *wait* portion of the API's measured duration is stripped, so simulation
+   re-derives waiting from dependencies instead of replaying stale waits.
+   Blocking DtoH copies are split into a launch part and a wait part.
+5. **Communication** — an all-reduce waits for the gradients of its bucket;
+   recovered from the bucket metadata the framework instrumentation records.
+
+CPU *gaps* (non-CUDA runtime invisible to the profiler) are measured between
+consecutive CPU tasks and attached to the preceding task (Section 4.2.1).
+"""
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import TraceError
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task, TaskKind
+from repro.tracing.records import EventCategory, ExecutionThread, TraceEvent
+from repro.tracing.trace import Trace
+
+#: measured durations below this are treated as pure API overhead
+_MIN_API_US = 1.0
+
+_CATEGORY_TO_KIND = {
+    EventCategory.RUNTIME: TaskKind.CPU,
+    EventCategory.KERNEL: TaskKind.GPU_KERNEL,
+    EventCategory.MEMCPY: TaskKind.MEMCPY,
+    EventCategory.COMM: TaskKind.COMM,
+    EventCategory.DATALOAD: TaskKind.DATALOAD,
+}
+
+
+def build_graph(trace: Trace, map_layers: bool = True) -> DependencyGraph:
+    """Construct the kernel-level dependency graph from a trace.
+
+    Args:
+        trace: a profiled iteration (must contain at least one non-marker
+            event).
+        map_layers: run the synchronization-free task-to-layer mapping
+            (Section 4.3) after construction.
+
+    Returns:
+        A validated :class:`~repro.core.graph.DependencyGraph`.
+    """
+    events = [e for e in trace.events if e.category is not EventCategory.MARKER]
+    if not events:
+        raise TraceError("trace contains no executable events")
+
+    graph = DependencyGraph()
+    per_thread: Dict[ExecutionThread, List[TraceEvent]] = {}
+    for event in sorted(events, key=lambda e: (e.start_us, e.end_us)):
+        per_thread.setdefault(event.thread, []).append(event)
+
+    task_of: Dict[int, Task] = {}          # id(event) -> task
+    launch_by_corr: Dict[int, Task] = {}   # correlation id -> CPU launch task
+    gpu_by_corr: Dict[int, Task] = {}      # correlation id -> GPU task
+    sync_events: List[TraceEvent] = []
+    dtoh_waits: List[Task] = []            # wait-halves of blocking DtoH APIs
+
+    for thread in sorted(per_thread):
+        thread_events = per_thread[thread]
+        for i, event in enumerate(thread_events):
+            next_start = (thread_events[i + 1].start_us
+                          if i + 1 < len(thread_events) else event.end_us)
+            created = _make_tasks(event, next_start)
+            for task in created:
+                graph.append(task)
+            task_of[id(event)] = created[0]
+            primary = created[0]
+            if event.correlation_id is not None:
+                if event.category is EventCategory.RUNTIME:
+                    launch_by_corr[event.correlation_id] = primary
+                elif event.is_gpu_side:
+                    gpu_by_corr[event.correlation_id] = primary
+            if _is_sync_api(event):
+                sync_events.append(event)
+            if len(created) == 2:
+                dtoh_waits.append(created[1])
+
+    # dependency type 3: correlation edges
+    for corr, gpu_task in gpu_by_corr.items():
+        launch = launch_by_corr.get(corr)
+        if launch is None:
+            raise TraceError(f"GPU task with correlation {corr} has no launch API")
+        graph.add_dependency(launch, gpu_task)
+        launch.metadata["launches"] = gpu_task
+        gpu_task.metadata["launched_by"] = launch
+
+    # dependency type 4: synchronization edges
+    for event in sync_events:
+        sync_task = task_of[id(event)]
+        for gate in _gating_tasks(event, per_thread, task_of):
+            if gate is not sync_task:
+                graph.add_dependency(gate, sync_task)
+    # blocking DtoH: the wait half depends on its memory copy
+    for wait_task in dtoh_waits:
+        corr = wait_task.correlation_id
+        gpu_task = gpu_by_corr.get(corr) if corr is not None else None
+        if gpu_task is not None:
+            graph.add_dependency(gpu_task, wait_task)
+
+    # dependency type 5: communication edges (ground-truth distributed traces)
+    _add_comm_dependencies(trace, graph, per_thread, task_of)
+
+    # data-loading edges: the input upload waits for the loader worker's
+    # batch hand-off (framework instrumentation: produces/consumes markers)
+    _add_dataload_dependencies(graph)
+
+    graph.validate()
+    if map_layers:
+        from repro.core.mapping import map_tasks_to_layers
+        map_tasks_to_layers(graph, trace)
+    return graph
+
+
+# --------------------------------------------------------------------- helpers
+
+def _make_tasks(event: TraceEvent, next_start_us: float) -> List[Task]:
+    """Create the task(s) for one event; blocking DtoH APIs yield two."""
+    kind = _CATEGORY_TO_KIND[event.category]
+    gap = 0.0
+    if kind in (TaskKind.CPU, TaskKind.DATALOAD):
+        gap = max(0.0, next_start_us - event.end_us)
+
+    if event.category is EventCategory.RUNTIME and _is_blocking_dtoh(event):
+        # Split: a short launch API, then a wait task gated by the copy.
+        launch = Task(
+            name=event.name, kind=TaskKind.CPU, thread=event.thread,
+            duration=_MIN_API_US * 5, gap=0.0,
+            correlation_id=event.correlation_id,
+            trace_start_us=event.start_us,
+            metadata={"oracle_layer": event.layer, "split": "launch"},
+        )
+        wait = Task(
+            name=f"{event.name}#wait", kind=TaskKind.CPU, thread=event.thread,
+            duration=_MIN_API_US, gap=gap,
+            correlation_id=event.correlation_id,
+            trace_start_us=event.start_us,
+            metadata={"split": "wait"},
+        )
+        return [launch, wait]
+
+    duration = event.duration_us
+    if _is_sync_api(event):
+        # strip the measured wait; simulation re-derives it from edges
+        duration = _MIN_API_US * 4
+    task = Task(
+        name=event.name, kind=kind, thread=event.thread,
+        duration=duration, gap=gap,
+        correlation_id=event.correlation_id,
+        size_bytes=event.size_bytes,
+        trace_start_us=event.start_us,
+        metadata={"oracle_layer": event.layer, "oracle_phase": event.phase,
+                  **event.metadata},
+    )
+    return [task]
+
+
+def _is_sync_api(event: TraceEvent) -> bool:
+    return (event.category is EventCategory.RUNTIME
+            and "Synchronize" in event.name)
+
+
+def _is_blocking_dtoh(event: TraceEvent) -> bool:
+    return "DtoH" in event.name
+
+
+def _gating_tasks(
+    sync_event: TraceEvent,
+    per_thread: Dict[ExecutionThread, List[TraceEvent]],
+    task_of: Dict[int, Task],
+) -> List[Task]:
+    """GPU/comm tasks a synchronization API waited for.
+
+    For each GPU stream and communication channel: the last task that ends
+    at or before the sync API returns.
+    """
+    gates: List[Task] = []
+    deadline = sync_event.end_us + 1e-6
+    for thread, events in per_thread.items():
+        if thread.is_cpu:
+            continue
+        last: Optional[TraceEvent] = None
+        for event in events:
+            if event.end_us <= deadline:
+                last = event
+            else:
+                break
+        if last is not None:
+            gates.append(task_of[id(last)])
+    return gates
+
+
+def _add_dataload_dependencies(graph: DependencyGraph) -> None:
+    """Wire data-loading tasks to the uploads that consume their batches.
+
+    The loader worker runs on its own CPU thread; the control thread's
+    ``cudaMemcpyAsync`` for a mini-batch cannot be issued before the worker
+    produced it.  Batches are matched by the ``produces_batch`` /
+    ``consumes_batch`` instrumentation metadata.
+    """
+    producers: Dict[object, Task] = {}
+    for task in graph.tasks():
+        batch = task.metadata.get("produces_batch")
+        if batch is not None and task.kind is TaskKind.DATALOAD:
+            producers[batch] = task
+    if not producers:
+        return
+    for task in graph.tasks():
+        batch = task.metadata.get("consumes_batch")
+        if batch is None:
+            continue
+        producer = producers.get(batch)
+        if producer is None:
+            continue
+        launch = task.metadata.get("launched_by")
+        target = launch if isinstance(launch, Task) else task
+        if producer is not target:
+            graph.add_dependency(producer, target)
+
+
+def _add_comm_dependencies(
+    trace: Trace,
+    graph: DependencyGraph,
+    per_thread: Dict[ExecutionThread, List[TraceEvent]],
+    task_of: Dict[int, Task],
+) -> None:
+    """Wire all-reduce tasks to the GPU task that made their bucket ready.
+
+    Uses the wait-free-backprop semantics: a bucket's all-reduce may start
+    once the backward kernels of its trigger layer finish.  The trigger GPU
+    task is found as the last GPU task ending at or before the primitive's
+    observed start.
+    """
+    comm_events = [e for events in per_thread.values() for e in events
+                   if e.category is EventCategory.COMM]
+    if not comm_events:
+        return
+    gpu_events = sorted(
+        (e for events in per_thread.values() for e in events if e.is_gpu_side),
+        key=lambda e: e.end_us,
+    )
+    for comm in comm_events:
+        trigger: Optional[TraceEvent] = None
+        for event in gpu_events:
+            if event.end_us <= comm.start_us + 1e-6:
+                trigger = event
+            else:
+                break
+        if trigger is not None:
+            graph.add_dependency(task_of[id(trigger)], task_of[id(comm)])

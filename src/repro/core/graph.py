@@ -1,0 +1,278 @@
+"""The kernel-level dependency graph.
+
+Structure (paper Section 4.2):
+
+* **threads** — per-execution-thread ordered task lists.  The paper's
+  dependency types 1 and 2 (sequential CPU order, sequential CUDA-stream
+  order) are represented *implicitly* by these lists: a task always depends
+  on its thread predecessor.  This makes the insert/remove primitives cheap
+  list splices instead of edge rewiring.
+* **explicit edges** — cross-thread dependencies: launch->kernel correlation,
+  CUDA synchronization, and communication (dependency types 3-5), plus any
+  edges optimization models add.
+
+Mutating operations keep the graph consistent and are the substrate of the
+transformation primitives in :mod:`repro.core.transform`.
+"""
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import GraphConsistencyError
+from repro.core.task import Task
+from repro.tracing.records import ExecutionThread
+
+
+class DependencyGraph:
+    """Mutable kernel-level dependency graph with per-thread task order."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[ExecutionThread, List[Task]] = {}
+        self._succ: Dict[Task, Set[Task]] = {}
+        self._pred: Dict[Task, Set[Task]] = {}
+        self._position_dirty = True
+        self._position: Dict[Task, int] = {}
+        self._unordered: Set[ExecutionThread] = set()
+
+    # -------------------------------------------------------------- ordering
+
+    def mark_unordered(self, thread: ExecutionThread) -> None:
+        """Drop the implicit sequential dependency on one thread.
+
+        CPU threads and CUDA streams execute tasks in recorded program order
+        (the paper's dependency types 1 and 2).  Communication channels have
+        no such order: they serialize only through thread progress, and the
+        *scheduler* decides ordering — which is exactly how P3's priority
+        rescheduling works (paper Section 4.4, Schedule).
+        """
+        self._unordered.add(thread)
+
+    def is_ordered(self, thread: ExecutionThread) -> bool:
+        """Whether the thread's task list implies sequential dependencies."""
+        return thread not in self._unordered
+
+    # ----------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return sum(len(tasks) for tasks in self._threads.values())
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._succ
+
+    def threads(self) -> List[ExecutionThread]:
+        """All execution threads, sorted."""
+        return sorted(self._threads)
+
+    def tasks_on(self, thread: ExecutionThread) -> List[Task]:
+        """Tasks on one thread in execution order (a copy)."""
+        return list(self._threads.get(thread, []))
+
+    def tasks(self) -> List[Task]:
+        """All tasks, grouped by thread, in thread order."""
+        return [t for thread in self.threads() for t in self._threads[thread]]
+
+    def select(self, predicate: Callable[[Task], bool]) -> List[Task]:
+        """The Select primitive: all tasks satisfying ``predicate``."""
+        return [t for t in self.tasks() if predicate(t)]
+
+    def successors(self, task: Task) -> Set[Task]:
+        """Explicit (cross-thread) successors of a task."""
+        self._require(task)
+        return set(self._succ[task])
+
+    def predecessors(self, task: Task) -> Set[Task]:
+        """Explicit (cross-thread) predecessors of a task."""
+        self._require(task)
+        return set(self._pred[task])
+
+    def thread_predecessor(self, task: Task) -> Optional[Task]:
+        """The task immediately before ``task`` on its thread, if any."""
+        tasks = self._threads[task.thread]
+        idx = self._index_of(task)
+        return tasks[idx - 1] if idx > 0 else None
+
+    def thread_successor(self, task: Task) -> Optional[Task]:
+        """The task immediately after ``task`` on its thread, if any."""
+        tasks = self._threads[task.thread]
+        idx = self._index_of(task)
+        return tasks[idx + 1] if idx + 1 < len(tasks) else None
+
+    # ---------------------------------------------------------------- mutation
+
+    def append(self, task: Task) -> Task:
+        """Append a task at the end of its thread's order."""
+        if task in self._succ:
+            raise GraphConsistencyError(f"task already in graph: {task!r}")
+        self._threads.setdefault(task.thread, []).append(task)
+        self._succ[task] = set()
+        self._pred[task] = set()
+        self._position_dirty = True
+        return task
+
+    def insert_after(self, anchor: Task, task: Task) -> Task:
+        """Insert ``task`` right after ``anchor`` in ``anchor``'s thread order.
+
+        ``task.thread`` is forced to ``anchor.thread`` (the paper's insert
+        primitive inserts into an execution thread's linked list).
+        """
+        self._require(anchor)
+        if task in self._succ:
+            raise GraphConsistencyError(f"task already in graph: {task!r}")
+        task.thread = anchor.thread
+        tasks = self._threads[anchor.thread]
+        tasks.insert(self._index_of(anchor) + 1, task)
+        self._succ[task] = set()
+        self._pred[task] = set()
+        self._position_dirty = True
+        return task
+
+    def insert_before(self, anchor: Task, task: Task) -> Task:
+        """Insert ``task`` right before ``anchor`` in thread order."""
+        self._require(anchor)
+        if task in self._succ:
+            raise GraphConsistencyError(f"task already in graph: {task!r}")
+        task.thread = anchor.thread
+        tasks = self._threads[anchor.thread]
+        tasks.insert(self._index_of(anchor), task)
+        self._succ[task] = set()
+        self._pred[task] = set()
+        self._position_dirty = True
+        return task
+
+    def remove(self, task: Task, rewire: bool = True) -> None:
+        """Remove a task.
+
+        With ``rewire=True`` (default) each explicit predecessor is connected
+        to each explicit successor, preserving transitive ordering across the
+        removed node.  Sequential thread order heals automatically (the list
+        splice joins the neighbors).
+        """
+        self._require(task)
+        preds = self._pred.pop(task)
+        succs = self._succ.pop(task)
+        for p in preds:
+            self._succ[p].discard(task)
+        for s in succs:
+            self._pred[s].discard(task)
+        if rewire:
+            for p in preds:
+                for s in succs:
+                    if p is not s:
+                        self._succ[p].add(s)
+                        self._pred[s].add(p)
+        self._threads[task.thread].remove(task)
+        if not self._threads[task.thread]:
+            del self._threads[task.thread]
+        self._position_dirty = True
+
+    def add_dependency(self, src: Task, dst: Task) -> None:
+        """Add an explicit edge ``src -> dst``."""
+        self._require(src)
+        self._require(dst)
+        if src is dst:
+            raise GraphConsistencyError(f"self-dependency on {src!r}")
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_dependency(self, src: Task, dst: Task) -> None:
+        """Remove an explicit edge if present."""
+        self._require(src)
+        self._require(dst)
+        self._succ[src].discard(dst)
+        self._pred[dst].discard(src)
+
+    # ------------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check graph invariants; raise :class:`GraphConsistencyError`.
+
+        * no explicit edge points backwards within one thread's order;
+        * the combined graph (explicit edges + thread order) is acyclic.
+        """
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                if src.thread == dst.thread and self.is_ordered(src.thread):
+                    if self._index_of(src) >= self._index_of(dst):
+                        raise GraphConsistencyError(
+                            f"edge {src!r} -> {dst!r} contradicts thread order"
+                        )
+        self._topological_order()  # raises on cycle
+
+    def _topological_order(self) -> List[Task]:
+        indeg: Dict[Task, int] = {}
+        for thread, thread_tasks in self._threads.items():
+            ordered = self.is_ordered(thread)
+            for i, task in enumerate(thread_tasks):
+                indeg[task] = len(self._pred[task]) + (1 if ordered and i > 0 else 0)
+        ready = [t for t, d in indeg.items() if d == 0]
+        order: List[Task] = []
+        while ready:
+            task = ready.pop()
+            order.append(task)
+            children: Iterable[Task] = self._succ[task]
+            if self.is_ordered(task.thread):
+                nxt = self.thread_successor(task)
+                if nxt is not None:
+                    children = list(children) + [nxt]
+            for child in children:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self):
+            raise GraphConsistencyError(
+                f"dependency cycle: only {len(order)} of {len(self)} tasks "
+                "are reachable"
+            )
+        return order
+
+    # --------------------------------------------------------------- internals
+
+    def _require(self, task: Task) -> None:
+        if task not in self._succ:
+            raise GraphConsistencyError(f"task not in graph: {task!r}")
+
+    def _index_of(self, task: Task) -> int:
+        if self._position_dirty:
+            self._position = {}
+            for tasks in self._threads.values():
+                for i, t in enumerate(tasks):
+                    self._position[t] = i
+            self._position_dirty = False
+        return self._position[task]
+
+    # ----------------------------------------------------------------- cloning
+
+    def copy(self) -> "DependencyGraph":
+        """Deep-copy the graph (tasks are cloned; safe to mutate the copy).
+
+        Optimization models transform a copy so the baseline graph can be
+        reused for many what-if questions (paper Section 7.1: profile once,
+        ask many questions).
+        """
+        clone_of: Dict[Task, Task] = {}
+        out = DependencyGraph()
+        out._unordered = set(self._unordered)
+        for thread in self.threads():
+            for task in self._threads[thread]:
+                clone = Task(
+                    name=task.name, kind=task.kind, thread=task.thread,
+                    duration=task.duration, gap=task.gap, layer=task.layer,
+                    phase=task.phase, correlation_id=task.correlation_id,
+                    size_bytes=task.size_bytes, priority=task.priority,
+                    trace_start_us=task.trace_start_us,
+                    metadata=dict(task.metadata),
+                )
+                clone_of[task] = clone
+                out.append(clone)
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                out.add_dependency(clone_of[src], clone_of[dst])
+        # remap task-valued metadata (launch<->kernel links) onto the clones
+        for clone in clone_of.values():
+            for key, value in list(clone.metadata.items()):
+                if isinstance(value, Task):
+                    remapped = clone_of.get(value)
+                    if remapped is not None:
+                        clone.metadata[key] = remapped
+                    else:
+                        del clone.metadata[key]
+        return out

@@ -1,0 +1,173 @@
+"""Execution simulation — the paper's Algorithm 1.
+
+The simulator traverses the dependency graph, dispatching each frontier task
+to its execution thread:
+
+* ``u.start = max(P[thread], max over parents of parent end)``;
+* ``P[thread] = u.start + u.duration + u.gap``;
+* a task joins the frontier when its explicit parents *and* its thread
+  predecessor have executed.
+
+The ``schedule`` step (line 9) is pluggable: the default picks the task with
+the globally earliest feasible start, and optimization models may override
+it (P3's priority queue, vDNN's prefetch delay — paper Section 4.4).
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task
+from repro.tracing.records import ExecutionThread
+
+#: A scheduler picks the next task to dispatch from the frontier.
+#: It receives the frontier and the per-thread progress map.
+Scheduler = Callable[[List[Task], Dict[ExecutionThread, float]], Task]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        start_us: simulated start time of every task.
+        makespan_us: end of the last task (excluding its trailing gap) —
+            the predicted iteration time.
+        thread_busy: per-thread busy intervals ``(start, end)`` for
+            breakdown analysis.
+    """
+
+    start_us: Dict[Task, float]
+    makespan_us: float
+    thread_busy: Dict[ExecutionThread, List[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    def end_us(self, task: Task) -> float:
+        """Simulated completion time of a task."""
+        return self.start_us[task] + task.duration
+
+    def critical_tasks(self, top: int = 10) -> List[Task]:
+        """The ``top`` tasks by duration — a quick bottleneck view."""
+        tasks = sorted(self.start_us, key=lambda t: t.duration, reverse=True)
+        return tasks[:top]
+
+
+def earliest_start_scheduler(
+    frontier: List[Task], progress: Dict[ExecutionThread, float]
+) -> Task:
+    """Default scheduler: earliest feasible start, FIFO tie-break."""
+    best = frontier[0]
+    best_time = max(progress.get(best.thread, 0.0), best.metadata["_ready_us"])
+    for task in frontier[1:]:
+        feasible = max(progress.get(task.thread, 0.0), task.metadata["_ready_us"])
+        if feasible < best_time:
+            best = task
+            best_time = feasible
+    return best
+
+
+def simulate(
+    graph: DependencyGraph,
+    scheduler: Optional[Scheduler] = None,
+) -> SimulationResult:
+    """Run Algorithm 1 over the graph and return predicted timings.
+
+    Raises:
+        SimulationError: if the graph deadlocks (cycle), or a custom
+            scheduler returns a task that is not in the frontier.
+    """
+    scheduler = scheduler or earliest_start_scheduler
+
+    # reference counts: explicit preds + one for the thread predecessor
+    refs: Dict[Task, int] = {}
+    thread_next: Dict[Task, Optional[Task]] = {}
+    for thread in graph.threads():
+        tasks = graph.tasks_on(thread)
+        ordered = graph.is_ordered(thread)
+        for i, task in enumerate(tasks):
+            refs[task] = len(graph.predecessors(task)) + (
+                1 if ordered and i > 0 else 0)
+            thread_next[task] = (tasks[i + 1]
+                                 if ordered and i + 1 < len(tasks) else None)
+            task.metadata["_ready_us"] = 0.0
+
+    frontier: List[Task] = [t for t, r in refs.items() if r == 0]
+    progress: Dict[ExecutionThread, float] = {t: 0.0 for t in graph.threads()}
+    start_us: Dict[Task, float] = {}
+    busy: Dict[ExecutionThread, List[Tuple[float, float]]] = {
+        t: [] for t in graph.threads()
+    }
+    total = len(graph)
+
+    while frontier:
+        task = scheduler(frontier, progress)
+        try:
+            frontier.remove(task)
+        except ValueError:
+            raise SimulationError(
+                f"scheduler returned a task outside the frontier: {task!r}"
+            ) from None
+        start = max(progress[task.thread], task.metadata["_ready_us"])
+        start_us[task] = start
+        end = start + task.duration
+        progress[task.thread] = end + task.gap
+        if task.duration > 0:
+            busy[task.thread].append((start, end))
+
+        def _release(child: Task) -> None:
+            child.metadata["_ready_us"] = max(child.metadata["_ready_us"], end)
+            refs[child] -= 1
+            if refs[child] == 0:
+                frontier.append(child)
+
+        for child in graph.successors(task):
+            _release(child)
+        nxt = thread_next[task]
+        if nxt is not None:
+            # thread order: predecessor completion gates the successor, but
+            # the gap is enforced via thread progress, not readiness
+            nxt.metadata["_ready_us"] = max(nxt.metadata["_ready_us"], end)
+            refs[nxt] -= 1
+            if refs[nxt] == 0:
+                frontier.append(nxt)
+
+    if len(start_us) != total:
+        raise SimulationError(
+            f"deadlock: executed {len(start_us)} of {total} tasks "
+            "(dependency cycle)"
+        )
+    for task in start_us:
+        task.metadata.pop("_ready_us", None)
+    makespan = max((start_us[t] + t.duration for t in start_us), default=0.0)
+    return SimulationResult(start_us=start_us, makespan_us=makespan,
+                            thread_busy=busy)
+
+
+def make_priority_scheduler(
+    is_prioritized: Callable[[Task], bool],
+) -> Scheduler:
+    """Build a scheduler that breaks feasibility ties by ``task.priority``.
+
+    Among frontier tasks, the earliest feasible start still wins (work
+    conservation), but when several prioritized tasks could start at the
+    same instant the one with the highest priority goes first — the paper's
+    P3 schedule override (Appendix Algorithm 7).
+    """
+
+    def scheduler(frontier: List[Task],
+                  progress: Dict[ExecutionThread, float]) -> Task:
+        best: Optional[Task] = None
+        best_key: Optional[Tuple[float, float]] = None
+        for task in frontier:
+            feasible = max(progress.get(task.thread, 0.0),
+                           task.metadata["_ready_us"])
+            pri = -float(task.priority) if is_prioritized(task) else 0.0
+            key = (feasible, pri)
+            if best_key is None or key < best_key:
+                best, best_key = task, key
+        assert best is not None
+        return best
+
+    return scheduler

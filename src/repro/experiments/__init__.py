@@ -1,0 +1,10 @@
+"""Experiment runners: one module per paper table/figure.
+
+Every runner returns an :class:`ExperimentResult` with the same rows/series
+the paper reports, plus a text rendering.  The benchmark harness under
+``benchmarks/`` wraps these runners with pytest-benchmark.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,47 @@
+"""Shared experiment-result container."""
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.common.texttable import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure.
+
+    Attributes:
+        experiment: identifier (``fig5``, ``sec64``, ...).
+        title: human-readable description.
+        headers: column names.
+        rows: one list per data point, matching ``headers``.
+        notes: free-form commentary (calibration assumptions, caveats).
+    """
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        """Append one data point."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment}: row has {len(cells)} cells, "
+                f"expected {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render as a fixed-width text table."""
+        body = render_table(self.headers, self.rows,
+                            title=f"[{self.experiment}] {self.title}")
+        if self.notes:
+            body += f"\n\n{self.notes}"
+        return body
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,35 @@
+"""Figure 1: NVProf-style timeline of one ResNet-50 training iteration.
+
+The paper's Figure 1 shows the raw profiler view that motivates Daydream:
+CPU threads, the default GPU stream, and CUDA memory copies, with highly
+serialized low-level tasks.  We render the equivalent ASCII timeline from
+our CUPTI-like trace.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import Engine
+from repro.models.registry import build_model
+from repro.tracing.records import EventCategory
+from repro.tracing.trace import render_timeline
+
+
+def run(model_name: str = "resnet50", width: int = 100) -> ExperimentResult:
+    """Reproduce Figure 1 (as statistics plus an ASCII timeline)."""
+    model = build_model(model_name)
+    trace = Engine(model=model, config=TrainingConfig()).run_iteration()
+    result = ExperimentResult(
+        experiment="fig1",
+        title=f"Profiler timeline of one {model_name} iteration",
+        headers=["quantity", "value"],
+        notes=render_timeline(trace, width=width),
+    )
+    kernels = trace.by_category(EventCategory.KERNEL)
+    runtime = trace.by_category(EventCategory.RUNTIME)
+    memcpy = trace.by_category(EventCategory.MEMCPY)
+    result.add_row("iteration_ms", trace.duration_us / 1000.0)
+    result.add_row("gpu_kernels", len(kernels))
+    result.add_row("runtime_apis", len(runtime))
+    result.add_row("memcpys", len(memcpy))
+    result.add_row("threads", len(trace.threads()))
+    return result

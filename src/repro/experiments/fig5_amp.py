@@ -1,0 +1,45 @@
+"""Figure 5: AMP — baseline, ground truth, and Daydream's prediction.
+
+Paper result: predictions within 13% of ground truth for BERT_base,
+BERT_large, Seq2Seq (GNMT) and ResNet-50; AMP speedups generally below 2x,
+far below the 3x per-kernel ideal, because CPU time is untouched.
+"""
+
+from typing import List, Optional
+
+from repro.analysis.metrics import improvement_percent, prediction_error
+from repro.analysis.session import WhatIfSession
+from repro.experiments.common import ExperimentResult
+from repro.framework import groundtruth
+from repro.framework.config import TrainingConfig
+from repro.models.registry import build_model
+from repro.optimizations import AutomaticMixedPrecision
+
+MODELS = ("bert_base", "bert_large", "gnmt", "resnet50")
+
+
+def run(models: Optional[List[str]] = None) -> ExperimentResult:
+    """Reproduce Figure 5."""
+    result = ExperimentResult(
+        experiment="fig5",
+        title="AMP: baseline vs ground truth vs Daydream prediction",
+        headers=["model", "baseline_ms", "ground_truth_ms", "predicted_ms",
+                 "gt_improvement_%", "prediction_error_%"],
+        notes=("Paper: <13% error on all four models; e.g. BERT_large "
+               "improves 17.2% with <3% error."),
+    )
+    config = TrainingConfig()
+    for name in models or MODELS:
+        model = build_model(name)
+        session = WhatIfSession.from_model(model, config=config)
+        prediction = session.predict(AutomaticMixedPrecision())
+        truth = groundtruth.run_amp(model, config)
+        result.add_row(
+            name,
+            session.baseline_us / 1000.0,
+            truth.iteration_us / 1000.0,
+            prediction.predicted_us / 1000.0,
+            improvement_percent(session.baseline_us, truth.iteration_us),
+            prediction_error(prediction.predicted_us, truth.iteration_us) * 100.0,
+        )
+    return result

@@ -1,0 +1,60 @@
+"""Section 6.4: reconstructing batchnorm on DenseNet-121 (Caffe).
+
+Paper result: Daydream predicts a 12.7% improvement — less promising than
+the 17.5% the optimization's own paper claims — and the measured ground
+truth is even lower (~7%), because the restructured implementation's new
+kernels are slower than the idealized 2x estimate and it introduces extra
+CUDA memory copies/allocations.
+"""
+
+import dataclasses
+
+from repro.analysis.metrics import improvement_percent, prediction_error
+from repro.analysis.session import WhatIfSession
+from repro.experiments.common import ExperimentResult
+from repro.framework import groundtruth
+from repro.framework.config import TrainingConfig
+from repro.hw.device import GPU_2080TI
+from repro.models.registry import build_model
+from repro.optimizations import ReconstructBatchnorm
+
+#: Caffe's convolution path on DenseNet's many narrow layers achieves far
+#: lower arithmetic efficiency than tuned cuDNN kernels; this calibration
+#: reproduces the paper's Caffe runtime composition.
+CAFFE_CONV_EFFICIENCY = 0.22
+
+
+def caffe_config() -> TrainingConfig:
+    """The Caffe/DenseNet configuration of Section 6.4."""
+    gpu = dataclasses.replace(GPU_2080TI,
+                              compute_efficiency=CAFFE_CONV_EFFICIENCY)
+    return TrainingConfig(framework="caffe", gpu=gpu)
+
+
+def run(model_name: str = "densenet121") -> ExperimentResult:
+    """Reproduce the Section 6.4 comparison."""
+    result = ExperimentResult(
+        experiment="sec64",
+        title="Reconstructing batchnorm on DenseNet-121 (Caffe)",
+        headers=["quantity", "value"],
+        notes=("Paper: predicted 12.7% vs claimed 17.5%; ground truth ~7%. "
+               "Prediction correctly flags the optimization as less "
+               "promising than claimed."),
+    )
+    config = caffe_config()
+    model = build_model(model_name)
+    session = WhatIfSession.from_model(model, config=config)
+    prediction = session.predict(ReconstructBatchnorm())
+    truth = groundtruth.run_reconstructed_batchnorm(model, config)
+
+    gt_improvement = improvement_percent(session.baseline_us, truth.iteration_us)
+    result.add_row("baseline_ms", session.baseline_us / 1000.0)
+    result.add_row("predicted_ms", prediction.predicted_us / 1000.0)
+    result.add_row("ground_truth_ms", truth.iteration_us / 1000.0)
+    result.add_row("predicted_improvement_%", prediction.improvement_percent)
+    result.add_row("ground_truth_improvement_%", gt_improvement)
+    result.add_row("prediction_error_%", prediction_error(
+        prediction.predicted_us, truth.iteration_us) * 100.0)
+    result.add_row("paper_predicted_improvement_%", 12.7)
+    result.add_row("paper_ground_truth_improvement_%", 7.0)
+    return result

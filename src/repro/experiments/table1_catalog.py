@@ -1,0 +1,72 @@
+"""Table 1: the optimization catalog, cross-checked against implementations.
+
+The paper's Table 1 lists representative DNN-training optimizations: the
+five *italicized* ones are quantitatively evaluated (Section 6), the five
+*bold* ones are modeled to show the primitives' expressiveness (Section 5.2).
+This runner verifies every catalog entry has a working what-if model in
+:mod:`repro.optimizations` and reports the mapping.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.optimizations import (
+    AutomaticMixedPrecision,
+    BlueConnect,
+    DeepGradientCompression,
+    DistributedTraining,
+    FusedAdam,
+    Gist,
+    MetaFlowSubstitution,
+    PriorityParameterPropagation,
+    ReconstructBatchnorm,
+    VirtualizedDNN,
+)
+from repro.optimizations.metaflow import SubstitutionPolicy
+
+#: (optimization, goal, strategy, evaluated-quantitatively, model class)
+CATALOG = (
+    ("AMP (Micikevicius et al.)", "hardware utilization",
+     "reducing precision", True, AutomaticMixedPrecision),
+    ("FusedAdam (Apex)", "hardware utilization",
+     "fusing kernels/layers", True, FusedAdam),
+    ("Restructured batchnorm (Jung et al.)", "hardware utilization",
+     "improving low-level kernels", True, ReconstructBatchnorm),
+    ("Distributed training (data parallelism)", "scalability",
+     "communication insertion", True, DistributedTraining),
+    ("P3 (Jayarajan et al.)", "communication overhead",
+     "communication efficiency/overlap", True, PriorityParameterPropagation),
+    ("BlueConnect (Cho et al.)", "communication overhead",
+     "communication efficiency/overlap", False, BlueConnect),
+    ("MetaFlow (Jia et al.)", "hardware utilization",
+     "fusing kernels/layers", False, MetaFlowSubstitution),
+    ("vDNN (Rhu et al.)", "memory footprint",
+     "offload/prefetch", False, VirtualizedDNN),
+    ("Gist (Jain et al.)", "memory footprint",
+     "encode/decode", False, Gist),
+    ("DGC (Lin et al.)", "communication overhead",
+     "reducing communication workload", False, DeepGradientCompression),
+)
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table 1 (implementation inventory)."""
+    result = ExperimentResult(
+        experiment="table1",
+        title="Optimization catalog and what-if model inventory",
+        headers=["optimization", "goal", "strategy", "evaluated", "model"],
+        notes=("Evaluated=yes entries are scored against ground truth in "
+               "Section 6 (Figures 5-10, Section 6.4); the rest are modeled "
+               "in Section 5.2."),
+    )
+    for name, goal, strategy, evaluated, model_cls in CATALOG:
+        instance = _instantiate(model_cls)
+        result.add_row(name, goal, strategy,
+                       "yes" if evaluated else "modeled",
+                       type(instance).__name__)
+    return result
+
+
+def _instantiate(model_cls):
+    """Build a model instance with defaults (MetaFlow needs a policy)."""
+    if model_cls is MetaFlowSubstitution:
+        return model_cls(SubstitutionPolicy())
+    return model_cls()

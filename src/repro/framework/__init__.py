@@ -1,0 +1,19 @@
+"""Framework execution substrate: the 'real system' side of the reproduction.
+
+This package stands in for PyTorch/MXNet/Caffe running on a GPU: it executes
+a training iteration against the analytical cost model, emitting CUPTI-style
+traces, and provides ground-truth implementations of the paper's evaluated
+optimizations so Daydream's predictions can be scored against 'reality'.
+"""
+
+from repro.framework.config import TrainingConfig
+from repro.framework.bucketing import Bucket, compute_buckets
+from repro.framework.engine import Engine, profile_iteration
+
+__all__ = [
+    "TrainingConfig",
+    "Bucket",
+    "compute_buckets",
+    "Engine",
+    "profile_iteration",
+]

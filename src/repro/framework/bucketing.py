@@ -1,0 +1,106 @@
+"""PyTorch-DDP-style gradient bucketing.
+
+PyTorch groups gradients from multiple layers into fixed-capacity buckets
+(default 25 MB) and launches one NCCL all-reduce per bucket as soon as every
+gradient in the bucket is ready (wait-free backpropagation).  Buckets are
+filled in *backward* order: the last layers' gradients are computed first
+and go into bucket 0.
+
+Daydream needs this layer-to-bucket mapping — the paper calls it out as the
+one piece of extra PyTorch instrumentation required (Section 4.1) — so the
+engine records it into trace metadata.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+from repro.models.base import ModelSpec
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One gradient bucket.
+
+    Attributes:
+        index: bucket id, in all-reduce launch order (backward order).
+        size_bytes: total gradient payload.
+        layers: names of layers whose gradients the bucket holds.
+        trigger_layer: the layer whose backward pass completes the bucket —
+            the *last* (in backward order) contributing layer.
+    """
+
+    index: int
+    size_bytes: int
+    layers: tuple
+    trigger_layer: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for trace metadata."""
+        return {
+            "index": self.index,
+            "size_bytes": self.size_bytes,
+            "layers": list(self.layers),
+            "trigger_layer": self.trigger_layer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Bucket":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(data["index"]),
+            size_bytes=int(data["size_bytes"]),
+            layers=tuple(data["layers"]),
+            trigger_layer=str(data["trigger_layer"]),
+        )
+
+
+def compute_buckets(model: ModelSpec, bucket_cap_mb: float = 25.0) -> List[Bucket]:
+    """Assign the model's parameterized layers to DDP gradient buckets.
+
+    Layers are visited in backward order; a bucket closes once it reaches
+    capacity.  Layers without parameters contribute nothing.
+    """
+    if bucket_cap_mb <= 0:
+        raise ConfigError("bucket_cap_mb must be positive")
+    cap_bytes = bucket_cap_mb * MB
+    buckets: List[Bucket] = []
+    current_layers: List[str] = []
+    current_bytes = 0
+
+    def close_bucket() -> None:
+        nonlocal current_layers, current_bytes
+        if not current_layers:
+            return
+        buckets.append(
+            Bucket(
+                index=len(buckets),
+                size_bytes=current_bytes,
+                layers=tuple(current_layers),
+                trigger_layer=current_layers[-1],
+            )
+        )
+        current_layers = []
+        current_bytes = 0
+
+    for layer in model.backward_order():
+        if layer.grad_bytes == 0:
+            continue
+        current_layers.append(layer.name)
+        current_bytes += layer.grad_bytes
+        if current_bytes >= cap_bytes:
+            close_bucket()
+    close_bucket()
+    return buckets
+
+
+def layer_to_bucket(buckets: List[Bucket]) -> Dict[str, int]:
+    """Invert a bucket list into a layer-name -> bucket-index map."""
+    mapping: Dict[str, int] = {}
+    for bucket in buckets:
+        for layer in bucket.layers:
+            if layer in mapping:
+                raise ConfigError(f"layer {layer!r} appears in two buckets")
+            mapping[layer] = bucket.index
+    return mapping

@@ -1,0 +1,58 @@
+"""Training configuration: framework, device, precision, optimizer."""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.hw.device import CPU_EPYC_7601, GPU_2080TI, CPUSpec, GPUSpec
+
+SUPPORTED_FRAMEWORKS = ("pytorch", "mxnet", "caffe")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """How an iteration is executed.
+
+    Attributes:
+        framework: execution semantics to emulate. PyTorch uses NCCL
+            all-reduce with gradient bucketing; MXNet uses a parameter
+            server (push/pull); Caffe is single-GPU in the paper.
+        gpu: the GPU model.
+        cpu: host-side cost parameters.
+        precision: ``"fp32"`` baseline or ``"fp16"`` (AMP ground truth).
+        optimizer: ``"sgd"`` / ``"adam"`` / ``"fused_adam"``; ``None`` uses
+            the model's default.
+        bucket_cap_mb: PyTorch DDP gradient-bucket capacity.
+        data_loading_us: duration of the mini-batch load CPU task.
+    """
+
+    framework: str = "pytorch"
+    gpu: GPUSpec = field(default_factory=lambda: GPU_2080TI)
+    cpu: CPUSpec = field(default_factory=lambda: CPU_EPYC_7601)
+    precision: str = "fp32"
+    optimizer: Optional[str] = None
+    bucket_cap_mb: float = 25.0
+    data_loading_us: float = 1_500.0
+
+    def __post_init__(self) -> None:
+        if self.framework not in SUPPORTED_FRAMEWORKS:
+            raise ConfigError(
+                f"unknown framework {self.framework!r}; "
+                f"supported: {SUPPORTED_FRAMEWORKS}"
+            )
+        if self.precision not in ("fp32", "fp16"):
+            raise ConfigError(f"unknown precision {self.precision!r}")
+        if self.optimizer not in (None, "sgd", "adam", "fused_adam"):
+            raise ConfigError(f"unknown optimizer {self.optimizer!r}")
+        if self.bucket_cap_mb <= 0:
+            raise ConfigError("bucket_cap_mb must be positive")
+        if self.data_loading_us < 0:
+            raise ConfigError("data_loading_us must be non-negative")
+
+    def with_(self, **kwargs: object) -> "TrainingConfig":
+        """Return a modified copy (frozen-dataclass convenience)."""
+        return replace(self, **kwargs)
+
+    def resolve_optimizer(self, model_default: str) -> str:
+        """The optimizer actually used for a given model."""
+        return self.optimizer if self.optimizer is not None else model_default

@@ -1,0 +1,404 @@
+"""The framework execution engine — the substrate 'real system'.
+
+Executes one training iteration of a :class:`~repro.models.base.ModelSpec`
+the way PyTorch/MXNet/Caffe would on a single GPU, and emits a CUPTI-style
+:class:`~repro.tracing.trace.Trace`:
+
+* one CPU thread walks the layers in program order, paying framework
+  dispatch gaps and ``cudaLaunchKernel`` API costs;
+* GPU kernels execute FIFO on one CUDA stream (the paper's key observation:
+  DNN training uses one control CPU thread and one stream, so low-level
+  tasks are highly serialized);
+* synchronization points (loss readback, end-of-iteration) block the CPU on
+  the stream;
+* in distributed mode, gradient buckets trigger NCCL all-reduce primitives
+  on a communication channel as soon as they fill (wait-free backprop), and
+  the optimizer step waits for all of them.
+
+Kernel durations come from the roofline cost model, so this engine plays the
+role of 'the hardware'.  Daydream never reuses these internals: it only sees
+the emitted trace.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.prng import biased_factor
+from repro.framework.bucketing import Bucket, compute_buckets
+from repro.framework.config import TrainingConfig
+from repro.hw.network import ring_allreduce_time_us
+from repro.hw.topology import ClusterSpec
+from repro.kernels import library as K
+from repro.kernels.costmodel import KernelCostModel
+from repro.kernels.kernel import KernelSpec
+from repro.models.base import ModelSpec, Phase
+from repro.tracing.records import (
+    EventCategory,
+    TraceEvent,
+    comm_channel,
+    cpu_thread,
+    gpu_stream,
+)
+from repro.tracing.trace import Trace
+
+#: the CUDA stream id PyTorch's default stream shows up as in CUPTI traces
+DEFAULT_STREAM = 7
+#: secondary stream used when concurrent_streams is enabled (Section 7.5)
+SECOND_STREAM = 8
+
+# NCCL kernels contend with compute kernels for GPU memory bandwidth /
+# SMs.  The paper measures ground-truth all-reduces ~34% above the
+# theoretical formula when overlapped with backward compute, dropping to a
+# few percent when a CUDA synchronization precedes the launch (Section 6.5).
+_NCCL_CONTENTION_LOW = 1.28
+_NCCL_CONTENTION_HIGH = 1.55
+_NCCL_SYNCED_LOW = 1.04
+_NCCL_SYNCED_HIGH = 1.16
+
+
+@dataclass
+class _PendingAllReduce:
+    """An all-reduce launched during backward, scheduled after it."""
+
+    bucket: Bucket
+    ready_us: float       # when the bucket's gradients are complete on GPU
+    launch_end_us: float  # when the CPU-side NCCL launch call returned
+
+
+@dataclass
+class Engine:
+    """Executes training iterations and records traces.
+
+    Attributes:
+        model: the workload.
+        config: execution configuration (framework, device, precision...).
+        cluster: if given (and >1 worker), run data-parallel with NCCL
+            all-reduce over gradient buckets.
+        sync_before_allreduce: insert a CUDA synchronization before each
+            NCCL launch (the mitigation evaluated in Section 6.5).
+    """
+
+    model: ModelSpec
+    config: TrainingConfig
+    cluster: Optional[ClusterSpec] = None
+    sync_before_allreduce: bool = False
+    #: execute the LSTM gate pointwise kernels on a second CUDA stream,
+    #: overlapping the recurrent GEMMs of the next chunk — the limited real
+    #: concurrency cuDNN's RNN path exhibits (paper Section 7.5).  CUPTI
+    #: *serializes* kernels while profiling, so Daydream's profile-based
+    #: estimate of such workloads is conservative by construction.
+    concurrent_streams: bool = False
+
+    # internal state, rebuilt per iteration
+    _events: List[TraceEvent] = field(default_factory=list, repr=False)
+    _cpu_us: float = 0.0
+    _stream_us: float = 0.0
+    _stream2_us: float = 0.0
+    _comm_us: float = 0.0
+    _next_corr: int = 1
+    _instance_counts: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.cost = KernelCostModel(self.config.gpu)
+        self.cpu = self.config.cpu
+        self.optimizer = self.config.resolve_optimizer(self.model.default_optimizer)
+        self.buckets = compute_buckets(self.model, self.config.bucket_cap_mb)
+        if self.cluster is not None and self.cluster.gpu.name != self.config.gpu.name:
+            raise ConfigError("cluster GPU model differs from config GPU model")
+
+    # ------------------------------------------------------------------ public
+
+    def run_iteration(self) -> Trace:
+        """Execute one training iteration and return its trace."""
+        self._reset()
+        self._data_loading()
+        self._input_upload()
+        self._forward()
+        self._loss_readback()
+        pending = self._backward()
+        self._schedule_allreduces(pending)
+        self._weight_update()
+        self._final_sync()
+        trace = Trace(events=list(self._events), metadata=self._metadata())
+        trace.validate()
+        return trace
+
+    # ------------------------------------------------------------- phase steps
+
+    def _reset(self) -> None:
+        self._events = []
+        self._cpu_us = 0.0
+        self._stream_us = 0.0
+        self._stream2_us = 0.0
+        self._comm_us = 0.0
+        self._next_corr = 1
+        self._instance_counts = {}
+
+    def _data_loading(self) -> None:
+        # The data loader runs on its own worker thread (the second CPU
+        # thread visible in the paper's Figure 1).  The control thread may
+        # not upload the batch before the worker hands it over; that
+        # cross-thread dependency is recorded via the produces/consumes
+        # metadata the framework instrumentation provides.
+        self._emit(EventCategory.DATALOAD, "dataloader_next_batch",
+                   0.0, self.config.data_loading_us, cpu_thread(1),
+                   metadata={"produces_batch": 0})
+        self._batch_ready_us = self.config.data_loading_us
+
+    def _input_upload(self) -> None:
+        self._cpu_us = max(self._cpu_us, self._batch_ready_us)
+        kernel = K.memcpy_h2d(self.model.input_batch_bytes).with_metadata(
+            consumes_batch=0)
+        self._launch(kernel, layer=None, phase=None,
+                     api_name="cudaMemcpyAsync", api_us=self.cpu.memcpy_api_us)
+
+    def _forward(self) -> None:
+        for layer in self.model.layers:
+            self._layer_window(layer, Phase.FORWARD, layer.forward_kernels)
+
+    def _loss_readback(self) -> None:
+        # A blocking DtoH copy: the CPU waits for the stream to drain, then
+        # for the copy itself (paper Section 4.2.2 notes cudaMemcpyAsyncDtoH
+        # blocks until prior kernels on the stream complete).
+        kernel = K.memcpy_d2h(4096)
+        api_start = self._cpu_us
+        wait = max(0.0, max(self._stream_us, self._stream2_us) - api_start)
+        corr = self._correlation()
+        copy_start = max(self._stream_us, api_start)
+        copy_dur = self._kernel_duration(kernel, Phase.FORWARD)
+        self._emit(EventCategory.MEMCPY, kernel.name, copy_start, copy_dur,
+                   gpu_stream(DEFAULT_STREAM), correlation_id=corr,
+                   size_bytes=kernel.bytes)
+        self._stream_us = copy_start + copy_dur
+        api_dur = wait + copy_dur + self.cpu.memcpy_api_us
+        self._emit(EventCategory.RUNTIME, "cudaMemcpyAsync_DtoH", api_start,
+                   api_dur, cpu_thread(0), correlation_id=corr)
+        self._cpu_us = api_start + api_dur
+
+    def _backward(self) -> List[_PendingAllReduce]:
+        pending: List[_PendingAllReduce] = []
+        trigger_to_bucket = {b.trigger_layer: b for b in self.buckets}
+        distributed = self.cluster is not None and self.cluster.is_distributed
+        for layer in self.model.backward_order():
+            self._layer_window(layer, Phase.BACKWARD, layer.backward_kernels)
+            bucket = trigger_to_bucket.get(layer.name)
+            if distributed and bucket is not None:
+                ready = self._stream_us
+                if self.sync_before_allreduce:
+                    self._sync("cudaStreamSynchronize")
+                self._advance_cpu(self.cpu.dispatch_gap_us)
+                self._cpu_api("ncclAllReduce", self.cpu.launch_api_us)
+                pending.append(_PendingAllReduce(
+                    bucket=bucket, ready_us=ready, launch_end_us=self._cpu_us))
+        return pending
+
+    def _schedule_allreduces(self, pending: List[_PendingAllReduce]) -> None:
+        """Place the NCCL primitives on the comm channel, with contention.
+
+        Runs after backward so overlap with compute (which determines the
+        contention penalty) is known.  NCCL serializes its primitives on one
+        channel.
+        """
+        if not pending:
+            return
+        assert self.cluster is not None
+        backward_end = self._stream_us
+        link = self.cluster.ring_link_bytes_per_us()
+        latency = self.cluster.ring_latency_us()
+        overhead = (self.cluster.network.per_primitive_overhead_us
+                    if self.cluster.crosses_network else 20.0)
+        channel = comm_channel(0)
+        for item in pending:
+            theoretical = ring_allreduce_time_us(
+                item.bucket.size_bytes, self.cluster.n_workers, link, latency)
+            start = max(self._comm_us, item.ready_us, item.launch_end_us)
+            key = (f"nccl/{self.model.name}/{self.cluster.label()}/"
+                   f"{self.cluster.network.bandwidth_gbps:g}/{item.bucket.index}")
+            if self.sync_before_allreduce:
+                factor = biased_factor(key, _NCCL_SYNCED_LOW, _NCCL_SYNCED_HIGH)
+            elif start < backward_end:
+                factor = biased_factor(key, _NCCL_CONTENTION_LOW, _NCCL_CONTENTION_HIGH)
+            else:
+                # Past this iteration's backward the GPU is still never idle
+                # in steady state (weight update, the next iteration's
+                # forward), so unsynced NCCL kernels keep paying most of the
+                # interference penalty (Section 6.5).
+                factor = biased_factor(key, _NCCL_CONTENTION_LOW - 0.04,
+                                       _NCCL_CONTENTION_HIGH - 0.08)
+            duration = theoretical * factor + overhead
+            self._emit(EventCategory.COMM, "ncclAllReduceRingLLKernel_sum_f32",
+                       start, duration, channel,
+                       size_bytes=item.bucket.size_bytes,
+                       metadata={"bucket": item.bucket.index,
+                                 "theoretical_us": theoretical})
+            self._comm_us = start + duration
+
+    def _weight_update(self) -> None:
+        if self.cluster is not None and self.cluster.is_distributed:
+            # DDP: loss.backward() returns only after all all-reduces finish.
+            wait_target = max(self._comm_us, self._stream_us)
+            start = self._cpu_us
+            dur = max(0.0, wait_target - start) + self.cpu.sync_api_us
+            self._emit(EventCategory.RUNTIME, "cudaStreamSynchronize_nccl",
+                       start, dur, cpu_thread(0))
+            self._cpu_us = start + dur
+        if self.optimizer == "fused_adam":
+            self._fused_adam_update()
+            return
+        make_kernels = (K.adam_step_kernels if self.optimizer == "adam"
+                        else K.sgd_step_kernels)
+        for layer in self.model.backward_order():
+            if not layer.params:
+                continue
+            start = self._cpu_us
+            for tensor in layer.params:
+                for kernel in make_kernels(tensor.numel):
+                    self._advance_cpu(self.cpu.optimizer_gap_us)
+                    self._launch(kernel, layer=layer.name,
+                                 phase=Phase.WEIGHT_UPDATE.value)
+            self._marker(layer.name, Phase.WEIGHT_UPDATE.value, start, self._cpu_us)
+
+    def _fused_adam_update(self) -> None:
+        start = self._cpu_us
+        self._advance_cpu(self.cpu.optimizer_gap_us * 3)  # multi-tensor setup
+        kernel = K.fused_adam_kernel(self.model.param_numel)
+        self._launch(kernel, layer="fused_adam", phase=Phase.WEIGHT_UPDATE.value)
+        self._marker("fused_adam", Phase.WEIGHT_UPDATE.value, start, self._cpu_us)
+
+    def _final_sync(self) -> None:
+        self._sync("cudaDeviceSynchronize")
+
+    # ------------------------------------------------------------- primitives
+
+    def _layer_window(self, layer, phase: Phase, kernels: List[KernelSpec]) -> None:
+        """Run one layer phase: marker window around gap+launch per kernel."""
+        start = self._cpu_us
+        self._advance_cpu(self.cpu.layer_gap_us * self.model.cpu_gap_scale)
+        for kernel in kernels:
+            self._advance_cpu(self.cpu.dispatch_gap_us * self.model.cpu_gap_scale)
+            self._launch(kernel, layer=layer.name, phase=phase.value)
+        self._marker(layer.name, phase.value, start, self._cpu_us)
+
+    def _launch(self, kernel: KernelSpec, layer: Optional[str],
+                phase: Optional[str], api_name: str = "cudaLaunchKernel",
+                api_us: Optional[float] = None) -> None:
+        """CPU launch API followed by the GPU-side task on the stream."""
+        corr = self._correlation()
+        api_dur = self.cpu.launch_api_us if api_us is None else api_us
+        api_start = self._cpu_us
+        self._emit(EventCategory.RUNTIME, api_name, api_start, api_dur,
+                   cpu_thread(0), correlation_id=corr)
+        self._cpu_us = api_start + api_dur
+        use_second = (self.concurrent_streams and "lstm_gates" in kernel.name)
+        stream_id = SECOND_STREAM if use_second else DEFAULT_STREAM
+        cursor = self._stream2_us if use_second else self._stream_us
+        gpu_start = max(cursor, self._cpu_us)
+        duration = self._kernel_duration(kernel, Phase(phase) if phase else None)
+        category = (EventCategory.MEMCPY if kernel.kind.is_memcpy
+                    else EventCategory.KERNEL)
+        # layer/phase here are *oracle* annotations for validating the
+        # sync-free mapping — real CUPTI kernels carry no such field, and
+        # graph construction only stashes them as metadata, never uses them
+        self._emit(category, kernel.name, gpu_start, duration,
+                   gpu_stream(stream_id), correlation_id=corr,
+                   layer=layer, phase=phase,
+                   size_bytes=kernel.bytes if kernel.kind.is_memcpy else 0.0,
+                   metadata=dict(kernel.metadata))
+        if use_second:
+            self._stream2_us = gpu_start + duration
+        else:
+            self._stream_us = gpu_start + duration
+
+    def _kernel_duration(self, kernel: KernelSpec, phase: Optional[Phase]) -> float:
+        """Duration under the configured precision.
+
+        AMP keeps fp32 master weights, so weight-update kernels stay fp32
+        even when the forward/backward passes run in fp16.
+        """
+        precision = self.config.precision
+        if phase is Phase.WEIGHT_UPDATE:
+            precision = "fp32"
+        salt = self._instance_salt(kernel.name)
+        return self.cost.duration_us(kernel, precision=precision, key_salt=salt)
+
+    def _sync(self, name: str) -> None:
+        start = self._cpu_us
+        busy_until = max(self._stream_us, self._stream2_us)
+        dur = max(0.0, busy_until - start) + self.cpu.sync_api_us
+        self._emit(EventCategory.RUNTIME, name, start, dur, cpu_thread(0))
+        self._cpu_us = start + dur
+
+    def _cpu_api(self, name: str, duration: float) -> None:
+        self._emit(EventCategory.RUNTIME, name, self._cpu_us, duration,
+                   cpu_thread(0))
+        self._cpu_us += duration
+
+    def _advance_cpu(self, gap_us: float) -> None:
+        """Silent CPU time (Python front-end / dispatch): no trace record —
+        Daydream recovers these as inter-task gaps (paper Section 4.2.1)."""
+        self._cpu_us += gap_us
+
+    def _marker(self, layer: str, phase: str, start: float, end: float) -> None:
+        self._emit(EventCategory.MARKER, f"{layer}#{phase}", start,
+                   max(0.0, end - start), cpu_thread(0), layer=layer, phase=phase)
+
+    def _emit(self, category: EventCategory, name: str, start: float,
+              duration: float, thread, correlation_id: Optional[int] = None,
+              layer: Optional[str] = None, phase: Optional[str] = None,
+              size_bytes: float = 0.0, metadata: Optional[dict] = None) -> None:
+        self._events.append(TraceEvent(
+            category=category, name=name, start_us=start, duration_us=duration,
+            thread=thread, correlation_id=correlation_id, layer=layer,
+            phase=phase, size_bytes=size_bytes, metadata=metadata or {}))
+
+    def _correlation(self) -> int:
+        corr = self._next_corr
+        self._next_corr += 1
+        return corr
+
+    def _instance_salt(self, name: str) -> str:
+        count = self._instance_counts.get(name, 0)
+        self._instance_counts[name] = count + 1
+        return str(count)
+
+    # ------------------------------------------------------------- metadata
+
+    def _metadata(self) -> Dict[str, object]:
+        meta: Dict[str, object] = {
+            "model": self.model.name,
+            "batch_size": self.model.batch_size,
+            "gpu": self.config.gpu.name,
+            "framework": self.config.framework,
+            "optimizer": self.optimizer,
+            "precision": self.config.precision,
+            "cpu_gap_scale": self.model.cpu_gap_scale,
+            "buckets": [b.to_dict() for b in self.buckets],
+            "layer_order": [l.name for l in self.model.layers],
+            "layer_kinds": {l.name: l.kind for l in self.model.layers},
+            "layer_grad_bytes": {l.name: l.grad_bytes for l in self.model.layers
+                                 if l.grad_bytes},
+            "param_tensors": [
+                {"layer": l.name, "name": p.name, "numel": p.numel}
+                for l in self.model.layers for p in l.params
+            ],
+        }
+        if self.cluster is not None:
+            meta["cluster"] = {
+                "machines": self.cluster.machines,
+                "gpus_per_machine": self.cluster.gpus_per_machine,
+                "bandwidth_gbps": self.cluster.network.bandwidth_gbps,
+            }
+        return meta
+
+
+def profile_iteration(
+    model: ModelSpec,
+    config: Optional[TrainingConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    sync_before_allreduce: bool = False,
+) -> Trace:
+    """Convenience wrapper: run one iteration and return its trace."""
+    engine = Engine(model=model, config=config or TrainingConfig(),
+                    cluster=cluster, sync_before_allreduce=sync_before_allreduce)
+    return engine.run_iteration()

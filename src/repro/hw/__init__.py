@@ -1,0 +1,37 @@
+"""Hardware substrate: device specs, network models, cluster topology."""
+
+from repro.hw.device import (
+    CPUSpec,
+    GPUSpec,
+    GPU_2080TI,
+    GPU_P4000,
+    GPU_V100,
+    CPU_EPYC_7601,
+    get_gpu,
+)
+from repro.hw.network import (
+    NetworkSpec,
+    allgather_time_us,
+    ps_pull_time_us,
+    ps_push_time_us,
+    reduce_scatter_time_us,
+    ring_allreduce_time_us,
+)
+from repro.hw.topology import ClusterSpec
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "GPU_2080TI",
+    "GPU_P4000",
+    "GPU_V100",
+    "CPU_EPYC_7601",
+    "get_gpu",
+    "NetworkSpec",
+    "ring_allreduce_time_us",
+    "reduce_scatter_time_us",
+    "allgather_time_us",
+    "ps_push_time_us",
+    "ps_pull_time_us",
+    "ClusterSpec",
+]

@@ -1,0 +1,176 @@
+"""GPU and CPU device specifications.
+
+The paper's testbed uses 4 machines, each with an AMD EPYC 7601 CPU and four
+RTX 2080Ti GPUs (PCIe 3.0); the P3 experiments use one P4000 per machine.
+We encode peak capabilities plus *achieved-efficiency* factors that a
+roofline-style cost model needs: real kernels never hit peak FLOPs or peak
+DRAM bandwidth.
+
+All bandwidths here are **device-local** (GPU memory, PCIe); the network
+fabric lives in :mod:`repro.hw.network`.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+from repro.common.units import SEC
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU model.
+
+    Attributes:
+        name: marketing name, used in trace metadata.
+        fp32_tflops: peak single-precision throughput (TFLOP/s).
+        fp16_tflops: peak half-precision throughput (TFLOP/s). For GPUs with
+            tensor cores this is the tensor-core peak; GPUs without tensor
+            cores (e.g. P4000) gain little from fp16 math.
+        memory_bandwidth_gBps: peak DRAM bandwidth (GB/s).
+        memory_gb: DRAM capacity (GB) — used by memory-footprint what-ifs.
+        pcie_bandwidth_gBps: host<->device copy bandwidth (GB/s).
+        compute_efficiency: achieved fraction of peak FLOPs for dense
+            compute-bound kernels (GEMM/conv).
+        memory_efficiency: achieved fraction of peak DRAM bandwidth for
+            streaming memory-bound kernels.
+        kernel_overhead_us: fixed per-kernel device-side overhead (scheduling
+            + tail effects); dominates very small kernels.
+        has_tensor_cores: whether fp16 GEMM/conv can use tensor cores.
+    """
+
+    name: str
+    fp32_tflops: float
+    fp16_tflops: float
+    memory_bandwidth_gBps: float
+    memory_gb: float
+    pcie_bandwidth_gBps: float = 12.0
+    compute_efficiency: float = 0.62
+    memory_efficiency: float = 0.78
+    kernel_overhead_us: float = 3.0
+    has_tensor_cores: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fp32_tflops <= 0 or self.memory_bandwidth_gBps <= 0:
+            raise ConfigError(f"non-positive peak throughput in {self.name}")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ConfigError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.memory_efficiency <= 1:
+            raise ConfigError("memory_efficiency must be in (0, 1]")
+
+    # -- achieved rates, converted to per-microsecond units -------------------
+
+    def achieved_flops_per_us(self, precision: str = "fp32") -> float:
+        """Achieved FLOPs per microsecond for compute-bound kernels."""
+        if precision == "fp32":
+            peak = self.fp32_tflops
+        elif precision == "fp16":
+            peak = self.fp16_tflops if self.has_tensor_cores else self.fp32_tflops * 1.15
+        else:
+            raise ConfigError(f"unknown precision {precision!r}")
+        return peak * 1e12 * self.compute_efficiency / SEC
+
+    def achieved_bytes_per_us(self) -> float:
+        """Achieved DRAM bytes per microsecond for memory-bound kernels."""
+        return self.memory_bandwidth_gBps * 1e9 * self.memory_efficiency / SEC
+
+    def pcie_bytes_per_us(self) -> float:
+        """Achieved PCIe bytes per microsecond for host<->device copies."""
+        return self.pcie_bandwidth_gBps * 1e9 * 0.85 / SEC
+
+    def scaled(self, factor: float) -> "GPUSpec":
+        """Return a hypothetical GPU with all throughputs scaled by ``factor``.
+
+        Useful for 'what if my GPU were 2x faster' style questions.
+        """
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name}-x{factor:g}",
+            fp32_tflops=self.fp32_tflops * factor,
+            fp16_tflops=self.fp16_tflops * factor,
+            memory_bandwidth_gBps=self.memory_bandwidth_gBps * factor,
+        )
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Host-side cost parameters of the framework's control path.
+
+    These are the quantities Daydream's paper calls out as crucial and
+    invisible to NVProf: CUDA API durations and the *gaps* between CPU tasks
+    (Python front-end, framework dispatch).
+
+    Attributes:
+        name: CPU model name.
+        launch_api_us: duration of one ``cudaLaunchKernel`` call.
+        sync_api_us: base duration of a CUDA synchronization API (excluding
+            the wait itself).
+        memcpy_api_us: duration of a ``cudaMemcpyAsync`` runtime call.
+        malloc_api_us: duration of ``cudaMalloc``/``cudaFree``.
+        dispatch_gap_us: framework gap before each kernel launch (operator
+            dispatch, autograd bookkeeping).
+        layer_gap_us: extra per-layer Python/front-end overhead.
+        optimizer_gap_us: per-kernel gap in the weight-update loop (Python
+            optimizer iterating parameter tensors).
+    """
+
+    name: str
+    launch_api_us: float = 9.0
+    sync_api_us: float = 4.0
+    memcpy_api_us: float = 11.0
+    malloc_api_us: float = 18.0
+    dispatch_gap_us: float = 4.5
+    layer_gap_us: float = 22.0
+    optimizer_gap_us: float = 45.0
+
+
+# --- presets used by the paper's evaluation ----------------------------------
+
+GPU_2080TI = GPUSpec(
+    name="RTX-2080Ti",
+    fp32_tflops=13.4,
+    fp16_tflops=53.8,
+    memory_bandwidth_gBps=616.0,
+    memory_gb=11.0,
+    pcie_bandwidth_gBps=12.0,
+    has_tensor_cores=True,
+)
+
+GPU_P4000 = GPUSpec(
+    name="Quadro-P4000",
+    fp32_tflops=5.3,
+    fp16_tflops=5.3,
+    memory_bandwidth_gBps=243.0,
+    memory_gb=8.0,
+    pcie_bandwidth_gBps=12.0,
+    has_tensor_cores=False,
+)
+
+GPU_V100 = GPUSpec(
+    name="V100",
+    fp32_tflops=15.7,
+    fp16_tflops=125.0,
+    memory_bandwidth_gBps=900.0,
+    memory_gb=16.0,
+    pcie_bandwidth_gBps=12.0,
+    has_tensor_cores=True,
+)
+
+CPU_EPYC_7601 = CPUSpec(name="AMD-EPYC-7601")
+
+_GPU_PRESETS = {
+    "2080ti": GPU_2080TI,
+    "p4000": GPU_P4000,
+    "v100": GPU_V100,
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU preset by (case-insensitive) short name."""
+    try:
+        return _GPU_PRESETS[name.lower().replace("-", "").replace("_", "")]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU {name!r}; known: {sorted(_GPU_PRESETS)}"
+        ) from None

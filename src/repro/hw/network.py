@@ -1,0 +1,127 @@
+"""Analytical network communication models.
+
+Implements the textbook cost formulas Daydream uses to size communication
+tasks when predicting distributed training from a single-GPU profile:
+
+* **ring all-reduce** (NCCL): each worker sends/receives ``2 (n-1)/n * S``
+  bytes over the slowest link (NVIDIA's published nccl-tests formula [56]);
+* **reduce-scatter / all-gather** (the two halves of the ring, used by
+  BlueConnect's decomposition);
+* **parameter-server push/pull** (MXNet kvstore, used by the P3 model).
+
+Everything returns *theoretical* durations in microseconds.  The ground-truth
+executor layers contention/overhead on top of these (see
+:mod:`repro.framework.distributed`), which is exactly the gap the paper
+measures in Figure 9 (ground truth ~34% above theoretical).
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import gbps_to_bytes_per_us
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An inter-machine network fabric.
+
+    Attributes:
+        bandwidth_gbps: per-NIC bandwidth in Gbit/s (10/20/40 in the paper).
+        latency_us: one-way per-message latency.
+        per_primitive_overhead_us: fixed software overhead per collective
+            call (NCCL kernel launch + protocol setup).
+    """
+
+    bandwidth_gbps: float
+    latency_us: float = 25.0
+    per_primitive_overhead_us: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError("network bandwidth must be positive")
+        if self.latency_us < 0 or self.per_primitive_overhead_us < 0:
+            raise ConfigError("latencies must be non-negative")
+
+    def bytes_per_us(self) -> float:
+        """Usable bytes per microsecond on one NIC."""
+        return gbps_to_bytes_per_us(self.bandwidth_gbps)
+
+
+def ring_allreduce_time_us(
+    size_bytes: float,
+    n_workers: int,
+    link_bytes_per_us: float,
+    latency_us: float = 0.0,
+) -> float:
+    """Theoretical ring all-reduce duration.
+
+    A ring all-reduce over ``n`` workers moves ``2 (n-1)/n * S`` bytes through
+    each worker's slowest link, in ``2 (n-1)`` latency-bound steps.
+
+    Args:
+        size_bytes: gradient payload size.
+        n_workers: number of participating ranks (``>= 1``).
+        link_bytes_per_us: bandwidth of the bottleneck link per rank.
+        latency_us: per-step latency.
+
+    Returns:
+        Duration in microseconds; 0 for a single worker.
+    """
+    if n_workers < 1:
+        raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if size_bytes < 0:
+        raise ConfigError("size_bytes must be non-negative")
+    if n_workers == 1:
+        return 0.0
+    if link_bytes_per_us <= 0:
+        raise ConfigError("link bandwidth must be positive")
+    transfer = 2.0 * (n_workers - 1) / n_workers * size_bytes / link_bytes_per_us
+    steps = 2 * (n_workers - 1)
+    return transfer + steps * latency_us
+
+
+def reduce_scatter_time_us(
+    size_bytes: float,
+    n_workers: int,
+    link_bytes_per_us: float,
+    latency_us: float = 0.0,
+) -> float:
+    """Theoretical reduce-scatter duration (first half of the ring)."""
+    if n_workers < 1:
+        raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return 0.0
+    transfer = (n_workers - 1) / n_workers * size_bytes / link_bytes_per_us
+    return transfer + (n_workers - 1) * latency_us
+
+
+def allgather_time_us(
+    size_bytes: float,
+    n_workers: int,
+    link_bytes_per_us: float,
+    latency_us: float = 0.0,
+) -> float:
+    """Theoretical all-gather duration (second half of the ring)."""
+    return reduce_scatter_time_us(size_bytes, n_workers, link_bytes_per_us, latency_us)
+
+
+def ps_push_time_us(
+    size_bytes: float,
+    link_bytes_per_us: float,
+    latency_us: float = 0.0,
+) -> float:
+    """Parameter-server push: one worker sends its gradient to the server."""
+    if size_bytes < 0:
+        raise ConfigError("size_bytes must be non-negative")
+    if link_bytes_per_us <= 0:
+        raise ConfigError("link bandwidth must be positive")
+    return size_bytes / link_bytes_per_us + latency_us
+
+
+def ps_pull_time_us(
+    size_bytes: float,
+    link_bytes_per_us: float,
+    latency_us: float = 0.0,
+) -> float:
+    """Parameter-server pull: one worker fetches fresh weights."""
+    return ps_push_time_us(size_bytes, link_bytes_per_us, latency_us)

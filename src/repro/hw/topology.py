@@ -1,0 +1,76 @@
+"""Cluster topology: machines x GPUs, intra- and inter-machine links.
+
+The paper's Figure 8 sweeps configurations written ``MxG`` (machines x GPUs
+per machine) at 10/20/40 Gbps.  The performance-relevant property is the
+*bottleneck bandwidth per rank* of the all-reduce ring:
+
+* single machine: GPUs talk over PCIe;
+* multiple machines: the ring crosses each NIC, and with ``g`` GPUs per
+  machine the NIC is shared by ``g`` ranks' shards, so the effective
+  per-rank link is ``NIC / g``.
+
+This simple hierarchical model reproduces the paper's ordering (``2x2``
+slower than ``2x1`` at equal NIC speed).
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.hw.device import GPUSpec
+from repro.hw.network import NetworkSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous training cluster.
+
+    Attributes:
+        machines: number of machines.
+        gpus_per_machine: GPUs in each machine.
+        gpu: the GPU model installed in every slot.
+        network: inter-machine fabric (ignored for single-machine runs).
+    """
+
+    machines: int
+    gpus_per_machine: int
+    gpu: GPUSpec
+    network: NetworkSpec
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ConfigError("machines must be >= 1")
+        if self.gpus_per_machine < 1:
+            raise ConfigError("gpus_per_machine must be >= 1")
+
+    @property
+    def n_workers(self) -> int:
+        """Total number of data-parallel ranks."""
+        return self.machines * self.gpus_per_machine
+
+    @property
+    def is_distributed(self) -> bool:
+        """True if any communication is needed (more than one rank)."""
+        return self.n_workers > 1
+
+    @property
+    def crosses_network(self) -> bool:
+        """True if the all-reduce ring traverses the inter-machine fabric."""
+        return self.machines > 1
+
+    def ring_link_bytes_per_us(self) -> float:
+        """Bottleneck per-rank link bandwidth for a flat all-reduce ring."""
+        if not self.is_distributed:
+            raise ConfigError("single-worker cluster has no ring")
+        if self.crosses_network:
+            return self.network.bytes_per_us() / self.gpus_per_machine
+        return self.gpu.pcie_bytes_per_us()
+
+    def ring_latency_us(self) -> float:
+        """Per-step latency of the ring (network or PCIe hop)."""
+        if self.crosses_network:
+            return self.network.latency_us
+        return 4.0  # PCIe hop latency
+
+    def label(self) -> str:
+        """Configuration label in the paper's ``MxG`` notation."""
+        return f"{self.machines}x{self.gpus_per_machine}"

@@ -1,0 +1,7 @@
+"""Kernel specifications and the analytical (roofline) cost model."""
+
+from repro.kernels.kernel import KernelKind, KernelSpec
+from repro.kernels.costmodel import KernelCostModel
+from repro.kernels import library
+
+__all__ = ["KernelKind", "KernelSpec", "KernelCostModel", "library"]

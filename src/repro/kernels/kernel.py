@@ -1,0 +1,97 @@
+"""Kernel specifications.
+
+A :class:`KernelSpec` is the unit of work the framework engine launches on
+the (simulated) GPU: a named kernel with FLOP and byte counts, from which the
+cost model derives a duration.  Names follow cuDNN/cuBLAS conventions
+(``sgemm``, ``scudnn``, ``elementwise``, ...) because Daydream's published
+transformation heuristics *select kernels by name substring* — e.g. the AMP
+model speeds kernels whose name contains ``sgemm`` or ``scudnn`` by 3x and
+everything else by 2x (paper Algorithm 3).
+"""
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.common.errors import ConfigError
+
+
+class KernelKind(enum.Enum):
+    """Coarse classification used by the cost model and by what-if models."""
+
+    GEMM = "gemm"                    # dense matrix multiply (cuBLAS)
+    CONV = "conv"                    # convolution (cuDNN)
+    ELEMENTWISE = "elementwise"      # pointwise arithmetic / activation
+    BATCHNORM = "batchnorm"          # batch-normalization statistics/apply
+    LAYERNORM = "layernorm"
+    SOFTMAX = "softmax"
+    REDUCTION = "reduction"          # sums, norms, loss reductions
+    EMBEDDING = "embedding"          # gather / scatter-add
+    POOLING = "pooling"
+    DROPOUT = "dropout"
+    OPTIMIZER = "optimizer"          # weight-update elementwise ops
+    MEMCPY_H2D = "memcpy_h2d"
+    MEMCPY_D2H = "memcpy_d2h"
+    MEMCPY_D2D = "memcpy_d2d"
+    COMM = "comm"                    # NCCL / parameter-server primitive
+    MISC = "misc"
+
+    @property
+    def is_memcpy(self) -> bool:
+        return self in (
+            KernelKind.MEMCPY_H2D,
+            KernelKind.MEMCPY_D2H,
+            KernelKind.MEMCPY_D2D,
+        )
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Kernels that saturate ALUs rather than memory bandwidth."""
+        return self in (KernelKind.GEMM, KernelKind.CONV)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One GPU kernel (or memory copy) to be executed by the engine.
+
+    Attributes:
+        name: cuDNN/cuBLAS-style kernel name (substring-matchable).
+        kind: coarse classification for the cost model.
+        flops: floating-point operations performed.
+        bytes: DRAM traffic in bytes (reads + writes).
+        tensor_core_eligible: can use tensor cores under fp16 (GEMM/conv).
+        metadata: free-form annotations (gradient size, bucket id, ...).
+    """
+
+    name: str
+    kind: KernelKind
+    flops: float = 0.0
+    bytes: float = 0.0
+    tensor_core_eligible: bool = False
+    metadata: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes < 0:
+            raise ConfigError(f"negative flops/bytes in kernel {self.name!r}")
+        if not self.name:
+            raise ConfigError("kernel name must be non-empty")
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte; infinite for pure-compute, 0 for pure-copy."""
+        if self.bytes == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.bytes
+
+    def with_metadata(self, **kwargs: object) -> "KernelSpec":
+        """Return a copy with extra metadata entries merged in."""
+        merged = dict(self.metadata)
+        merged.update(kwargs)
+        return replace(self, metadata=merged)
+
+    def scaled(self, flop_factor: float = 1.0, byte_factor: float = 1.0) -> "KernelSpec":
+        """Return a copy with flops/bytes scaled (e.g. layer-dimension change)."""
+        if flop_factor < 0 or byte_factor < 0:
+            raise ConfigError("scale factors must be non-negative")
+        return replace(
+            self, flops=self.flops * flop_factor, bytes=self.bytes * byte_factor
+        )

@@ -1,0 +1,13 @@
+"""DNN model zoo: layer graphs for the paper's five evaluation models."""
+
+from repro.models.base import LayerSpec, ModelSpec, ParamTensor, Phase
+from repro.models.registry import available_models, build_model
+
+__all__ = [
+    "LayerSpec",
+    "ModelSpec",
+    "ParamTensor",
+    "Phase",
+    "available_models",
+    "build_model",
+]

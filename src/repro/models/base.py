@@ -1,0 +1,182 @@
+"""Layer- and model-level specifications.
+
+A :class:`ModelSpec` is an ordered list of :class:`LayerSpec` objects — the
+same abstraction a framework's layer modules provide, and the abstraction
+Daydream maps low-level tasks back onto.  Each layer carries:
+
+* the GPU kernels its **forward** and **backward** phases launch (in launch
+  order), and
+* its **parameter tensors**, from which the optimizer lowering derives the
+  weight-update kernels and the communication payloads (gradient sizes).
+
+Nothing here knows about time: durations come from the cost model, and
+ordering/overlap from the framework engine.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+from repro.kernels.kernel import KernelSpec
+
+FP32_BYTES = 4
+
+
+class Phase(Enum):
+    """The three phases of a training iteration (paper Section 2.1)."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    WEIGHT_UPDATE = "weight_update"
+
+
+@dataclass(frozen=True)
+class ParamTensor:
+    """One learnable tensor (weight or bias) of a layer."""
+
+    name: str
+    numel: int
+
+    def __post_init__(self) -> None:
+        if self.numel <= 0:
+            raise ConfigError(f"parameter {self.name!r} must have numel > 0")
+
+    @property
+    def grad_bytes(self) -> int:
+        """Size of this tensor's fp32 gradient in bytes."""
+        return self.numel * FP32_BYTES
+
+
+@dataclass
+class LayerSpec:
+    """One DNN layer: kernels per phase plus parameter tensors.
+
+    Attributes:
+        name: unique layer name within the model (e.g. ``layer3.2.conv1``).
+        kind: coarse layer type (``conv``, ``batchnorm``, ``relu``,
+            ``linear``, ``lstm``, ``attention``, ``embedding``, ...), used by
+            layer-level what-if models (reconstructing batchnorm, MetaFlow).
+        forward_kernels: GPU kernels the forward pass launches, in order.
+        backward_kernels: GPU kernels the backward pass launches, in order.
+        params: learnable tensors (empty for activations/pooling).
+    """
+
+    name: str
+    kind: str
+    forward_kernels: List[KernelSpec] = field(default_factory=list)
+    backward_kernels: List[KernelSpec] = field(default_factory=list)
+    params: List[ParamTensor] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("layer name must be non-empty")
+
+    @property
+    def param_numel(self) -> int:
+        """Total learnable elements in this layer."""
+        return sum(p.numel for p in self.params)
+
+    @property
+    def grad_bytes(self) -> int:
+        """Total gradient payload this layer contributes, in bytes."""
+        return sum(p.grad_bytes for p in self.params)
+
+    def kernels(self, phase: Phase) -> List[KernelSpec]:
+        """Kernels launched by the given phase of this layer."""
+        if phase is Phase.FORWARD:
+            return self.forward_kernels
+        if phase is Phase.BACKWARD:
+            return self.backward_kernels
+        raise ConfigError("weight-update kernels come from the optimizer lowering")
+
+
+@dataclass
+class ModelSpec:
+    """A full DNN training workload description.
+
+    Attributes:
+        name: model identifier (``resnet50``, ``bert_large``, ...).
+        layers: layers in forward execution order.
+        batch_size: mini-batch size this spec was built for.
+        input_sample_bytes: bytes of one input sample (H2D copy sizing).
+        default_optimizer: ``"adam"`` or ``"sgd"`` — what the paper trains
+            this model with.
+        cpu_gap_scale: multiplier on the framework's per-kernel dispatch gap.
+            Transformer implementations (BERT) have far more Python/front-end
+            overhead per kernel than static CNN graphs; this knob reproduces
+            the paper's observation that BERT is CPU-bound.
+        application: task family, for Table-2-style reporting.
+    """
+
+    name: str
+    layers: List[LayerSpec]
+    batch_size: int
+    input_sample_bytes: int
+    default_optimizer: str = "sgd"
+    cpu_gap_scale: float = 1.0
+    application: str = ""
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if self.default_optimizer not in ("sgd", "adam"):
+            raise ConfigError(f"unknown optimizer {self.default_optimizer!r}")
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigError(f"duplicate layer names: {dupes}")
+        self._by_name: Dict[str, LayerSpec] = {l.name: l for l in self.layers}
+
+    # -- lookups ---------------------------------------------------------------
+
+    def layer(self, name: str) -> LayerSpec:
+        """Layer by exact name; raises ``ConfigError`` if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(f"model {self.name!r} has no layer {name!r}") from None
+
+    def layers_of_kind(self, kind: str) -> List[LayerSpec]:
+        """All layers of a given kind, in forward order."""
+        return [l for l in self.layers if l.kind == kind]
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    @property
+    def param_numel(self) -> int:
+        """Total learnable parameters."""
+        return sum(l.param_numel for l in self.layers)
+
+    @property
+    def param_tensors(self) -> List[ParamTensor]:
+        """All parameter tensors in forward-layer order."""
+        return [p for l in self.layers for p in l.params]
+
+    @property
+    def grad_bytes(self) -> int:
+        """Total gradient payload per iteration in bytes."""
+        return sum(l.grad_bytes for l in self.layers)
+
+    @property
+    def input_batch_bytes(self) -> int:
+        """Bytes of one mini-batch of inputs."""
+        return self.input_sample_bytes * self.batch_size
+
+    def backward_order(self) -> Sequence[LayerSpec]:
+        """Layers in backward execution order (reverse of forward)."""
+        return list(reversed(self.layers))
+
+    def kernel_count(self, phase: Phase) -> int:
+        """Number of GPU kernels launched in a forward or backward pass."""
+        return sum(len(l.kernels(phase)) for l in self.layers)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        return (
+            f"{self.name}: {len(self.layers)} layers, "
+            f"{self.param_numel / 1e6:.1f}M params, "
+            f"batch={self.batch_size}, optimizer={self.default_optimizer}, "
+            f"{self.kernel_count(Phase.FORWARD)} fwd / "
+            f"{self.kernel_count(Phase.BACKWARD)} bwd kernels"
+        )

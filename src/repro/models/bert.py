@@ -1,0 +1,206 @@
+"""BERT base/large (Devlin et al.) fine-tuning on SQuAD (seq len 384).
+
+The paper's language-modeling workload (Figures 5-8).  Two properties of
+real PyTorch BERT matter for reproduction and are modeled explicitly:
+
+* each transformer block launches *many small kernels* (transposes, bias
+  adds, masks, scales) besides the big GEMMs, so the CPU dispatch path is a
+  large runtime fraction (``cpu_gap_scale`` > 1);
+* the Adam weight-update phase launches ~13 pointwise kernels per parameter
+  tensor — 2,633 kernels for BERT_base and 5,164 for BERT_large per the
+  paper (Section 6.3) — making weight update 30-45% of iteration time and
+  the prime target for FusedAdam.
+"""
+
+from typing import List
+
+from repro.kernels import library as K
+from repro.models.base import LayerSpec, ModelSpec, ParamTensor
+
+WORD_VOCAB = 30_522
+POS_VOCAB = 512
+TYPE_VOCAB = 2
+SEQ_LEN = 384
+
+
+def _attention_layer(name: str, batch: int, seq: int, hidden: int,
+                     heads: int) -> LayerSpec:
+    """Multi-head self-attention with output projection.
+
+    Parameter tensors: Wq/bq, Wk/bk, Wv/bv, Wo/bo (8 tensors).
+    """
+    tokens = batch * seq
+    head_dim = hidden // heads
+    fwd: List[K.KernelSpec] = []
+    bwd: List[K.KernelSpec] = []
+    # Q, K, V projections
+    for proj in ("query", "key", "value"):
+        fwd.append(K.sgemm(tokens, hidden, hidden, tag=f"attn_{proj}"))
+        fwd.append(K.add_tensor(tokens * hidden))            # bias
+        fwd.append(K.elementwise(tokens * hidden, tag="transpose_for_scores"))
+    # scores = Q K^T / sqrt(d), + mask, softmax, dropout
+    fwd.append(K.sgemm(seq, seq, head_dim, batch=batch * heads, tag="attn_scores"))
+    fwd.append(K.elementwise(batch * heads * seq * seq, tag="scale"))
+    fwd.append(K.add_tensor(batch * heads * seq * seq))      # attention mask
+    fwd.append(K.softmax_forward(batch * heads * seq * seq))
+    fwd.append(K.dropout(batch * heads * seq * seq))
+    # context = P V, transpose back, output projection + bias + dropout
+    fwd.append(K.sgemm(seq, head_dim, seq, batch=batch * heads, tag="attn_context"))
+    fwd.append(K.elementwise(tokens * hidden, tag="transpose_back"))
+    fwd.append(K.sgemm(tokens, hidden, hidden, tag="attn_output"))
+    fwd.append(K.add_tensor(tokens * hidden))
+    fwd.append(K.dropout(tokens * hidden))
+
+    # backward mirrors forward with dgrad+wgrad per GEMM
+    for proj in ("output",):
+        bwd.append(K.sgemm(tokens, hidden, hidden, tag=f"attn_{proj}_dgrad"))
+        bwd.append(K.sgemm(hidden, hidden, tokens, tag=f"attn_{proj}_wgrad"))
+        bwd.append(K.reduction(tokens * hidden, tag="bias_grad"))
+    bwd.append(K.dropout(tokens * hidden))
+    bwd.append(K.elementwise(tokens * hidden, tag="transpose_back_bwd"))
+    bwd.append(K.sgemm(seq, seq, head_dim, batch=batch * heads, tag="attn_context_dgrad"))
+    bwd.append(K.sgemm(seq, head_dim, seq, batch=batch * heads, tag="attn_context_wgrad"))
+    bwd.append(K.dropout(batch * heads * seq * seq))
+    bwd.append(K.softmax_backward(batch * heads * seq * seq))
+    bwd.append(K.elementwise(batch * heads * seq * seq, tag="scale_bwd"))
+    bwd.append(K.sgemm(seq, head_dim, seq, batch=batch * heads, tag="attn_scores_dgrad_q"))
+    bwd.append(K.sgemm(seq, head_dim, seq, batch=batch * heads, tag="attn_scores_dgrad_k"))
+    for proj in ("query", "key", "value"):
+        bwd.append(K.elementwise(tokens * hidden, tag="transpose_for_scores_bwd"))
+        bwd.append(K.sgemm(tokens, hidden, hidden, tag=f"attn_{proj}_dgrad"))
+        bwd.append(K.sgemm(hidden, hidden, tokens, tag=f"attn_{proj}_wgrad"))
+        bwd.append(K.reduction(tokens * hidden, tag="bias_grad"))
+
+    params = []
+    for proj in ("query", "key", "value", "output"):
+        params.append(ParamTensor(f"{name}.{proj}.weight", hidden * hidden))
+        params.append(ParamTensor(f"{name}.{proj}.bias", hidden))
+    return LayerSpec(name=name, kind="attention", forward_kernels=fwd,
+                     backward_kernels=bwd, params=params)
+
+
+def _layernorm_layer(name: str, tokens: int, hidden: int) -> LayerSpec:
+    """Residual add + LayerNorm."""
+    numel = tokens * hidden
+    return LayerSpec(
+        name=name,
+        kind="layernorm",
+        forward_kernels=[K.add_tensor(numel), K.layernorm_forward(numel)],
+        backward_kernels=[K.layernorm_backward(numel), K.add_tensor(numel)],
+        params=[ParamTensor(f"{name}.weight", hidden),
+                ParamTensor(f"{name}.bias", hidden)],
+    )
+
+
+def _ffn_layer(name: str, tokens: int, hidden: int, inner: int) -> LayerSpec:
+    """Position-wise feed-forward: H -> 4H -> GELU -> H, + dropout."""
+    fwd = [
+        K.sgemm(tokens, inner, hidden, tag="ffn_in"),
+        K.add_tensor(tokens * inner),
+        K.elementwise(tokens * inner, flops_per_elem=8.0, tag="gelu"),
+        K.sgemm(tokens, hidden, inner, tag="ffn_out"),
+        K.add_tensor(tokens * hidden),
+        K.dropout(tokens * hidden),
+    ]
+    bwd = [
+        K.dropout(tokens * hidden),
+        K.sgemm(tokens, inner, hidden, tag="ffn_out_dgrad"),
+        K.sgemm(inner, hidden, tokens, tag="ffn_out_wgrad"),
+        K.reduction(tokens * hidden, tag="bias_grad"),
+        K.elementwise(tokens * inner, flops_per_elem=10.0, tag="gelu_bwd"),
+        K.sgemm(tokens, hidden, inner, tag="ffn_in_dgrad"),
+        K.sgemm(hidden, inner, tokens, tag="ffn_in_wgrad"),
+        K.reduction(tokens * inner, tag="bias_grad"),
+    ]
+    params = [
+        ParamTensor(f"{name}.intermediate.weight", hidden * inner),
+        ParamTensor(f"{name}.intermediate.bias", inner),
+        ParamTensor(f"{name}.output.weight", inner * hidden),
+        ParamTensor(f"{name}.output.bias", hidden),
+    ]
+    return LayerSpec(name=name, kind="ffn", forward_kernels=fwd,
+                     backward_kernels=bwd, params=params)
+
+
+def _embeddings(tokens: int, hidden: int) -> List[LayerSpec]:
+    word = LayerSpec(
+        name="embeddings.word",
+        kind="embedding",
+        forward_kernels=[K.embedding_forward(tokens, hidden)],
+        backward_kernels=[K.embedding_backward(tokens, hidden)],
+        params=[ParamTensor("embeddings.word.weight", WORD_VOCAB * hidden)],
+    )
+    pos = LayerSpec(
+        name="embeddings.position",
+        kind="embedding",
+        forward_kernels=[K.embedding_forward(tokens, hidden),
+                         K.add_tensor(tokens * hidden)],
+        backward_kernels=[K.embedding_backward(tokens, hidden)],
+        params=[ParamTensor("embeddings.position.weight", POS_VOCAB * hidden)],
+    )
+    seg = LayerSpec(
+        name="embeddings.token_type",
+        kind="embedding",
+        forward_kernels=[K.embedding_forward(tokens, hidden),
+                         K.add_tensor(tokens * hidden)],
+        backward_kernels=[K.embedding_backward(tokens, hidden)],
+        params=[ParamTensor("embeddings.token_type.weight", TYPE_VOCAB * hidden)],
+    )
+    ln = LayerSpec(
+        name="embeddings.layernorm",
+        kind="layernorm",
+        forward_kernels=[K.layernorm_forward(tokens * hidden),
+                         K.dropout(tokens * hidden)],
+        backward_kernels=[K.dropout(tokens * hidden),
+                          K.layernorm_backward(tokens * hidden)],
+        params=[ParamTensor("embeddings.layernorm.weight", hidden),
+                ParamTensor("embeddings.layernorm.bias", hidden)],
+    )
+    return [word, pos, seg, ln]
+
+
+def _build_bert(name: str, n_blocks: int, hidden: int, heads: int,
+                batch_size: int, seq_len: int) -> ModelSpec:
+    tokens = batch_size * seq_len
+    inner = hidden * 4
+    layers: List[LayerSpec] = []
+    layers.extend(_embeddings(tokens, hidden))
+    for i in range(n_blocks):
+        blk = f"encoder.layer{i}"
+        layers.append(_attention_layer(f"{blk}.attention", batch_size, seq_len,
+                                       hidden, heads))
+        layers.append(_layernorm_layer(f"{blk}.attention.layernorm", tokens, hidden))
+        layers.append(_ffn_layer(f"{blk}.ffn", tokens, hidden, inner))
+        layers.append(_layernorm_layer(f"{blk}.ffn.layernorm", tokens, hidden))
+    # SQuAD span-prediction head
+    qa = LayerSpec(
+        name="qa_outputs",
+        kind="linear",
+        forward_kernels=[K.sgemm(tokens, 2, hidden, tag="qa"),
+                         K.softmax_forward(tokens * 2)],
+        backward_kernels=[K.softmax_backward(tokens * 2),
+                          K.sgemm(tokens, hidden, 2, tag="qa_dgrad"),
+                          K.sgemm(hidden, 2, tokens, tag="qa_wgrad")],
+        params=[ParamTensor("qa_outputs.weight", hidden * 2),
+                ParamTensor("qa_outputs.bias", 2)],
+    )
+    layers.append(qa)
+    return ModelSpec(
+        name=name,
+        layers=layers,
+        batch_size=batch_size,
+        input_sample_bytes=seq_len * 12,  # input ids + mask + type ids (int32)
+        default_optimizer="adam",
+        cpu_gap_scale=4.0,
+        application="language_modeling",
+    )
+
+
+def build_bert_base(batch_size: int = 4, seq_len: int = SEQ_LEN) -> ModelSpec:
+    """BERT_base: 12 transformer blocks, hidden 768, 12 heads."""
+    return _build_bert("bert_base", 12, 768, 12, batch_size, seq_len)
+
+
+def build_bert_large(batch_size: int = 2, seq_len: int = SEQ_LEN) -> ModelSpec:
+    """BERT_large: 24 transformer blocks, hidden 1024, 16 heads."""
+    return _build_bert("bert_large", 24, 1024, 16, batch_size, seq_len)

@@ -1,0 +1,88 @@
+"""DenseNet-121 (Huang et al.).
+
+DenseNet is the batchnorm-heavy CNN the paper uses to evaluate the
+*reconstructing batchnorm* optimization (Section 6.4): every dense unit is
+BN -> ReLU -> 1x1 conv -> BN -> ReLU -> 3x3 conv, so a large fraction of
+runtime sits in memory-bound normalization/activation kernels — exactly what
+Jung et al.'s restructuring attacks.
+"""
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.blocks import (
+    batchnorm_layer,
+    conv_layer,
+    linear_layer,
+    loss_layer,
+    pool_layer,
+    relu_layer,
+)
+
+IMAGENET_SAMPLE_BYTES = 3 * 224 * 224 * 4
+
+GROWTH_RATE = 32
+BN_SIZE = 4  # bottleneck width multiplier: 1x1 conv outputs BN_SIZE * k
+BLOCK_CONFIG = (6, 12, 24, 16)  # dense units per block (DenseNet-121)
+
+
+def _dense_unit(prefix: str, batch: int, c_in: int, h: int) -> List[LayerSpec]:
+    """One dense unit: BN-ReLU-Conv1x1(4k) -> BN-ReLU-Conv3x3(k)."""
+    mid = BN_SIZE * GROWTH_RATE
+    layers: List[LayerSpec] = []
+    layers.append(batchnorm_layer(f"{prefix}.norm1", batch, c_in, h, h))
+    layers.append(relu_layer(f"{prefix}.relu1", batch * c_in * h * h))
+    layers.append(conv_layer(f"{prefix}.conv1", batch, c_in, h, h, mid, 1))
+    layers.append(batchnorm_layer(f"{prefix}.norm2", batch, mid, h, h))
+    layers.append(relu_layer(f"{prefix}.relu2", batch * mid * h * h))
+    layers.append(conv_layer(f"{prefix}.conv2", batch, mid, h, h, GROWTH_RATE, 3, 1, 1))
+    return layers
+
+
+def _transition(prefix: str, batch: int, c_in: int, h: int) -> List[LayerSpec]:
+    """Transition: BN-ReLU-Conv1x1(c/2) -> 2x2 avgpool."""
+    c_out = c_in // 2
+    layers: List[LayerSpec] = []
+    layers.append(batchnorm_layer(f"{prefix}.norm", batch, c_in, h, h))
+    layers.append(relu_layer(f"{prefix}.relu", batch * c_in * h * h))
+    layers.append(conv_layer(f"{prefix}.conv", batch, c_in, h, h, c_out, 1))
+    layers.append(pool_layer(f"{prefix}.pool", batch * c_out * (h // 2) * (h // 2)))
+    return layers
+
+
+def build_densenet121(batch_size: int = 64) -> ModelSpec:
+    """Build the DenseNet-121 training workload."""
+    b = batch_size
+    layers: List[LayerSpec] = []
+    layers.append(conv_layer("stem.conv", b, 3, 224, 224, 64, 7, 2, 3))
+    layers.append(batchnorm_layer("stem.bn", b, 64, 112, 112))
+    layers.append(relu_layer("stem.relu", b * 64 * 112 * 112))
+    layers.append(pool_layer("stem.maxpool", b * 64 * 56 * 56, window=9))
+
+    channels = 64
+    h = 56
+    for block_idx, n_units in enumerate(BLOCK_CONFIG, start=1):
+        for unit_idx in range(1, n_units + 1):
+            prefix = f"denseblock{block_idx}.denselayer{unit_idx}"
+            layers.extend(_dense_unit(prefix, b, channels, h))
+            channels += GROWTH_RATE
+        if block_idx != len(BLOCK_CONFIG):
+            layers.extend(_transition(f"transition{block_idx}", b, channels, h))
+            channels //= 2
+            h //= 2
+
+    layers.append(batchnorm_layer("final.bn", b, channels, h, h))
+    layers.append(relu_layer("final.relu", b * channels * h * h))
+    layers.append(pool_layer("final.avgpool", b * channels, window=h * h))
+    layers.append(linear_layer("classifier", b, channels, 1000))
+    layers.append(loss_layer("loss", b, 1000))
+
+    return ModelSpec(
+        name="densenet121",
+        layers=layers,
+        batch_size=batch_size,
+        input_sample_bytes=IMAGENET_SAMPLE_BYTES,
+        default_optimizer="sgd",
+        cpu_gap_scale=1.0,
+        application="image_classification",
+    )

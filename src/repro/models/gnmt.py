@@ -1,0 +1,136 @@
+"""GNMT (Wu et al.): 8-layer LSTM seq2seq with attention, WMT16-sized.
+
+This is the paper's machine-translation workload ("Seq2Seq" in Figures 5-9).
+LSTM layers are lowered the way cuDNN executes them: one large input GEMM
+over all timesteps, plus chunked recurrent GEMMs and fused gate kernels.
+Most compute sits in fully-connected/embedding GEMMs, matching the paper's
+observation that GNMT has essentially no concurrent kernels (Section 7.5).
+"""
+
+from typing import List
+
+from repro.kernels import library as K
+from repro.models.base import LayerSpec, ModelSpec, ParamTensor
+from repro.models.blocks import dropout_layer, loss_layer
+
+VOCAB = 32_000
+HIDDEN = 1024
+SEQ_LEN = 25           # average WMT16 sentence length after BPE
+RECURRENT_CHUNKS = 8   # cuDNN streams the recurrence in chunks
+
+
+def _lstm_layer(
+    name: str, batch: int, seq: int, input_dim: int, hidden: int,
+    bidirectional: bool = False,
+) -> LayerSpec:
+    """One (possibly bidirectional) LSTM layer."""
+    directions = 2 if bidirectional else 1
+    rows = batch * seq
+    chunk_rows = max(1, rows // RECURRENT_CHUNKS)
+    fwd: List[K.KernelSpec] = []
+    bwd: List[K.KernelSpec] = []
+    params: List[ParamTensor] = []
+    for d in range(directions):
+        suffix = f".dir{d}" if bidirectional else ""
+        # one big input GEMM across all timesteps
+        fwd.append(K.sgemm(rows, 4 * hidden, input_dim, tag="lstm_ih"))
+        # chunked recurrent GEMMs + fused gate pointwise kernels
+        for _ in range(RECURRENT_CHUNKS):
+            fwd.append(K.sgemm(chunk_rows, 4 * hidden, hidden, tag="lstm_hh"))
+            fwd.append(K.elementwise(chunk_rows * hidden * 4, reads=2, writes=2,
+                                     flops_per_elem=6.0, tag="lstm_gates"))
+        # backward: dgrad for both GEMM families + gate backward + wgrads
+        bwd.append(K.sgemm(rows, input_dim, 4 * hidden, tag="lstm_ih_dgrad"))
+        for _ in range(RECURRENT_CHUNKS):
+            bwd.append(K.sgemm(chunk_rows, hidden, 4 * hidden, tag="lstm_hh_dgrad"))
+            bwd.append(K.elementwise(chunk_rows * hidden * 4, reads=3, writes=2,
+                                     flops_per_elem=8.0, tag="lstm_gates_bwd"))
+        bwd.append(K.sgemm(4 * hidden, input_dim, rows, tag="lstm_ih_wgrad"))
+        bwd.append(K.sgemm(4 * hidden, hidden, rows, tag="lstm_hh_wgrad"))
+        params.append(ParamTensor(f"{name}{suffix}.weight_ih", 4 * hidden * input_dim))
+        params.append(ParamTensor(f"{name}{suffix}.weight_hh", 4 * hidden * hidden))
+        params.append(ParamTensor(f"{name}{suffix}.bias_ih", 4 * hidden))
+        params.append(ParamTensor(f"{name}{suffix}.bias_hh", 4 * hidden))
+    return LayerSpec(name=name, kind="lstm", forward_kernels=fwd,
+                     backward_kernels=bwd, params=params)
+
+
+def _attention_layer(name: str, batch: int, seq_dec: int, seq_enc: int,
+                     hidden: int) -> LayerSpec:
+    """Bahdanau-style attention: score GEMM, softmax, context GEMM, mix."""
+    fwd = [
+        K.sgemm(seq_dec, seq_enc, hidden, batch=batch, tag="attn_score"),
+        K.softmax_forward(batch * seq_dec * seq_enc),
+        K.sgemm(seq_dec, hidden, seq_enc, batch=batch, tag="attn_context"),
+        K.sgemm(batch * seq_dec, hidden, 2 * hidden, tag="attn_mix"),
+    ]
+    bwd = [
+        K.sgemm(batch * seq_dec, 2 * hidden, hidden, tag="attn_mix_dgrad"),
+        K.sgemm(hidden, 2 * hidden, batch * seq_dec, tag="attn_mix_wgrad"),
+        K.sgemm(seq_dec, seq_enc, hidden, batch=batch, tag="attn_context_dgrad"),
+        K.softmax_backward(batch * seq_dec * seq_enc),
+        K.sgemm(seq_dec, hidden, seq_enc, batch=batch, tag="attn_score_dgrad"),
+    ]
+    params = [ParamTensor(f"{name}.linear", 2 * hidden * hidden)]
+    return LayerSpec(name=name, kind="attention", forward_kernels=fwd,
+                     backward_kernels=bwd, params=params)
+
+
+def build_gnmt(batch_size: int = 128, seq_len: int = SEQ_LEN) -> ModelSpec:
+    """Build the GNMT training workload."""
+    b = batch_size
+    tokens = b * seq_len
+    layers: List[LayerSpec] = []
+
+    # encoder
+    layers.append(_embedding("encoder.embedding", tokens, VOCAB, HIDDEN))
+    layers.append(_lstm_layer("encoder.lstm0", b, seq_len, HIDDEN, HIDDEN,
+                              bidirectional=True))
+    layers.append(_lstm_layer("encoder.lstm1", b, seq_len, 2 * HIDDEN, HIDDEN))
+    layers.append(_lstm_layer("encoder.lstm2", b, seq_len, HIDDEN, HIDDEN))
+    layers.append(_lstm_layer("encoder.lstm3", b, seq_len, HIDDEN, HIDDEN))
+    layers.append(dropout_layer("encoder.dropout", tokens * HIDDEN))
+
+    # decoder with attention
+    layers.append(_embedding("decoder.embedding", tokens, VOCAB, HIDDEN))
+    layers.append(_lstm_layer("decoder.lstm0", b, seq_len, HIDDEN, HIDDEN))
+    layers.append(_attention_layer("decoder.attention", b, seq_len, seq_len, HIDDEN))
+    layers.append(_lstm_layer("decoder.lstm1", b, seq_len, 2 * HIDDEN, HIDDEN))
+    layers.append(_lstm_layer("decoder.lstm2", b, seq_len, HIDDEN, HIDDEN))
+    layers.append(_lstm_layer("decoder.lstm3", b, seq_len, HIDDEN, HIDDEN))
+    layers.append(dropout_layer("decoder.dropout", tokens * HIDDEN))
+
+    # classifier over the vocabulary — the dominant GEMM
+    layers.append(_classifier("decoder.classifier", tokens, HIDDEN, VOCAB))
+    layers.append(loss_layer("loss", tokens, 1))
+
+    return ModelSpec(
+        name="gnmt",
+        layers=layers,
+        batch_size=batch_size,
+        input_sample_bytes=seq_len * 8,  # two int32 token streams
+        default_optimizer="adam",
+        cpu_gap_scale=3.5,
+        application="machine_translation",
+    )
+
+
+def _embedding(name: str, tokens: int, vocab: int, dim: int) -> LayerSpec:
+    return LayerSpec(
+        name=name,
+        kind="embedding",
+        forward_kernels=[K.embedding_forward(tokens, dim)],
+        backward_kernels=[K.embedding_backward(tokens, dim)],
+        params=[ParamTensor(f"{name}.weight", vocab * dim)],
+    )
+
+
+def _classifier(name: str, rows: int, hidden: int, vocab: int) -> LayerSpec:
+    fwd = [K.sgemm(rows, vocab, hidden, tag="classifier")]
+    bwd = [
+        K.sgemm(rows, hidden, vocab, tag="classifier_dgrad"),
+        K.sgemm(hidden, vocab, rows, tag="classifier_wgrad"),
+    ]
+    return LayerSpec(name=name, kind="linear", forward_kernels=fwd,
+                     backward_kernels=bwd,
+                     params=[ParamTensor(f"{name}.weight", hidden * vocab)])

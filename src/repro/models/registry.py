@@ -1,0 +1,55 @@
+"""Model registry: name -> builder, with optional batch-size override."""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.models.base import ModelSpec
+from repro.models.bert import build_bert_base, build_bert_large
+from repro.models.densenet import build_densenet121
+from repro.models.gnmt import build_gnmt
+from repro.models.resnet import build_resnet50
+from repro.models.vgg import build_vgg19
+
+_BUILDERS: Dict[str, Callable[..., ModelSpec]] = {
+    "resnet50": build_resnet50,
+    "vgg19": build_vgg19,
+    "densenet121": build_densenet121,
+    "gnmt": build_gnmt,
+    "bert_base": build_bert_base,
+    "bert_large": build_bert_large,
+}
+
+# paper aliases
+_ALIASES = {
+    "seq2seq": "gnmt",
+    "bert-base": "bert_base",
+    "bert-large": "bert_large",
+    "resnet-50": "resnet50",
+    "vgg-19": "vgg19",
+    "densenet-121": "densenet121",
+}
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str, batch_size: Optional[int] = None) -> ModelSpec:
+    """Build a model by name.
+
+    Args:
+        name: registered name or paper alias (case-insensitive).
+        batch_size: override the model's default mini-batch size.
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    if batch_size is None:
+        return builder()
+    return builder(batch_size=batch_size)

@@ -1,0 +1,101 @@
+"""ResNet-50 (He et al.) on ImageNet-sized inputs.
+
+Built from bottleneck blocks (1x1 -> 3x3 -> 1x1 convolutions with a residual
+connection), stages of [3, 4, 6, 3] blocks.  The paper trains ResNet-50 with
+SGD on ImageNet; this is the image-classification workload of Table 2 and
+appears in Figures 1, 5, 6, 8, and 10.
+"""
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.blocks import (
+    add_layer,
+    batchnorm_layer,
+    conv_layer,
+    linear_layer,
+    loss_layer,
+    pool_layer,
+    relu_layer,
+)
+
+IMAGENET_SAMPLE_BYTES = 3 * 224 * 224 * 4  # CHW fp32
+
+
+def _bottleneck(
+    prefix: str,
+    batch: int,
+    c_in: int,
+    h: int,
+    mid: int,
+    stride: int,
+    downsample: bool,
+) -> List[LayerSpec]:
+    """One bottleneck residual block; returns its layers in forward order."""
+    c_out = mid * 4
+    h_out = h // stride
+    layers: List[LayerSpec] = []
+    layers.append(conv_layer(f"{prefix}.conv1", batch, c_in, h, h, mid, 1))
+    layers.append(batchnorm_layer(f"{prefix}.bn1", batch, mid, h, h))
+    layers.append(relu_layer(f"{prefix}.relu1", batch * mid * h * h))
+    layers.append(
+        conv_layer(f"{prefix}.conv2", batch, mid, h, h, mid, 3, stride, 1)
+    )
+    layers.append(batchnorm_layer(f"{prefix}.bn2", batch, mid, h_out, h_out))
+    layers.append(relu_layer(f"{prefix}.relu2", batch * mid * h_out * h_out))
+    layers.append(
+        conv_layer(f"{prefix}.conv3", batch, mid, h_out, h_out, c_out, 1)
+    )
+    layers.append(batchnorm_layer(f"{prefix}.bn3", batch, c_out, h_out, h_out))
+    if downsample:
+        layers.append(
+            conv_layer(f"{prefix}.downsample.conv", batch, c_in, h, h, c_out, 1, stride)
+        )
+        layers.append(
+            batchnorm_layer(f"{prefix}.downsample.bn", batch, c_out, h_out, h_out)
+        )
+    layers.append(add_layer(f"{prefix}.add", batch * c_out * h_out * h_out))
+    layers.append(relu_layer(f"{prefix}.relu3", batch * c_out * h_out * h_out))
+    return layers
+
+
+def build_resnet50(batch_size: int = 64) -> ModelSpec:
+    """Build the ResNet-50 training workload."""
+    b = batch_size
+    layers: List[LayerSpec] = []
+    # stem: 7x7/2 conv -> bn -> relu -> 3x3/2 maxpool
+    layers.append(conv_layer("stem.conv", b, 3, 224, 224, 64, 7, 2, 3))
+    layers.append(batchnorm_layer("stem.bn", b, 64, 112, 112))
+    layers.append(relu_layer("stem.relu", b * 64 * 112 * 112))
+    layers.append(pool_layer("stem.maxpool", b * 64 * 56 * 56, window=9))
+
+    stage_cfg = [  # (blocks, mid_channels, input_h, first_stride)
+        (3, 64, 56, 1),
+        (4, 128, 56, 2),
+        (6, 256, 28, 2),
+        (3, 512, 14, 2),
+    ]
+    c_in = 64
+    for stage_idx, (blocks, mid, h_in, first_stride) in enumerate(stage_cfg, start=1):
+        h = h_in
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            downsample = block_idx == 0
+            prefix = f"layer{stage_idx}.{block_idx}"
+            layers.extend(_bottleneck(prefix, b, c_in, h, mid, stride, downsample))
+            c_in = mid * 4
+            h = h // stride
+
+    layers.append(pool_layer("avgpool", b * 2048, window=49))
+    layers.append(linear_layer("fc", b, 2048, 1000))
+    layers.append(loss_layer("loss", b, 1000))
+
+    return ModelSpec(
+        name="resnet50",
+        layers=layers,
+        batch_size=batch_size,
+        input_sample_bytes=IMAGENET_SAMPLE_BYTES,
+        default_optimizer="sgd",
+        cpu_gap_scale=1.0,
+        application="image_classification",
+    )

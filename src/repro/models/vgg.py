@@ -1,0 +1,71 @@
+"""VGG-19 (Simonyan & Zisserman) on ImageNet-sized inputs.
+
+VGG-19 is the communication-heavy model of the paper's P3 evaluation
+(Figure 10): ~143M parameters, most of them in the three giant
+fully-connected layers, make gradient transfer the dominant cost in
+distributed training at low bandwidth.
+"""
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.blocks import (
+    conv_layer,
+    dropout_layer,
+    linear_layer,
+    loss_layer,
+    pool_layer,
+    relu_layer,
+)
+
+IMAGENET_SAMPLE_BYTES = 3 * 224 * 224 * 4
+
+# VGG-19 configuration "E": channel width per conv block, 'M' = maxpool.
+_VGG19_CFG = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+def build_vgg19(batch_size: int = 64) -> ModelSpec:
+    """Build the VGG-19 training workload."""
+    b = batch_size
+    layers: List[LayerSpec] = []
+    c_in, h = 3, 224
+    conv_idx = 0
+    pool_idx = 0
+    for entry in _VGG19_CFG:
+        if entry == "M":
+            h //= 2
+            pool_idx += 1
+            layers.append(pool_layer(f"features.pool{pool_idx}", b * c_in * h * h))
+            continue
+        c_out = int(entry)
+        conv_idx += 1
+        prefix = f"features.conv{conv_idx}"
+        layers.append(conv_layer(prefix, b, c_in, h, h, c_out, 3, 1, 1, bias=True))
+        layers.append(relu_layer(f"{prefix}.relu", b * c_out * h * h))
+        c_in = c_out
+
+    # classifier: 25088 -> 4096 -> 4096 -> 1000, with dropout
+    layers.append(linear_layer("classifier.fc6", b, 512 * 7 * 7, 4096))
+    layers.append(relu_layer("classifier.relu6", b * 4096))
+    layers.append(dropout_layer("classifier.drop6", b * 4096))
+    layers.append(linear_layer("classifier.fc7", b, 4096, 4096))
+    layers.append(relu_layer("classifier.relu7", b * 4096))
+    layers.append(dropout_layer("classifier.drop7", b * 4096))
+    layers.append(linear_layer("classifier.fc8", b, 4096, 1000))
+    layers.append(loss_layer("loss", b, 1000))
+
+    return ModelSpec(
+        name="vgg19",
+        layers=layers,
+        batch_size=batch_size,
+        input_sample_bytes=IMAGENET_SAMPLE_BYTES,
+        default_optimizer="sgd",
+        cpu_gap_scale=1.0,
+        application="image_classification",
+    )

@@ -1,0 +1,36 @@
+"""What-if models of DNN training optimizations (paper Section 5).
+
+Five models are quantitatively evaluated against ground truth (AMP,
+FusedAdam, reconstructing batchnorm, distributed training, P3); five more
+are modeled to demonstrate the expressiveness of the primitives
+(BlueConnect, MetaFlow, vDNN, Gist, DGC) — matching Table 1's bold/italic
+split.
+"""
+
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+from repro.optimizations.amp import AutomaticMixedPrecision
+from repro.optimizations.fusedadam import FusedAdam
+from repro.optimizations.batchnorm_reconstruct import ReconstructBatchnorm
+from repro.optimizations.distributed import DistributedTraining
+from repro.optimizations.p3 import PriorityParameterPropagation
+from repro.optimizations.blueconnect import BlueConnect
+from repro.optimizations.metaflow import MetaFlowSubstitution
+from repro.optimizations.vdnn import VirtualizedDNN
+from repro.optimizations.gist import Gist
+from repro.optimizations.dgc import DeepGradientCompression
+
+__all__ = [
+    "OptimizationModel",
+    "WhatIfContext",
+    "WhatIfOutcome",
+    "AutomaticMixedPrecision",
+    "FusedAdam",
+    "ReconstructBatchnorm",
+    "DistributedTraining",
+    "PriorityParameterPropagation",
+    "BlueConnect",
+    "MetaFlowSubstitution",
+    "VirtualizedDNN",
+    "Gist",
+    "DeepGradientCompression",
+]

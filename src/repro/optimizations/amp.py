@@ -1,0 +1,43 @@
+"""Automatic Mixed Precision — paper Algorithm 3 (Appendix A.1).
+
+The published heuristic, verbatim: select all GPU tasks; kernels whose name
+contains ``sgemm`` or ``scudnn`` (compute-bound GEMM/convolution, which gain
+tensor cores) shrink 3x; every other GPU kernel (memory-bound) shrinks 2x,
+because fp16 halves the bytes moved.  CPU tasks are untouched — the key
+reason AMP speedups saturate on CPU-bound models (Section 6.2).
+"""
+
+from repro.core import transform
+from repro.core.graph import DependencyGraph
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+
+#: name substrings marking tensor-core-eligible compute-bound kernels
+COMPUTE_BOUND_MARKERS = ("sgemm", "scudnn")
+#: the paper's assumed tensor-core speedup for compute-bound kernels
+COMPUTE_SHRINK = 3.0
+#: the paper's assumed fp16 speedup for memory-bound kernels
+MEMORY_SHRINK = 2.0
+
+
+class AutomaticMixedPrecision(OptimizationModel):
+    """What if the model trained with NVIDIA Apex AMP (O1/O2)?"""
+
+    name = "amp"
+
+    def __init__(self, compute_shrink: float = COMPUTE_SHRINK,
+                 memory_shrink: float = MEMORY_SHRINK) -> None:
+        self.compute_shrink = compute_shrink
+        self.memory_shrink = memory_shrink
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        tensor_cores = context.gpu.has_tensor_cores
+        for task in transform.select_gpu_tasks(graph):
+            if task.phase == "weight_update":
+                # Apex keeps fp32 master weights: optimizer kernels stay fp32
+                continue
+            if any(marker in task.name for marker in COMPUTE_BOUND_MARKERS):
+                shrink = self.compute_shrink if tensor_cores else 1.15
+            else:
+                shrink = self.memory_shrink
+            task.scale_duration(1.0 / shrink)
+        return WhatIfOutcome(graph=graph)

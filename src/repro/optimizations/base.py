@@ -1,0 +1,76 @@
+"""Base classes for optimization what-if models."""
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import Scheduler
+from repro.hw.device import CPU_EPYC_7601, GPU_2080TI, CPUSpec, GPUSpec
+from repro.hw.topology import ClusterSpec
+from repro.tracing.trace import Trace
+
+
+@dataclass
+class WhatIfContext:
+    """Everything an optimization model may consult besides the graph.
+
+    Attributes:
+        trace_metadata: the instrumentation metadata of the baseline trace
+            (bucket map, gradient sizes, layer kinds, ...).
+        gpu: the profiled GPU (for estimating inserted-kernel durations).
+        cpu: host cost parameters (for inserted launch APIs).
+        cluster: target deployment for communication what-ifs.
+    """
+
+    trace_metadata: Dict[str, object] = field(default_factory=dict)
+    gpu: GPUSpec = field(default_factory=lambda: GPU_2080TI)
+    cpu: CPUSpec = field(default_factory=lambda: CPU_EPYC_7601)
+    cluster: Optional[ClusterSpec] = None
+
+    @classmethod
+    def from_trace(cls, trace: Trace, gpu: Optional[GPUSpec] = None,
+                   cpu: Optional[CPUSpec] = None,
+                   cluster: Optional[ClusterSpec] = None) -> "WhatIfContext":
+        """Build a context from a baseline trace's metadata."""
+        return cls(
+            trace_metadata=dict(trace.metadata),
+            gpu=gpu or GPU_2080TI,
+            cpu=cpu or CPU_EPYC_7601,
+            cluster=cluster,
+        )
+
+
+@dataclass
+class WhatIfOutcome:
+    """Result of applying an optimization model to a graph.
+
+    Attributes:
+        graph: the transformed graph (same object the model mutated).
+        scheduler: a custom scheduling policy, when the optimization
+            reschedules tasks (paper's Schedule primitive); ``None`` keeps
+            the default earliest-start policy.
+    """
+
+    graph: DependencyGraph
+    scheduler: Optional[Scheduler] = None
+
+
+class OptimizationModel(abc.ABC):
+    """A what-if model: a named graph transformation.
+
+    Subclasses implement :meth:`apply`, mutating the given graph with the
+    primitives from :mod:`repro.core.transform` and optionally supplying a
+    custom scheduler.  ``apply`` must not require the optimization to be
+    implemented — only its *effect* on the dependency graph is described.
+    """
+
+    #: human-readable optimization name
+    name: str = "optimization"
+
+    @abc.abstractmethod
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        """Transform ``graph`` in place and return the outcome."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,117 @@
+"""BlueConnect — paper Algorithm 8 (Appendix A.6).
+
+BlueConnect (Cho et al.) decomposes each all-reduce into a pipeline of
+reduce-scatter and all-gather stages that exploit the bandwidth hierarchy:
+fast intra-machine links handle one factor of the decomposition, the NIC
+handles the other, and the stages run on parallel channels.
+
+Model: replace every all-reduce task with ``k`` reduce-scatter tasks
+followed by ``k`` all-gather tasks (for a worker-count factorization
+``p_1 x ... x p_k``), chained by dependencies, each stage placed on its own
+channel so stages of *different buckets* pipeline.  Durations come from the
+standard formulas (NVIDIA nccl-tests [56]).
+"""
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task, TaskKind
+from repro.hw.network import allgather_time_us, reduce_scatter_time_us
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+from repro.tracing.records import comm_channel
+
+#: channel index base for the decomposed stages
+STAGE_CHANNEL_BASE = 10
+
+
+class BlueConnect(OptimizationModel):
+    """What if all-reduce used BlueConnect's hierarchical decomposition?
+
+    Apply *after* :class:`~repro.optimizations.distributed.DistributedTraining`
+    (it rewrites the all-reduce tasks that transform inserted).
+    """
+
+    name = "blueconnect"
+
+    def __init__(self, factorization: Optional[List[int]] = None) -> None:
+        self.factorization = factorization
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        cluster = context.cluster
+        if cluster is None:
+            raise ConfigError("BlueConnect needs context.cluster")
+        factors = self.factorization or self._default_factorization(cluster)
+        if _product(factors) != cluster.n_workers:
+            raise ConfigError(
+                f"factorization {factors} does not cover {cluster.n_workers} workers"
+            )
+
+        allreduce_tasks = [t for t in graph.tasks()
+                           if t.is_comm and "AllReduce" in t.name]
+        if not allreduce_tasks:
+            raise ConfigError("no all-reduce tasks; apply DistributedTraining first")
+
+        for reduce_task in allreduce_tasks:
+            preds = graph.predecessors(reduce_task)
+            succs = graph.successors(reduce_task)
+            size = reduce_task.size_bytes
+            graph.remove(reduce_task, rewire=False)
+
+            chain: List[Task] = []
+            # reduce-scatter up the hierarchy, all-gather back down
+            for stage, p in enumerate(factors):
+                link, latency = self._stage_link(cluster, stage)
+                dur = reduce_scatter_time_us(size, p, link, latency)
+                chain.append(self._stage_task(
+                    graph, f"ncclReduceScatter_p{p}", dur, stage, size))
+            for stage, p in reversed(list(enumerate(factors))):
+                link, latency = self._stage_link(cluster, stage)
+                dur = allgather_time_us(size, p, link, latency)
+                chain.append(self._stage_task(
+                    graph, f"ncclAllGather_p{p}", dur, stage, size))
+
+            for a, b in zip(chain, chain[1:]):
+                graph.add_dependency(a, b)
+            for pred in preds:
+                graph.add_dependency(pred, chain[0])
+            for succ in succs:
+                graph.add_dependency(chain[-1], succ)
+        return WhatIfOutcome(graph=graph)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _default_factorization(cluster) -> List[int]:
+        """Factor the worker count along the hardware hierarchy."""
+        factors = []
+        if cluster.gpus_per_machine > 1:
+            factors.append(cluster.gpus_per_machine)
+        if cluster.machines > 1:
+            factors.append(cluster.machines)
+        return factors or [cluster.n_workers]
+
+    @staticmethod
+    def _stage_link(cluster, stage: int):
+        """(bytes/us, latency) of the link a decomposition stage uses."""
+        if stage == 0 and cluster.gpus_per_machine > 1:
+            return cluster.gpu.pcie_bytes_per_us(), 4.0
+        return cluster.network.bytes_per_us(), cluster.network.latency_us
+
+    @staticmethod
+    def _stage_task(graph: DependencyGraph, name: str, duration: float,
+                    stage: int, size: float) -> Task:
+        channel = comm_channel(STAGE_CHANNEL_BASE + stage)
+        graph.mark_unordered(channel)
+        task = Task(name=name, kind=TaskKind.COMM, thread=channel,
+                    duration=duration, size_bytes=size,
+                    metadata={"inserted": True, "stage": stage})
+        graph.append(task)
+        return task
+
+
+def _product(values: List[int]) -> int:
+    out = 1
+    for v in values:
+        out *= v
+    return out

@@ -1,0 +1,80 @@
+"""Deep Gradient Compression — paper Algorithm 12 (Appendix A.10).
+
+DGC (Lin et al.) sends only the largest gradients (0.1-1% of the payload)
+plus momentum correction, slashing communication at the cost of extra
+compression/decompression GPU kernels.
+
+Model, applied after :class:`~repro.optimizations.distributed.DistributedTraining`:
+
+* scale each all-reduce duration by the compression ratio;
+* insert a compression GPU kernel before, and a decompression kernel after,
+  each all-reduce; their durations are estimated from the gradient size at
+  element-wise-kernel throughput (top-k selection + sparse encode).
+"""
+
+from repro.common.errors import ConfigError
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task, TaskKind
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+from repro.tracing.records import gpu_stream
+
+#: stream for the compression kernels (they run on the compute device)
+COMPRESS_STREAM = gpu_stream(15)
+
+
+class DeepGradientCompression(OptimizationModel):
+    """What if gradients were compressed before transfer (DGC)?
+
+    Args:
+        compression_ratio: transferred fraction of the payload (0.01 = the
+            paper's ~100x regime once headers are counted).
+        kernel_passes: how many element-wise passes over the gradient the
+            compression costs (top-k sampling + masking).
+    """
+
+    name = "dgc"
+
+    def __init__(self, compression_ratio: float = 0.01,
+                 kernel_passes: float = 3.0) -> None:
+        if not 0 < compression_ratio <= 1:
+            raise ConfigError("compression_ratio must be in (0, 1]")
+        self.compression_ratio = compression_ratio
+        self.kernel_passes = kernel_passes
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        allreduce_tasks = [t for t in graph.tasks()
+                           if t.is_comm and "AllReduce" in t.name]
+        if not allreduce_tasks:
+            raise ConfigError("no all-reduce tasks; apply DistributedTraining first")
+        elementwise_rate = context.gpu.achieved_bytes_per_us()
+
+        for reduce_task in allreduce_tasks:
+            size = reduce_task.size_bytes
+            kernel_us = (size * self.kernel_passes / elementwise_rate
+                         + context.gpu.kernel_overhead_us)
+
+            compress = Task(
+                name="dgc_compress_topk_kernel", kind=TaskKind.GPU_KERNEL,
+                thread=COMPRESS_STREAM, duration=kernel_us,
+                size_bytes=size, metadata={"inserted": True},
+            )
+            graph.append(compress)
+            for pred in graph.predecessors(reduce_task):
+                graph.add_dependency(pred, compress)
+            graph.add_dependency(compress, reduce_task)
+
+            decompress = Task(
+                name="dgc_decompress_kernel", kind=TaskKind.GPU_KERNEL,
+                thread=COMPRESS_STREAM, duration=kernel_us,
+                size_bytes=size * self.compression_ratio,
+                metadata={"inserted": True},
+            )
+            graph.append(decompress)
+            graph.add_dependency(reduce_task, decompress)
+            for succ in graph.successors(reduce_task):
+                if succ is not decompress:
+                    graph.add_dependency(decompress, succ)
+
+            reduce_task.scale_duration(self.compression_ratio)
+            reduce_task.size_bytes *= self.compression_ratio
+        return WhatIfOutcome(graph=graph)

@@ -1,0 +1,98 @@
+"""Distributed-training prediction from a single-GPU profile — Algorithm 6.
+
+PyTorch DDP groups gradients into buckets and all-reduces each bucket as
+soon as its last gradient is ready (wait-free backpropagation).  Daydream
+predicts multi-worker iteration time from a *single-GPU* trace by:
+
+1. reading the layer->bucket mapping recorded by the framework
+   instrumentation (trace metadata);
+2. inserting one all-reduce task per bucket on a communication channel,
+   sized with the theoretical ring formula for the target cluster;
+3. adding dependencies: the trigger layer's last backward GPU task ->
+   all-reduce -> the earliest weight-update task (DDP's optimizer step
+   waits for every bucket).
+
+This is the paper's headline capability: exploring worker counts and
+network bandwidths (Figure 8) without owning the cluster.
+"""
+
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigError
+from repro.core import transform
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task
+from repro.framework.bucketing import Bucket
+from repro.hw.network import ring_allreduce_time_us
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+from repro.tracing.records import comm_channel
+
+
+class DistributedTraining(OptimizationModel):
+    """What if this model trained data-parallel on a given cluster?"""
+
+    name = "distributed_training"
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        cluster = context.cluster
+        if cluster is None:
+            raise ConfigError("DistributedTraining needs context.cluster")
+        if not cluster.is_distributed:
+            return WhatIfOutcome(graph=graph)  # 1x1: nothing to insert
+
+        buckets = [Bucket.from_dict(b)
+                   for b in context.trace_metadata.get("buckets", [])]
+        if not buckets:
+            raise ConfigError(
+                "trace metadata has no gradient buckets; was the profile "
+                "collected with framework instrumentation enabled?"
+            )
+
+        link = cluster.ring_link_bytes_per_us()
+        latency = cluster.ring_latency_us()
+        trigger_task = _last_backward_gpu_task_by_layer(graph)
+        wu_gate = _earliest_weight_update_task(graph)
+        channel = comm_channel(0)
+
+        previous: Optional[Task] = None
+        for bucket in buckets:
+            duration = ring_allreduce_time_us(
+                bucket.size_bytes, cluster.n_workers, link, latency)
+            depends = []
+            trigger = trigger_task.get(bucket.trigger_layer)
+            if trigger is not None:
+                depends.append(trigger)
+            task = transform.insert_comm_task(
+                graph, channel, "ncclAllReduceRingLLKernel_sum_f32",
+                duration_us=duration,
+                after=previous,
+                depends_on=depends,
+                successors=[wu_gate] if wu_gate is not None else [],
+                size_bytes=bucket.size_bytes,
+            )
+            task.metadata["bucket"] = bucket.index
+            previous = task
+        return WhatIfOutcome(graph=graph)
+
+
+def _last_backward_gpu_task_by_layer(graph: DependencyGraph) -> Dict[str, Task]:
+    """For each layer: its last backward GPU task in stream order."""
+    out: Dict[str, Task] = {}
+    for thread in graph.threads():
+        if not thread.is_gpu:
+            continue
+        for task in graph.tasks_on(thread):
+            if task.layer is not None and task.phase == "backward":
+                out[task.layer] = task
+    return out
+
+
+def _earliest_weight_update_task(graph: DependencyGraph) -> Optional[Task]:
+    """The first weight-update task in CPU program order (paper's ``WU``)."""
+    for thread in graph.threads():
+        if not thread.is_cpu:
+            continue
+        for task in graph.tasks_on(thread):
+            if task.phase == "weight_update":
+                return task
+    return None

@@ -1,0 +1,92 @@
+"""Gist — paper Algorithm 11 (Appendix A.9).
+
+Gist (Jain et al.) shrinks the memory footprint of stashed feature maps by
+encoding them after the forward pass and decoding before the backward pass.
+The runtime question: what overhead do the encode/decode kernels add?
+
+Model: after each ReLU layer's forward GPU task insert an encode kernel
+(plus launch API); before the layer's backward GPU task insert the decode
+kernel.  Inserted durations are estimated from the *existing* element-wise
+kernels of the same layer — the paper's guidance for sizing new kernels
+from kernels already in the profile (Section 7.4).
+"""
+
+from typing import Dict
+
+from repro.core import transform
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+
+
+class Gist(OptimizationModel):
+    """What is the runtime overhead of Gist's encode/decode kernels?
+
+    Args:
+        lossy: include the Delayed Precision Reduction (DPR) kernels of
+            Gist's lossy mode on non-ReLU activations.
+        cost_factor: encode/decode duration relative to the layer's existing
+            element-wise kernel (1.0 = same traffic).
+    """
+
+    name = "gist"
+
+    def __init__(self, lossy: bool = False, cost_factor: float = 1.0) -> None:
+        self.lossy = lossy
+        self.cost_factor = cost_factor
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        kinds: Dict[str, str] = dict(context.trace_metadata.get("layer_kinds", {}))
+        launch_us = context.cpu.launch_api_us
+
+        for thread in graph.threads():
+            if not thread.is_gpu:
+                continue
+            for task in graph.tasks_on(thread):
+                if task.layer is None or kinds.get(task.layer) != "relu":
+                    continue
+                launch = task.metadata.get("launched_by")
+                if not isinstance(launch, Task) or launch not in graph:
+                    continue
+                duration = task.duration * self.cost_factor
+                if task.phase == "forward":
+                    transform.insert_gpu_task(
+                        graph, cpu_anchor=launch, gpu_anchor=task,
+                        kernel_name="gist_sdc_encode_kernel",
+                        duration_us=duration, launch_duration_us=launch_us,
+                        layer=task.layer, phase="forward",
+                    )
+                elif task.phase == "backward":
+                    before = graph.thread_predecessor(task)
+                    if before is not None:
+                        transform.insert_gpu_task(
+                            graph, cpu_anchor=launch, gpu_anchor=before,
+                            kernel_name="gist_sdc_decode_kernel",
+                            duration_us=duration, launch_duration_us=launch_us,
+                            layer=task.layer, phase="backward",
+                        )
+
+        if self.lossy:
+            self._insert_dpr(graph, kinds, launch_us)
+        return WhatIfOutcome(graph=graph)
+
+    def _insert_dpr(self, graph: DependencyGraph, kinds: Dict[str, str],
+                    launch_us: float) -> None:
+        """Lossy mode: precision-reduction kernels on conv outputs."""
+        for thread in graph.threads():
+            if not thread.is_gpu:
+                continue
+            for task in graph.tasks_on(thread):
+                if (task.layer is None or task.phase != "forward"
+                        or kinds.get(task.layer) != "conv"):
+                    continue
+                launch = task.metadata.get("launched_by")
+                if not isinstance(launch, Task) or launch not in graph:
+                    continue
+                transform.insert_gpu_task(
+                    graph, cpu_anchor=launch, gpu_anchor=task,
+                    kernel_name="gist_dpr_kernel",
+                    duration_us=task.duration * 0.05 * self.cost_factor,
+                    launch_duration_us=launch_us,
+                    layer=task.layer, phase="forward",
+                )

@@ -1,0 +1,84 @@
+"""Hardware what-ifs: the COZ-style questions from the paper's introduction.
+
+Section 1 motivates Daydream with user questions that are about *hardware*,
+not software: "Would upgrading to a faster network improve training
+throughput?", "How does runtime change if a task T is N times faster?".
+Prior what-if systems [18, 59] answer exactly these by shrinking task
+durations; Daydream's primitives subsume them, so we expose them as models:
+
+* :class:`GpuUpgrade` — every GPU kernel runs ``factor``x faster (a faster
+  accelerator of the same architecture);
+* :class:`CpuUpgrade` — CPU tasks and gaps shrink (faster host / leaner
+  framework dispatch);
+* :class:`InfinitelyFastKernels` — the classic COZ limit study: what if a
+  selected kernel class cost nothing?
+"""
+
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.core import transform
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+
+
+class GpuUpgrade(OptimizationModel):
+    """What if the GPU were ``factor``x faster (compute and bandwidth)?"""
+
+    name = "gpu_upgrade"
+
+    def __init__(self, factor: float) -> None:
+        if factor <= 0:
+            raise ConfigError("upgrade factor must be positive")
+        self.factor = factor
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        for task in transform.select_gpu_tasks(graph):
+            task.scale_duration(1.0 / self.factor)
+        return WhatIfOutcome(graph=graph)
+
+
+class CpuUpgrade(OptimizationModel):
+    """What if the host CPU / framework dispatch were ``factor``x faster?
+
+    Scales both CPU task durations and the inter-task gaps — the gaps *are*
+    CPU work (Python front-end) and dominate launch-bound phases.
+    """
+
+    name = "cpu_upgrade"
+
+    def __init__(self, factor: float) -> None:
+        if factor <= 0:
+            raise ConfigError("upgrade factor must be positive")
+        self.factor = factor
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        for task in graph.tasks():
+            if task.is_cpu:
+                task.scale_duration(1.0 / self.factor)
+                task.gap /= self.factor
+        return WhatIfOutcome(graph=graph)
+
+
+class InfinitelyFastKernels(OptimizationModel):
+    """COZ-style limit study: zero out a class of tasks.
+
+    Answers "is X the bottleneck?" — if making X free barely moves the
+    iteration time, optimizing X is pointless (Amdahl).  The predicate
+    selects the task class (e.g. everything whose name contains ``sgemm``,
+    or every task of one layer).
+    """
+
+    name = "infinitely_fast"
+
+    def __init__(self, predicate: Callable[[Task], bool],
+                 label: Optional[str] = None) -> None:
+        self.predicate = predicate
+        if label:
+            self.name = f"infinitely_fast[{label}]"
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        for task in graph.select(self.predicate):
+            task.duration = 0.0
+        return WhatIfOutcome(graph=graph)

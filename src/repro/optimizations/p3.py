@@ -1,0 +1,182 @@
+"""Priority-Based Parameter Propagation (P3) — paper Algorithm 7.
+
+P3 (Jayarajan et al.) targets MXNet's parameter-server architecture: it
+*slices* each gradient tensor into small pieces and *prioritizes* the
+push/pull transfers of layers closest to the input, so that the next
+iteration's forward pass can begin before the large back-layer gradients
+finish transferring.
+
+The Daydream model, applied to a single-GPU MXNet profile:
+
+* for each parameterized layer, insert push tasks on the send channel and
+  pull tasks on the receive channel, one per slice, with durations from the
+  bandwidth formula;
+* dependencies: last backward GPU task of the layer -> push; pull -> the
+  layer's first forward GPU task (the steady-state wrap: this iteration's
+  forward consumes the pulls fed by the previous iteration, so pulls are
+  ready at iteration start and serialize on the channel);
+* override the schedule function with a priority queue (front layers first).
+
+The same machinery with ``slice_bytes=None`` and arrival-order priorities
+models the *baseline* parameter-server execution, and an optional
+:class:`ServerCostModel` adds the server-side processing the ground truth
+exhibits (and Daydream's idealized prediction omits — the source of the
+over-estimated P3 speedups at high bandwidth, Section 6.6).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.core import transform
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import make_priority_scheduler
+from repro.core.task import Task
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+from repro.tracing.records import comm_channel
+
+#: channel indices for the parameter-server transfer directions
+SEND_CHANNEL = comm_channel(1)
+RECEIVE_CHANNEL = comm_channel(2)
+
+#: P3's default gradient slice size (bytes); coarser than the original
+#: paper's 50 KB to keep graphs tractable, same scheduling behaviour
+DEFAULT_SLICE_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServerCostModel:
+    """Server-side processing cost per push/pull operation.
+
+    The ground truth pays this (aggregation, copies, request handling on the
+    server process); Daydream's prediction does not — matching the paper's
+    observation that at 15-20 Gbps communication tasks become bottlenecked
+    by non-network resources.
+    """
+
+    bytes_per_us: float = 3_000.0     # ~3 GB/s aggregation throughput
+    per_op_us: float = 80.0           # request handling overhead
+
+    def cost_us(self, size_bytes: float) -> float:
+        return size_bytes / self.bytes_per_us + self.per_op_us
+
+
+class ParameterServerTransfer(OptimizationModel):
+    """Insert parameter-server push/pull traffic into a single-GPU profile.
+
+    Args:
+        slice_bytes: gradient slice size; ``None`` transfers whole per-layer
+            tensors (baseline MXNet behaviour).
+        prioritize: give front layers scheduling priority (P3) instead of
+            arrival order (baseline).
+        server: optional server-side cost model (ground-truth fidelity).
+    """
+
+    name = "parameter_server"
+
+    def __init__(self, slice_bytes: Optional[int] = None,
+                 prioritize: bool = False,
+                 server: Optional[ServerCostModel] = None) -> None:
+        if slice_bytes is not None and slice_bytes <= 0:
+            raise ConfigError("slice_bytes must be positive")
+        self.slice_bytes = slice_bytes
+        self.prioritize = prioritize
+        self.server = server
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        cluster = context.cluster
+        if cluster is None:
+            raise ConfigError("ParameterServerTransfer needs context.cluster")
+        grad_bytes: Dict[str, float] = {
+            name: float(size) for name, size in
+            context.trace_metadata.get("layer_grad_bytes", {}).items()
+        }
+        layer_order: List[str] = list(
+            context.trace_metadata.get("layer_order", []))
+        if not grad_bytes or not layer_order:
+            raise ConfigError("trace metadata lacks gradient/layer information")
+
+        link = cluster.network.bytes_per_us()
+        latency = cluster.network.latency_us
+        first_fwd = _first_forward_gpu_task_by_layer(graph)
+        last_bwd = _last_backward_gpu_task_by_layer(graph)
+
+        graph.mark_unordered(SEND_CHANNEL)
+        graph.mark_unordered(RECEIVE_CHANNEL)
+
+        n_layers = len(layer_order)
+        for index, layer in enumerate(layer_order):
+            size = grad_bytes.get(layer, 0.0)
+            if size <= 0:
+                continue
+            # front layers get the highest priority under P3; under the
+            # baseline, back layers arrive first (their gradients are
+            # computed first) and FIFO keeps them first
+            priority = (n_layers - index) if self.prioritize else index
+            remaining = size
+            slice_no = 0
+            while remaining > 0:
+                chunk = (min(remaining, self.slice_bytes)
+                         if self.slice_bytes else remaining)
+                remaining -= chunk
+                transfer = chunk / link + latency
+                if self.server is not None:
+                    transfer += self.server.cost_us(chunk)
+                push = transform.insert_comm_task(
+                    graph, SEND_CHANNEL,
+                    f"push {layer}[{slice_no}]",
+                    duration_us=transfer,
+                    depends_on=[last_bwd[layer]] if layer in last_bwd else [],
+                    size_bytes=chunk, priority=priority,
+                )
+                push.layer = layer
+                pull = transform.insert_comm_task(
+                    graph, RECEIVE_CHANNEL,
+                    f"pull {layer}[{slice_no}]",
+                    duration_us=transfer,
+                    successors=([first_fwd[layer]]
+                                if layer in first_fwd else []),
+                    size_bytes=chunk, priority=priority,
+                )
+                pull.layer = layer
+                slice_no += 1
+
+        scheduler = make_priority_scheduler(lambda t: t.is_comm)
+        return WhatIfOutcome(graph=graph, scheduler=scheduler)
+
+
+class PriorityParameterPropagation(ParameterServerTransfer):
+    """What if training used P3 (sliced, prioritized push/pull)?
+
+    This is Daydream's idealized prediction: bandwidth-only transfer costs.
+    """
+
+    name = "p3"
+
+    def __init__(self, slice_bytes: int = DEFAULT_SLICE_BYTES) -> None:
+        super().__init__(slice_bytes=slice_bytes, prioritize=True, server=None)
+
+
+def _first_forward_gpu_task_by_layer(graph: DependencyGraph) -> Dict[str, Task]:
+    """For each layer: its first forward GPU task in stream order."""
+    out: Dict[str, Task] = {}
+    for thread in graph.threads():
+        if not thread.is_gpu:
+            continue
+        for task in graph.tasks_on(thread):
+            if (task.layer is not None and task.phase == "forward"
+                    and task.layer not in out):
+                out[task.layer] = task
+    return out
+
+
+def _last_backward_gpu_task_by_layer(graph: DependencyGraph) -> Dict[str, Task]:
+    """For each layer: its last backward GPU task in stream order."""
+    out: Dict[str, Task] = {}
+    for thread in graph.threads():
+        if not thread.is_gpu:
+            continue
+        for task in graph.tasks_on(thread):
+            if task.layer is not None and task.phase == "backward":
+                out[task.layer] = task
+    return out

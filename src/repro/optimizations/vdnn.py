@@ -1,0 +1,106 @@
+"""Virtualized DNN (vDNN) — paper Algorithm 10 (Appendix A.8).
+
+vDNN (Rhu et al.) frees GPU memory by offloading convolution feature maps
+to host memory after the forward pass and prefetching them back before the
+corresponding backward pass.  The *runtime* question Daydream answers: how
+much slowdown do the extra PCIe copies cause (late prefetches stall the
+backward pass)?
+
+Model (vDNN_conv policy):
+
+* after each convolution layer's forward GPU task, insert a device-to-host
+  copy (plus its ``cudaMemcpyAsync`` launch) on a dedicated copy stream;
+* before the layer's backward GPU task, insert the host-to-device prefetch
+  on the copy stream, gating the backward task;
+* the prefetch of layer ``l`` is issued when the backward pass of its
+  successor offloaded layer begins — ``findPrefetchLayer`` in the original
+  paper — modeled as a dependency from that layer's first backward task.
+"""
+
+from typing import Dict
+
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task, TaskKind
+from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
+from repro.tracing.records import gpu_stream
+
+#: a second CUDA stream dedicated to offload/prefetch copies
+COPY_STREAM = gpu_stream(14)
+
+
+class VirtualizedDNN(OptimizationModel):
+    """What if conv feature maps were offloaded/prefetched (vDNN_conv)?"""
+
+    name = "vdnn"
+
+    def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
+        kinds: Dict[str, str] = dict(context.trace_metadata.get("layer_kinds", {}))
+        conv_layers = [name for name, kind in kinds.items() if kind == "conv"]
+        if not conv_layers:
+            return WhatIfOutcome(graph=graph)
+        pcie = context.gpu.pcie_bytes_per_us()
+
+        fwd_last = _phase_gpu_tasks(graph, "forward", last=True)
+        bwd_first = _phase_gpu_tasks(graph, "backward", last=False)
+        # backward visit order of the offloaded layers (reverse forward order)
+        layer_order = [l for l in context.trace_metadata.get("layer_order", [])
+                       if l in set(conv_layers)]
+        backward_visit = list(reversed(layer_order))
+
+        for i, layer in enumerate(backward_visit):
+            fwd_task = fwd_last.get(layer)
+            bwd_task = bwd_first.get(layer)
+            if fwd_task is None or bwd_task is None:
+                continue
+            size = _activation_bytes(fwd_task)
+            copy_us = size / pcie + 8.0
+            offload = Task(
+                name="CUDA memcpy DtoH (vdnn offload)", kind=TaskKind.MEMCPY,
+                thread=COPY_STREAM, duration=copy_us, layer=layer,
+                size_bytes=size, metadata={"inserted": True},
+            )
+            graph.append(offload)
+            graph.add_dependency(fwd_task, offload)
+
+            prefetch = Task(
+                name="CUDA memcpy HtoD (vdnn prefetch)", kind=TaskKind.MEMCPY,
+                thread=COPY_STREAM, duration=copy_us, layer=layer,
+                size_bytes=size, metadata={"inserted": True},
+            )
+            graph.append(prefetch)
+            graph.add_dependency(offload, prefetch)
+            graph.add_dependency(prefetch, bwd_task)
+            # findPrefetchLayer: issue when the previous offloaded layer's
+            # backward begins (one-layer lookahead)
+            if i > 0:
+                gate = bwd_first.get(backward_visit[i - 1])
+                if gate is not None:
+                    graph.add_dependency(gate, prefetch)
+        return WhatIfOutcome(graph=graph)
+
+
+def _phase_gpu_tasks(graph: DependencyGraph, phase: str,
+                     last: bool) -> Dict[str, Task]:
+    """First or last GPU task per layer for a phase, in stream order."""
+    out: Dict[str, Task] = {}
+    for thread in graph.threads():
+        if not thread.is_gpu:
+            continue
+        for task in graph.tasks_on(thread):
+            if task.layer is None or task.phase != phase:
+                continue
+            if last or task.layer not in out:
+                out[task.layer] = task
+    return out
+
+
+def _activation_bytes(task: Task) -> float:
+    """Feature-map size estimate from the conv kernel's metadata.
+
+    Falls back to a duration-proportional estimate when the kernel carries
+    no shape metadata (e.g. a trace from a foreign profiler).
+    """
+    out_bytes = float(task.metadata.get("output_bytes", 0.0))
+    if out_bytes > 0:
+        return out_bytes
+    return task.duration * 400.0

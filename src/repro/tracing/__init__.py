@@ -1,0 +1,22 @@
+"""CUPTI-like trace records and trace containers."""
+
+from repro.tracing.records import (
+    EventCategory,
+    ExecutionThread,
+    TraceEvent,
+    comm_channel,
+    cpu_thread,
+    gpu_stream,
+)
+from repro.tracing.trace import Trace, render_timeline
+
+__all__ = [
+    "EventCategory",
+    "ExecutionThread",
+    "TraceEvent",
+    "Trace",
+    "cpu_thread",
+    "gpu_stream",
+    "comm_channel",
+    "render_timeline",
+]

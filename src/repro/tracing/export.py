@@ -1,0 +1,95 @@
+"""Export traces and simulation results to Chrome trace-event JSON.
+
+The output loads in ``chrome://tracing`` / Perfetto, giving the same visual
+the paper's Figure 1 shows in NVProf: per-thread swimlanes of runtime APIs,
+kernels, memory copies, and communication primitives.  Both measured traces
+and *simulated* (what-if) schedules can be exported, so a user can eyeball
+exactly how an optimization reshapes the timeline.
+"""
+
+import json
+from typing import Dict, List
+
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import SimulationResult
+from repro.tracing.records import EventCategory, ExecutionThread
+from repro.tracing.trace import Trace
+
+_CATEGORY_NAMES = {
+    EventCategory.RUNTIME: "runtime_api",
+    EventCategory.KERNEL: "kernel",
+    EventCategory.MEMCPY: "memcpy",
+    EventCategory.COMM: "comm",
+    EventCategory.DATALOAD: "dataload",
+    EventCategory.MARKER: "layer",
+}
+
+
+def _tid(thread: ExecutionThread) -> int:
+    """Stable numeric thread id for the viewer (CPU < GPU < comm)."""
+    base = {"cpu": 0, "gpu_stream": 100, "comm": 200}[thread.kind]
+    return base + thread.index
+
+
+def trace_to_chrome(trace: Trace) -> str:
+    """Serialize a measured trace to Chrome trace-event JSON."""
+    events: List[Dict[str, object]] = []
+    for event in trace.events:
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": _CATEGORY_NAMES[event.category],
+            "ph": "X",
+            "ts": event.start_us,
+            "dur": event.duration_us,
+            "pid": 0,
+            "tid": _tid(event.thread),
+            "args": {},
+        }
+        if event.layer:
+            record["args"]["layer"] = event.layer
+        if event.phase:
+            record["args"]["phase"] = event.phase
+        if event.correlation_id is not None:
+            record["args"]["correlation"] = event.correlation_id
+        events.append(record)
+    events.extend(_thread_names({e.thread for e in trace.events}))
+    return json.dumps({"traceEvents": events,
+                       "metadata": dict(trace.metadata)})
+
+
+def simulation_to_chrome(graph: DependencyGraph,
+                         result: SimulationResult) -> str:
+    """Serialize a simulated schedule (e.g. a what-if outcome) to JSON."""
+    events: List[Dict[str, object]] = []
+    for task, start in result.start_us.items():
+        record: Dict[str, object] = {
+            "name": task.name,
+            "cat": task.kind.value,
+            "ph": "X",
+            "ts": start,
+            "dur": task.duration,
+            "pid": 0,
+            "tid": _tid(task.thread),
+            "args": {},
+        }
+        if task.layer:
+            record["args"]["layer"] = task.layer
+        if task.phase:
+            record["args"]["phase"] = task.phase
+        events.append(record)
+    events.extend(_thread_names(set(graph.threads())))
+    return json.dumps({"traceEvents": events})
+
+
+def _thread_names(threads) -> List[Dict[str, object]]:
+    """Metadata records labeling the swimlanes."""
+    out = []
+    for thread in sorted(threads):
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": _tid(thread),
+            "args": {"name": str(thread)},
+        })
+    return out

@@ -1,0 +1,146 @@
+"""Trace event records, mirroring what CUPTI exposes.
+
+CUPTI's activity API reports, per record: the activity kind (runtime API,
+kernel, memcpy), name, start/end timestamps, the CPU thread or CUDA stream
+it ran on, and a **correlation ID** linking each ``cudaLaunchKernel`` call to
+the GPU kernel it launched.  Our :class:`TraceEvent` carries exactly those
+fields, plus the framework-instrumentation extras Daydream adds (layer
+markers with phase tags, communication metadata).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class EventCategory(enum.Enum):
+    """CUPTI activity kinds plus Daydream's instrumentation records."""
+
+    RUNTIME = "runtime"      # CUDA runtime API call on a CPU thread
+    KERNEL = "kernel"        # GPU kernel execution on a CUDA stream
+    MEMCPY = "memcpy"        # CUDA memory copy on a CUDA stream
+    COMM = "comm"            # communication primitive on a network channel
+    MARKER = "marker"        # framework layer-phase window (instrumentation)
+    DATALOAD = "dataload"    # mini-batch load on a CPU thread
+
+
+@dataclass(frozen=True, order=True)
+class ExecutionThread:
+    """Where a task executes: a CPU thread, a CUDA stream, or a comm channel.
+
+    Ordering/frozen so it can key dictionaries and sort deterministically.
+    """
+
+    kind: str   # 'cpu' | 'gpu_stream' | 'comm'
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu_stream", "comm"):
+            raise ValueError(f"unknown thread kind {self.kind!r}")
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind == "cpu"
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu_stream"
+
+    @property
+    def is_comm(self) -> bool:
+        return self.kind == "comm"
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.index}"
+
+
+def cpu_thread(index: int = 0) -> ExecutionThread:
+    """Convenience constructor for a CPU thread."""
+    return ExecutionThread("cpu", index)
+
+
+def gpu_stream(index: int = 0) -> ExecutionThread:
+    """Convenience constructor for a CUDA stream."""
+    return ExecutionThread("gpu_stream", index)
+
+
+def comm_channel(index: int = 0) -> ExecutionThread:
+    """Convenience constructor for a communication channel."""
+    return ExecutionThread("comm", index)
+
+
+@dataclass
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        category: activity kind.
+        name: API/kernel/primitive name (CUPTI-style strings).
+        start_us: start timestamp (microseconds since trace origin).
+        duration_us: duration in microseconds.
+        thread: executing CPU thread / CUDA stream / comm channel.
+        correlation_id: links a launch API to its GPU kernel (CUPTI semantics);
+            ``None`` for records with no correlation.
+        layer: DNN layer name (markers always have it; kernels get it only
+            after Daydream's task-to-layer mapping).
+        phase: ``forward`` / ``backward`` / ``weight_update`` for markers.
+        size_bytes: payload size for memcpy/comm events.
+        metadata: free-form extras (bucket id, gradient size, ...).
+    """
+
+    category: EventCategory
+    name: str
+    start_us: float
+    duration_us: float
+    thread: ExecutionThread
+    correlation_id: Optional[int] = None
+    layer: Optional[str] = None
+    phase: Optional[str] = None
+    size_bytes: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"negative duration for event {self.name!r}")
+
+    @property
+    def end_us(self) -> float:
+        """End timestamp."""
+        return self.start_us + self.duration_us
+
+    @property
+    def is_gpu_side(self) -> bool:
+        """True for events that occupy a CUDA stream."""
+        return self.category in (EventCategory.KERNEL, EventCategory.MEMCPY)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation."""
+        return {
+            "category": self.category.value,
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "thread": {"kind": self.thread.kind, "index": self.thread.index},
+            "correlation_id": self.correlation_id,
+            "layer": self.layer,
+            "phase": self.phase,
+            "size_bytes": self.size_bytes,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        thread = data["thread"]
+        return cls(
+            category=EventCategory(data["category"]),
+            name=data["name"],
+            start_us=float(data["start_us"]),
+            duration_us=float(data["duration_us"]),
+            thread=ExecutionThread(thread["kind"], int(thread["index"])),
+            correlation_id=data.get("correlation_id"),
+            layer=data.get("layer"),
+            phase=data.get("phase"),
+            size_bytes=float(data.get("size_bytes", 0.0)),
+            metadata=dict(data.get("metadata", {})),
+        )

@@ -1,0 +1,199 @@
+"""The :class:`Trace` container and a text timeline renderer (Figure 1).
+
+A trace is the output of one profiled training iteration: a list of
+:class:`~repro.tracing.records.TraceEvent` plus the framework-instrumentation
+metadata Daydream needs for distributed prediction (gradient bucket map,
+per-layer gradient sizes, model/device identity).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import TraceError
+from repro.tracing.records import EventCategory, ExecutionThread, TraceEvent
+
+
+@dataclass
+class Trace:
+    """A profiled training iteration.
+
+    Attributes:
+        events: all trace records (kept sorted by start time).
+        metadata: instrumentation extras; well-known keys:
+            ``model``, ``batch_size``, ``gpu``, ``optimizer``, ``precision``,
+            ``buckets`` (list of {id, size_bytes, layers, trigger_layer}),
+            ``layer_grad_bytes`` (name -> bytes), ``layer_order`` (names).
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.start_us, e.end_us, str(e.thread)))
+
+    # -- basic queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def start_us(self) -> float:
+        """Timestamp of the earliest event."""
+        if not self.events:
+            raise TraceError("empty trace has no start")
+        return min(e.start_us for e in self.events)
+
+    @property
+    def end_us(self) -> float:
+        """Timestamp of the latest event end."""
+        if not self.events:
+            raise TraceError("empty trace has no end")
+        return max(e.end_us for e in self.events)
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock span of the iteration."""
+        return self.end_us - self.start_us
+
+    def by_category(self, category: EventCategory) -> List[TraceEvent]:
+        """All events of one category, in start order."""
+        return [e for e in self.events if e.category is category]
+
+    def by_thread(self, thread: ExecutionThread) -> List[TraceEvent]:
+        """All events on one execution thread, in start order."""
+        return [e for e in self.events if e.thread == thread]
+
+    def threads(self) -> List[ExecutionThread]:
+        """Distinct execution threads present, sorted."""
+        return sorted({e.thread for e in self.events})
+
+    def kernels(self) -> List[TraceEvent]:
+        """GPU-side events (kernels + memcpys)."""
+        return [e for e in self.events if e.is_gpu_side]
+
+    def markers(self, phase: Optional[str] = None) -> List[TraceEvent]:
+        """Layer markers, optionally filtered by phase."""
+        out = self.by_category(EventCategory.MARKER)
+        if phase is not None:
+            out = [e for e in out if e.phase == phase]
+        return out
+
+    def find(self, substring: str) -> List[TraceEvent]:
+        """Events whose name contains ``substring``."""
+        return [e for e in self.events if substring in e.name]
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check CUPTI-like invariants; raise :class:`TraceError` on violation.
+
+        Invariants: non-negative durations; no two events overlap on the same
+        execution thread (markers are windows, not tasks, and are exempt);
+        every correlation ID is shared by exactly one RUNTIME and at most one
+        GPU-side event.
+        """
+        per_thread: Dict[ExecutionThread, List[TraceEvent]] = {}
+        for e in self.events:
+            if e.category is EventCategory.MARKER:
+                continue
+            per_thread.setdefault(e.thread, []).append(e)
+        for thread, evs in per_thread.items():
+            evs.sort(key=lambda e: e.start_us)
+            for prev, cur in zip(evs, evs[1:]):
+                if cur.start_us < prev.end_us - 1e-6:
+                    raise TraceError(
+                        f"overlap on {thread}: {prev.name!r} ends {prev.end_us:.1f}, "
+                        f"{cur.name!r} starts {cur.start_us:.1f}"
+                    )
+        runtime_corr: Dict[int, int] = {}
+        gpu_corr: Dict[int, int] = {}
+        for e in self.events:
+            if e.correlation_id is None:
+                continue
+            bucket = runtime_corr if e.category is EventCategory.RUNTIME else gpu_corr
+            bucket[e.correlation_id] = bucket.get(e.correlation_id, 0) + 1
+        for cid, count in runtime_corr.items():
+            if count != 1:
+                raise TraceError(f"correlation id {cid} on {count} runtime events")
+        for cid, count in gpu_corr.items():
+            if count != 1:
+                raise TraceError(f"correlation id {cid} on {count} GPU events")
+        for cid in gpu_corr:
+            if cid not in runtime_corr:
+                raise TraceError(f"GPU event correlation id {cid} has no launch API")
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(
+            {"metadata": self.metadata, "events": [e.to_dict() for e in self.events]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Deserialize from :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"invalid trace JSON: {exc}") from exc
+        return cls(
+            events=[TraceEvent.from_dict(d) for d in data.get("events", [])],
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the trace to a file."""
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace from a file."""
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def render_timeline(
+    trace: Trace,
+    width: int = 100,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Render an NVProf-style ASCII timeline (paper Figure 1).
+
+    One row per execution thread; each event paints its extent with ``#``
+    (kernels), ``=`` (runtime APIs), ``~`` (memcpy), ``@`` (comm), ``.``
+    (data loading).
+    """
+    if not trace.events:
+        return "(empty trace)"
+    origin = trace.start_us
+    span = max(trace.duration_us, 1e-9)
+    scale = width / span
+    glyph = {
+        EventCategory.KERNEL: "#",
+        EventCategory.RUNTIME: "=",
+        EventCategory.MEMCPY: "~",
+        EventCategory.COMM: "@",
+        EventCategory.DATALOAD: ".",
+    }
+    rows: List[str] = [f"timeline: {span / 1000.0:.2f} ms total, 1 col = "
+                       f"{span / width / 1000.0:.3f} ms"]
+    threads = trace.threads()
+    if max_rows is not None:
+        threads = threads[:max_rows]
+    for thread in threads:
+        canvas = [" "] * width
+        for e in trace.by_thread(thread):
+            if e.category is EventCategory.MARKER:
+                continue
+            lo = int((e.start_us - origin) * scale)
+            hi = max(lo + 1, int((e.end_us - origin) * scale))
+            for i in range(lo, min(hi, width)):
+                canvas[i] = glyph.get(e.category, "?")
+        rows.append(f"{str(thread):>14} |{''.join(canvas)}|")
+    return "\n".join(rows)

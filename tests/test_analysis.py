@@ -1,0 +1,100 @@
+"""Tests for the WhatIfSession front-end and metrics."""
+
+import pytest
+
+from repro.analysis.metrics import improvement_percent, prediction_error, speedup
+from repro.analysis.session import Prediction, WhatIfSession
+from repro.common.errors import ConfigError
+from repro.framework.config import TrainingConfig
+from repro.optimizations import AutomaticMixedPrecision, FusedAdam
+from repro.tracing.trace import Trace
+
+
+class TestMetrics:
+    def test_prediction_error(self):
+        assert prediction_error(110.0, 100.0) == pytest.approx(0.1)
+        assert prediction_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_prediction_error_rejects_zero_truth(self):
+        with pytest.raises(ConfigError):
+            prediction_error(1.0, 0.0)
+
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == 2.0
+        with pytest.raises(ConfigError):
+            speedup(100.0, 0.0)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(200.0, 100.0) == 50.0
+        assert improvement_percent(100.0, 120.0) == -20.0
+        with pytest.raises(ConfigError):
+            improvement_percent(0.0, 10.0)
+
+
+class TestPrediction:
+    def test_derived_quantities(self):
+        pred = Prediction(optimization="amp", baseline_us=200.0,
+                          predicted_us=100.0)
+        assert pred.speedup == 2.0
+        assert pred.improvement_percent == 50.0
+
+    def test_str_mentions_name(self):
+        pred = Prediction(optimization="amp", baseline_us=200.0,
+                          predicted_us=100.0)
+        assert "amp" in str(pred)
+
+
+class TestWhatIfSession:
+    def test_profile_by_name(self):
+        session = WhatIfSession.profile("resnet50", batch_size=2)
+        assert session.baseline_us > 0
+
+    def test_from_model(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        assert session.trace.metadata["model"] == "tinycnn"
+
+    def test_graph_cached(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        assert session.graph is session.graph
+
+    def test_baseline_matches_trace(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        assert session.baseline_us == pytest.approx(
+            session.trace.duration_us, rel=0.01)
+
+    def test_predict_does_not_mutate_baseline(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        before = session.baseline_us
+        session.predict(AutomaticMixedPrecision())
+        session.predict(FusedAdam())
+        assert session.baseline_us == before
+        # the cached graph still simulates to the baseline time
+        from repro.core.simulate import simulate
+        assert simulate(session.graph).makespan_us == pytest.approx(before,
+                                                                    rel=0.01)
+
+    def test_multiple_questions_one_profile(self, tiny_model):
+        """Paper Section 7.1: one profile answers many questions."""
+        session = WhatIfSession.from_model(tiny_model)
+        amp = session.predict(AutomaticMixedPrecision())
+        fused = session.predict(FusedAdam())
+        assert amp.optimization == "amp"
+        assert fused.optimization == "fused_adam"
+        assert amp.predicted_us != fused.predicted_us
+
+    def test_from_trace_roundtrip(self, tiny_model, tmp_path):
+        """Profiles survive serialization — analyze on another machine."""
+        session = WhatIfSession.from_model(tiny_model)
+        path = str(tmp_path / "profile.json")
+        session.trace.save(path)
+        revived = WhatIfSession.from_trace(Trace.load(path))
+        assert revived.baseline_us == pytest.approx(session.baseline_us)
+        pred_a = session.predict(AutomaticMixedPrecision())
+        pred_b = revived.predict(AutomaticMixedPrecision())
+        assert pred_a.predicted_us == pytest.approx(pred_b.predicted_us)
+
+    def test_breakdown_components(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        breakdown = session.breakdown()
+        assert breakdown.total_us == pytest.approx(session.baseline_us)
+        assert breakdown.parallel_us >= 0

@@ -1,0 +1,76 @@
+"""Tests for per-layer time attribution (the layer-level profiler view)."""
+
+import pytest
+
+from repro.analysis.layerprofile import profile_layers
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+
+
+@pytest.fixture
+def profiled(tiny_trace):
+    graph = build_graph(tiny_trace)
+    result = simulate(graph)
+    return graph, result, profile_layers(graph, result)
+
+
+class TestProfileLayers:
+    def test_every_model_layer_has_forward_entry(self, tiny_model, profiled):
+        _, _, profile = profiled
+        for layer in tiny_model.layers:
+            entry = profile.get(layer.name, "forward")
+            assert entry.kernels == len(layer.forward_kernels), layer.name
+
+    def test_backward_kernel_counts(self, tiny_model, profiled):
+        _, _, profile = profiled
+        for layer in tiny_model.layers:
+            entry = profile.get(layer.name, "backward")
+            assert entry.kernels == len(layer.backward_kernels), layer.name
+
+    def test_gpu_time_partition(self, profiled):
+        """Summed per-layer GPU time equals the mapped GPU task total."""
+        graph, _, profile = profiled
+        mapped_gpu = sum(t.duration for t in graph.tasks()
+                         if t.is_gpu and t.layer is not None
+                         and t.phase is not None)
+        attributed = sum(p.gpu_us for p in profile.entries.values())
+        assert attributed == pytest.approx(mapped_gpu)
+
+    def test_cpu_includes_gaps(self, profiled):
+        _, _, profile = profiled
+        any_entry = next(iter(profile.entries.values()))
+        # cpu_total >= cpu API time because gaps are added
+        assert any_entry.cpu_total_us >= any_entry.cpu_us
+
+    def test_top_layers_sorted(self, profiled):
+        _, _, profile = profiled
+        top = profile.top_layers(5)
+        gpu_times = [p.gpu_us for p in top]
+        assert gpu_times == sorted(gpu_times, reverse=True)
+
+    def test_top_layers_phase_filter(self, profiled):
+        _, _, profile = profiled
+        fwd_only = profile.top_layers(100, phase="forward")
+        assert fwd_only
+        assert all(p.phase == "forward" for p in fwd_only)
+
+    def test_unknown_layer_returns_zeros(self, profiled):
+        _, _, profile = profiled
+        entry = profile.get("nonexistent", "forward")
+        assert entry.gpu_us == 0.0 and entry.kernels == 0
+
+    def test_render(self, profiled):
+        _, _, profile = profiled
+        out = profile.render(5)
+        assert "layer" in out and "gpu_ms" in out
+
+    def test_layers_first_seen_order(self, profiled):
+        _, _, profile = profiled
+        layers = profile.layers()
+        assert len(layers) == len(set(layers))
+        assert "conv1" in layers
+
+    def test_without_simulation_result(self, tiny_trace):
+        graph = build_graph(tiny_trace)
+        profile = profile_layers(graph)
+        assert profile.entries

@@ -1,0 +1,108 @@
+"""Tests for memory-footprint estimation and the what-if report."""
+
+import pytest
+
+from repro.analysis.memory import MemoryFootprint, estimate_footprint, max_batch_size
+from repro.analysis.report import OptimizationReport, quick_report
+from repro.analysis.session import WhatIfSession
+from repro.common.errors import ConfigError
+from repro.hw.device import GPU_2080TI, GPUSpec
+from repro.models.registry import build_model
+from repro.optimizations import AutomaticMixedPrecision, FusedAdam
+from repro.optimizations.hardware import GpuUpgrade
+
+
+class TestMemoryFootprint:
+    def test_components_positive(self, tiny_model):
+        fp = estimate_footprint(tiny_model)
+        assert fp.weights > 0
+        assert fp.gradients == fp.weights
+        assert fp.activations > 0
+        assert fp.total > fp.weights
+
+    def test_adam_doubles_optimizer_state(self, tiny_model):
+        adam = estimate_footprint(tiny_model, optimizer="adam")
+        sgd = estimate_footprint(tiny_model, optimizer="sgd")
+        assert adam.optimizer_state == 2 * sgd.optimizer_state
+
+    def test_unknown_optimizer_rejected(self, tiny_model):
+        with pytest.raises(ConfigError):
+            estimate_footprint(tiny_model, optimizer="rmsprop")
+
+    def test_bert_large_heavier_than_base(self):
+        base = estimate_footprint(build_model("bert_base"))
+        large = estimate_footprint(build_model("bert_large"))
+        assert large.total > base.total
+
+    def test_activations_scale_with_batch(self):
+        small = estimate_footprint(build_model("resnet50", batch_size=16))
+        big = estimate_footprint(build_model("resnet50", batch_size=64))
+        assert big.activations == pytest.approx(small.activations * 4,
+                                                rel=0.05)
+        assert big.weights == small.weights
+
+    def test_fits(self):
+        fp = MemoryFootprint(weights=1e9, gradients=1e9, optimizer_state=1e9,
+                             activations=1e9, workspace=0)
+        assert fp.fits(GPU_2080TI)        # 4 GB on an 11 GB card
+        tiny_gpu = GPUSpec(name="tiny", fp32_tflops=1, fp16_tflops=1,
+                           memory_bandwidth_gBps=100, memory_gb=2.0)
+        assert not fp.fits(tiny_gpu)
+
+    def test_as_gb_keys(self, tiny_model):
+        gb = estimate_footprint(tiny_model).as_gb()
+        assert set(gb) == {"weights_gb", "gradients_gb",
+                           "optimizer_state_gb", "activations_gb",
+                           "workspace_gb", "total_gb"}
+
+
+class TestMaxBatchSize:
+    def test_resnet_fits_reasonable_batch(self):
+        best = max_batch_size(
+            lambda b: build_model("resnet50", batch_size=b), GPU_2080TI)
+        assert 16 <= best <= 512
+
+    def test_monotone_in_memory(self):
+        small_gpu = GPUSpec(name="s", fp32_tflops=10, fp16_tflops=10,
+                            memory_bandwidth_gBps=500, memory_gb=4.0)
+        big_gpu = GPUSpec(name="b", fp32_tflops=10, fp16_tflops=10,
+                          memory_bandwidth_gBps=500, memory_gb=24.0)
+        build = lambda b: build_model("resnet50", batch_size=b)
+        assert max_batch_size(build, big_gpu) >= max_batch_size(build,
+                                                                small_gpu)
+
+    def test_zero_when_nothing_fits(self):
+        nano_gpu = GPUSpec(name="n", fp32_tflops=1, fp16_tflops=1,
+                           memory_bandwidth_gBps=10, memory_gb=0.001)
+        build = lambda b: build_model("resnet50", batch_size=b)
+        assert max_batch_size(build, nano_gpu) == 0
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ConfigError):
+            max_batch_size(lambda b: build_model("resnet50", batch_size=b),
+                           GPU_2080TI, start=0)
+
+
+class TestOptimizationReport:
+    def test_ranking(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        report = quick_report(session, [AutomaticMixedPrecision(),
+                                        FusedAdam(),
+                                        GpuUpgrade(1.01)])
+        ranked = report.ranked()
+        times = [p.predicted_us for p in ranked]
+        assert times == sorted(times)
+        assert report.best() is ranked[0]
+
+    def test_render_contains_all(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        report = quick_report(session, [AutomaticMixedPrecision(),
+                                        FusedAdam()])
+        out = report.render()
+        assert "amp" in out and "fused_adam" in out
+        assert "tinycnn" in out
+
+    def test_best_requires_predictions(self, tiny_model):
+        session = WhatIfSession.from_model(tiny_model)
+        with pytest.raises(ValueError):
+            OptimizationReport(session=session).best()

@@ -1,0 +1,109 @@
+"""Tests for repro.common.intervals, including hypothesis properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.intervals import (
+    intersect,
+    intersect_total,
+    merge_intervals,
+    subtract,
+    subtract_total,
+    total_length,
+)
+
+interval = st.tuples(
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+).map(lambda t: (min(t), max(t)))
+interval_list = st.lists(interval, max_size=20)
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_preserved(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlap_merged(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_zero_length_dropped(self):
+        assert merge_intervals([(1, 1)]) == []
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    @given(interval_list)
+    def test_output_disjoint_and_sorted(self, intervals):
+        merged = merge_intervals(intervals)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+
+    @given(interval_list)
+    def test_merge_idempotent(self, intervals):
+        once = merge_intervals(intervals)
+        assert merge_intervals(once) == once
+
+
+class TestTotalLength:
+    def test_simple(self):
+        assert total_length([(0, 2), (3, 4)]) == 3.0
+
+    def test_overlap_not_double_counted(self):
+        assert total_length([(0, 2), (1, 3)]) == 3.0
+
+    @given(interval_list)
+    def test_bounded_by_span(self, intervals):
+        if not intervals:
+            return
+        merged = merge_intervals(intervals)
+        if not merged:
+            return
+        span = merged[-1][1] - merged[0][0]
+        assert total_length(intervals) <= span + 1e-9
+
+
+class TestIntersect:
+    def test_disjoint(self):
+        assert intersect([(0, 1)], [(2, 3)]) == []
+
+    def test_contained(self):
+        assert intersect([(0, 10)], [(2, 3)]) == [(2, 3)]
+
+    def test_partial(self):
+        assert intersect([(0, 5)], [(3, 8)]) == [(3, 5)]
+
+    @given(interval_list, interval_list)
+    def test_commutative(self, a, b):
+        assert intersect_total(a, b) == intersect_total(b, a)
+
+    @given(interval_list, interval_list)
+    def test_bounded_by_each_side(self, a, b):
+        both = intersect_total(a, b)
+        assert both <= total_length(a) + 1e-9
+        assert both <= total_length(b) + 1e-9
+
+
+class TestSubtract:
+    def test_full_removal(self):
+        assert subtract([(0, 5)], [(0, 5)]) == []
+
+    def test_punch_hole(self):
+        assert subtract([(0, 10)], [(3, 4)]) == [(0, 3), (4, 10)]
+
+    def test_no_overlap(self):
+        assert subtract([(0, 1)], [(5, 6)]) == [(0, 1)]
+
+    def test_left_trim(self):
+        assert subtract([(0, 10)], [(0, 4)]) == [(4, 10)]
+
+    @given(interval_list, interval_list)
+    def test_partition_identity(self, a, b):
+        """|a| == |a - b| + |a intersect b| (the breakdown invariant)."""
+        lhs = total_length(a)
+        rhs = subtract_total(a, b) + intersect_total(a, b)
+        assert abs(lhs - rhs) < 1e-6

@@ -1,0 +1,70 @@
+"""Tests for repro.common.prng (deterministic jitter)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.prng import biased_factor, jitter_factor, stable_hash, stable_uniform
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_distinct_keys_differ(self):
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_known_width(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+    def test_empty_key(self):
+        assert isinstance(stable_hash(""), int)
+
+
+class TestStableUniform:
+    @given(st.text(max_size=50))
+    def test_in_unit_interval(self, key):
+        assert 0.0 <= stable_uniform(key) < 1.0
+
+    def test_deterministic(self):
+        assert stable_uniform("kernel/sgemm/0") == stable_uniform("kernel/sgemm/0")
+
+
+class TestJitterFactor:
+    @given(st.text(max_size=50), st.floats(min_value=0.0, max_value=0.5))
+    def test_within_spread(self, key, spread):
+        factor = jitter_factor(key, spread)
+        assert 1.0 - spread <= factor <= 1.0 + spread
+
+    def test_zero_spread_is_identity(self):
+        assert jitter_factor("x", 0.0) == 1.0
+
+    def test_invalid_spread_rejected(self):
+        with pytest.raises(ValueError):
+            jitter_factor("x", 1.0)
+        with pytest.raises(ValueError):
+            jitter_factor("x", -0.1)
+
+    def test_factor_positive(self):
+        assert jitter_factor("y", 0.99) > 0.0
+
+
+class TestBiasedFactor:
+    @given(st.text(max_size=50))
+    def test_within_band(self, key):
+        factor = biased_factor(key, 2.0, 3.0)
+        assert 2.0 <= factor <= 3.0
+
+    def test_degenerate_band(self):
+        assert biased_factor("k", 1.5, 1.5) == 1.5
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValueError):
+            biased_factor("k", 3.0, 2.0)
+
+    def test_deterministic(self):
+        assert biased_factor("a", 1.0, 2.0) == biased_factor("a", 1.0, 2.0)
+
+    def test_spread_across_keys(self):
+        # many keys should not all collapse to one value
+        values = {round(biased_factor(f"key{i}", 0.0, 1.0), 3) for i in range(50)}
+        assert len(values) > 25

@@ -1,0 +1,55 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestTimeConstants:
+    def test_millisecond_is_thousand_microseconds(self):
+        assert units.MS == 1000.0 * units.US
+
+    def test_second_is_million_microseconds(self):
+        assert units.SEC == 1_000_000.0 * units.US
+
+    def test_us_to_ms(self):
+        assert units.us_to_ms(2500.0) == 2.5
+
+    def test_ms_to_us(self):
+        assert units.ms_to_us(1.5) == 1500.0
+
+    def test_roundtrip(self):
+        assert units.us_to_ms(units.ms_to_us(3.25)) == 3.25
+
+
+class TestSizeConstants:
+    def test_kb_mb_gb_ladder(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(8) == 1.0
+        assert units.bits_to_bytes(1e9) == 125e6
+
+
+class TestBandwidthConversions:
+    def test_one_gbps_is_125_bytes_per_us(self):
+        assert units.gbps_to_bytes_per_us(1.0) == pytest.approx(125.0)
+
+    def test_ten_gbps(self):
+        assert units.gbps_to_bytes_per_us(10.0) == pytest.approx(1250.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.gbps_to_bytes_per_us(-1.0)
+
+    def test_memory_bandwidth_conversion(self):
+        # 616 GB/s (2080Ti) ~ 616000 bytes/us
+        assert units.gBps_to_bytes_per_us(616.0) == pytest.approx(616_000.0)
+
+    def test_negative_memory_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.gBps_to_bytes_per_us(-5.0)
+
+    def test_zero_bandwidth_allowed(self):
+        assert units.gbps_to_bytes_per_us(0.0) == 0.0

@@ -1,0 +1,138 @@
+"""Edge-case tests for graph construction on hand-built traces."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+from repro.core.task import TaskKind
+from repro.tracing.records import (
+    EventCategory,
+    TraceEvent,
+    comm_channel,
+    cpu_thread,
+    gpu_stream,
+)
+from repro.tracing.trace import Trace
+
+
+def ev(category, name, start, dur, thread, corr=None, meta=None):
+    return TraceEvent(category=category, name=name, start_us=start,
+                      duration_us=dur, thread=thread, correlation_id=corr,
+                      metadata=meta or {})
+
+
+class TestMinimalTraces:
+    def test_single_cpu_event(self):
+        trace = Trace(events=[ev(EventCategory.RUNTIME, "cudaFree", 0, 5,
+                                 cpu_thread(0))])
+        graph = build_graph(trace)
+        assert len(graph) == 1
+        assert simulate(graph).makespan_us == 5.0
+
+    def test_launch_kernel_pair(self):
+        trace = Trace(events=[
+            ev(EventCategory.RUNTIME, "cudaLaunchKernel", 0, 2,
+               cpu_thread(0), corr=1),
+            ev(EventCategory.KERNEL, "my_kernel", 2, 10, gpu_stream(0),
+               corr=1),
+        ])
+        graph = build_graph(trace)
+        kernel = next(t for t in graph.tasks() if t.kind is TaskKind.GPU_KERNEL)
+        launch = kernel.metadata["launched_by"]
+        assert launch.name == "cudaLaunchKernel"
+        assert simulate(graph).makespan_us == 12.0
+
+    def test_orphan_gpu_kernel_rejected(self):
+        trace = Trace(events=[
+            ev(EventCategory.KERNEL, "orphan", 0, 10, gpu_stream(0), corr=7),
+        ])
+        with pytest.raises(TraceError):
+            build_graph(trace)
+
+    def test_marker_only_trace_rejected(self):
+        trace = Trace(events=[TraceEvent(
+            category=EventCategory.MARKER, name="l#forward", start_us=0,
+            duration_us=1, thread=cpu_thread(0), layer="l", phase="forward")])
+        with pytest.raises(TraceError):
+            build_graph(trace)
+
+
+class TestSyncSemantics:
+    def _trace_with_sync(self, sync_duration):
+        return Trace(events=[
+            ev(EventCategory.RUNTIME, "cudaLaunchKernel", 0, 2,
+               cpu_thread(0), corr=1),
+            ev(EventCategory.KERNEL, "k", 2, 100, gpu_stream(0), corr=1),
+            ev(EventCategory.RUNTIME, "cudaDeviceSynchronize", 2,
+               sync_duration, cpu_thread(0)),
+        ])
+
+    def test_wait_rederived_not_replayed(self):
+        """After a transform shrinks the kernel, the sync wait shrinks too —
+        which only works because construction strips the measured wait."""
+        graph = build_graph(self._trace_with_sync(sync_duration=100.0))
+        kernel = next(t for t in graph.tasks() if t.is_gpu)
+        kernel.duration = 10.0
+        makespan = simulate(graph).makespan_us
+        assert makespan < 30.0  # not 102+
+
+    def test_sync_still_waits_for_gpu(self):
+        graph = build_graph(self._trace_with_sync(sync_duration=100.0))
+        sync = next(t for t in graph.tasks() if "Synchronize" in t.name)
+        result = simulate(graph)
+        kernel = next(t for t in graph.tasks() if t.is_gpu)
+        assert result.start_us[sync] >= result.end_us(kernel) - 1e-9
+
+
+class TestGapAttribution:
+    def test_gap_between_cpu_tasks(self):
+        trace = Trace(events=[
+            ev(EventCategory.RUNTIME, "a", 0, 2, cpu_thread(0)),
+            ev(EventCategory.RUNTIME, "b", 10, 3, cpu_thread(0)),
+        ])
+        graph = build_graph(trace)
+        first = graph.tasks_on(cpu_thread(0))[0]
+        assert first.gap == pytest.approx(8.0)
+        assert simulate(graph).makespan_us == pytest.approx(13.0)
+
+    def test_no_gap_on_gpu_tasks(self):
+        trace = Trace(events=[
+            ev(EventCategory.RUNTIME, "cudaLaunchKernel", 0, 1,
+               cpu_thread(0), corr=1),
+            ev(EventCategory.RUNTIME, "cudaLaunchKernel", 1, 1,
+               cpu_thread(0), corr=2),
+            ev(EventCategory.KERNEL, "k1", 1, 5, gpu_stream(0), corr=1),
+            ev(EventCategory.KERNEL, "k2", 50, 5, gpu_stream(0), corr=2),
+        ])
+        graph = build_graph(trace)
+        for task in graph.tasks():
+            if task.is_gpu:
+                assert task.gap == 0.0
+
+
+class TestCommConstruction:
+    def test_comm_event_becomes_comm_task(self):
+        trace = Trace(events=[
+            ev(EventCategory.RUNTIME, "cudaLaunchKernel", 0, 1,
+               cpu_thread(0), corr=1),
+            ev(EventCategory.KERNEL, "bwd_k", 1, 10, gpu_stream(0), corr=1),
+            ev(EventCategory.COMM, "ncclAllReduce", 11, 40, comm_channel(0)),
+        ])
+        graph = build_graph(trace)
+        comm = next(t for t in graph.tasks() if t.is_comm)
+        preds = graph.predecessors(comm)
+        assert any(p.is_gpu for p in preds)
+        result = simulate(graph)
+        assert result.makespan_us == pytest.approx(51.0)
+
+    def test_foreign_trace_without_markers(self):
+        """A trace from a profiler without Daydream instrumentation still
+        constructs (just without layer mapping)."""
+        trace = Trace(events=[
+            ev(EventCategory.RUNTIME, "cudaLaunchKernel", 0, 1,
+               cpu_thread(0), corr=1),
+            ev(EventCategory.KERNEL, "k", 1, 5, gpu_stream(0), corr=1),
+        ])
+        graph = build_graph(trace, map_layers=True)
+        assert all(t.layer is None for t in graph.tasks())

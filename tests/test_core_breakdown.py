@@ -1,0 +1,100 @@
+"""Tests for the CPU/GPU runtime breakdown (Figure 6 machinery)."""
+
+import pytest
+
+from repro.core.breakdown import RuntimeBreakdown, compute_breakdown
+from repro.core.construction import build_graph
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import simulate
+from repro.core.task import Task, TaskKind
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import profile_iteration
+from repro.tracing.records import cpu_thread, gpu_stream
+
+from conftest import make_tiny_model
+
+
+def cpu_task(name, dur, gap=0.0):
+    return Task(name=name, kind=TaskKind.CPU, thread=cpu_thread(0),
+                duration=dur, gap=gap)
+
+
+def gpu_task(name, dur):
+    return Task(name=name, kind=TaskKind.GPU_KERNEL, thread=gpu_stream(0),
+                duration=dur)
+
+
+class TestSyntheticBreakdowns:
+    def test_pure_cpu(self):
+        g = DependencyGraph()
+        g.append(cpu_task("a", 10.0))
+        b = compute_breakdown(g, simulate(g))
+        assert b.cpu_only_us == pytest.approx(10.0)
+        assert b.gpu_only_us == 0.0
+        assert b.parallel_us == 0.0
+
+    def test_full_overlap(self):
+        g = DependencyGraph()
+        g.append(cpu_task("c", 10.0))
+        g.append(gpu_task("g", 10.0))
+        b = compute_breakdown(g, simulate(g))
+        assert b.parallel_us == pytest.approx(10.0)
+        assert b.cpu_only_us == 0.0
+        assert b.gpu_only_us == 0.0
+
+    def test_launch_then_wait(self):
+        """CPU launches (2us), GPU runs 10us, CPU syncs at the end."""
+        g = DependencyGraph()
+        launch = g.append(cpu_task("launch", 2.0))
+        kernel = g.append(gpu_task("kernel", 10.0))
+        sync = g.append(cpu_task("sync", 1.0))
+        g.add_dependency(launch, kernel)
+        g.add_dependency(kernel, sync)
+        b = compute_breakdown(g, simulate(g))
+        # launch [0,2], kernel [2,12], sync [12,13]: no overlap at all
+        assert b.parallel_us == pytest.approx(0.0, abs=1e-6)
+        assert b.gpu_only_us == pytest.approx(10.0, abs=1e-6)
+        assert b.cpu_only_us == pytest.approx(3.0, abs=1e-6)
+
+    def test_gap_counts_as_cpu_time(self):
+        g = DependencyGraph()
+        g.append(cpu_task("a", 1.0, gap=5.0))
+        g.append(cpu_task("b", 1.0))
+        b = compute_breakdown(g, simulate(g))
+        assert b.cpu_only_us == pytest.approx(7.0)
+
+    def test_components_bounded_by_total(self):
+        g = DependencyGraph()
+        g.append(cpu_task("a", 3.0))
+        g.append(gpu_task("g", 8.0))
+        b = compute_breakdown(g, simulate(g))
+        assert (b.cpu_only_us + b.gpu_only_us + b.parallel_us
+                <= b.total_us + 1e-6)
+
+    def test_as_row_converts_to_ms(self):
+        b = RuntimeBreakdown(total_us=2000.0, cpu_only_us=1000.0,
+                             gpu_only_us=500.0, parallel_us=500.0)
+        assert b.as_row() == [2.0, 1.0, 0.5, 0.5]
+        assert b.other_us == 0.0
+
+
+class TestModelBreakdowns:
+    def test_tiny_model_components_cover_iteration(self, tiny_trace):
+        graph = build_graph(tiny_trace)
+        b = compute_breakdown(graph, simulate(graph))
+        covered = b.cpu_only_us + b.gpu_only_us + b.parallel_us
+        assert covered == pytest.approx(b.total_us, rel=0.05)
+
+    def test_fp16_shrinks_gpu_only_not_cpu(self):
+        """The paper's Figure-6 signature: AMP cuts GPU-only time while the
+        CPU-side time stays put (and can grow in relative terms)."""
+        model = make_tiny_model()
+        results = {}
+        for precision in ("fp32", "fp16"):
+            trace = profile_iteration(model, TrainingConfig(precision=precision))
+            graph = build_graph(trace)
+            results[precision] = compute_breakdown(graph, simulate(graph))
+        assert results["fp16"].gpu_only_us < results["fp32"].gpu_only_us
+        cpu32 = results["fp32"].cpu_only_us + results["fp32"].parallel_us
+        cpu16 = results["fp16"].cpu_only_us + results["fp16"].parallel_us
+        assert cpu16 == pytest.approx(cpu32, rel=0.10)

@@ -1,0 +1,114 @@
+"""Tests for dependency-graph construction (the five dependency types)."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+from repro.core.task import TaskKind
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import profile_iteration
+from repro.hw.device import GPU_2080TI
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.tracing.trace import Trace
+
+from conftest import make_tiny_model
+
+
+@pytest.fixture
+def tiny_graph(tiny_trace):
+    return build_graph(tiny_trace)
+
+
+class TestConstruction:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(TraceError):
+            build_graph(Trace())
+
+    def test_markers_are_not_tasks(self, tiny_trace, tiny_graph):
+        executable = [e for e in tiny_trace.events
+                      if e.category.value != "marker"]
+        # +1: the blocking DtoH API splits into launch + wait
+        assert len(tiny_graph) == len(executable) + 1
+
+    def test_correlation_edges(self, tiny_graph):
+        """Dependency type 3: every GPU task depends on its launch API."""
+        for task in tiny_graph.tasks():
+            if task.is_gpu:
+                preds = tiny_graph.predecessors(task)
+                launches = [p for p in preds if p.is_cpu]
+                assert len(launches) == 1
+                assert launches[0].correlation_id == task.correlation_id
+
+    def test_sync_has_gpu_dependency(self, tiny_graph):
+        """Dependency type 4: sync APIs gated by GPU tasks."""
+        syncs = [t for t in tiny_graph.tasks()
+                 if t.is_cpu and "Synchronize" in t.name]
+        assert syncs
+        for sync in syncs:
+            assert any(p.is_gpu or p.is_comm
+                       for p in tiny_graph.predecessors(sync))
+
+    def test_sync_duration_stripped(self, tiny_graph):
+        """The wait part of a sync API must not be replayed."""
+        for task in tiny_graph.tasks():
+            if task.is_cpu and "Synchronize" in task.name:
+                assert task.duration < 50.0
+
+    def test_blocking_dtoh_split(self, tiny_graph):
+        waits = [t for t in tiny_graph.tasks() if t.name.endswith("#wait")]
+        assert len(waits) == 1
+        preds = tiny_graph.predecessors(waits[0])
+        assert any(p.kind is TaskKind.MEMCPY for p in preds)
+
+    def test_cpu_gaps_nonnegative(self, tiny_graph):
+        for task in tiny_graph.tasks():
+            assert task.gap >= 0.0
+
+    def test_gaps_recover_hidden_cpu_time(self, tiny_graph):
+        """The engine's silent dispatch gaps must reappear as task gaps."""
+        cpu_gap_total = sum(t.gap for t in tiny_graph.tasks() if t.is_cpu)
+        assert cpu_gap_total > 0.0
+
+    def test_graph_validates(self, tiny_graph):
+        tiny_graph.validate()
+
+
+class TestReplayFidelity:
+    """Simulating the unmodified graph must reproduce the traced time —
+    the paper's prerequisite for trusting what-if predictions."""
+
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_tiny_model(self, optimizer):
+        trace = profile_iteration(make_tiny_model(optimizer=optimizer))
+        res = simulate(build_graph(trace))
+        assert res.makespan_us == pytest.approx(trace.duration_us, rel=0.01)
+
+    def test_resnet(self, resnet_trace):
+        res = simulate(build_graph(resnet_trace))
+        assert res.makespan_us == pytest.approx(resnet_trace.duration_us,
+                                                rel=0.005)
+
+    def test_bert(self, bert_base_trace):
+        res = simulate(build_graph(bert_base_trace))
+        assert res.makespan_us == pytest.approx(bert_base_trace.duration_us,
+                                                rel=0.005)
+
+    def test_fp16_trace(self):
+        trace = profile_iteration(make_tiny_model(),
+                                  TrainingConfig(precision="fp16"))
+        res = simulate(build_graph(trace))
+        assert res.makespan_us == pytest.approx(trace.duration_us, rel=0.01)
+
+    def test_distributed_trace(self):
+        """Dependency type 5: comm tasks replay correctly too."""
+        cluster = ClusterSpec(2, 1, GPU_2080TI, NetworkSpec(10.0))
+        trace = profile_iteration(make_tiny_model(), cluster=cluster)
+        graph = build_graph(trace)
+        comm = [t for t in graph.tasks() if t.is_comm]
+        assert comm
+        for task in comm:
+            assert any(p.is_gpu for p in graph.predecessors(task))
+        res = simulate(graph)
+        assert res.makespan_us == pytest.approx(trace.duration_us, rel=0.02)

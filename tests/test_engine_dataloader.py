@@ -1,0 +1,57 @@
+"""Tests for the data-loader worker thread (Figure 1's second CPU thread)."""
+
+import pytest
+
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+from repro.core.task import TaskKind
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import profile_iteration
+from repro.tracing.records import EventCategory, cpu_thread
+
+from conftest import make_tiny_model
+
+
+class TestDataLoaderThread:
+    def test_dataload_on_worker_thread(self, tiny_trace):
+        (load,) = tiny_trace.by_category(EventCategory.DATALOAD)
+        assert load.thread == cpu_thread(1)
+
+    def test_two_cpu_threads_visible(self, tiny_trace):
+        cpu_threads = [t for t in tiny_trace.threads() if t.is_cpu]
+        assert len(cpu_threads) == 2
+
+    def test_upload_waits_for_batch(self, tiny_trace):
+        (load,) = tiny_trace.by_category(EventCategory.DATALOAD)
+        uploads = [e for e in tiny_trace.by_category(EventCategory.RUNTIME)
+                   if e.name == "cudaMemcpyAsync"]
+        first_upload = min(uploads, key=lambda e: e.start_us)
+        assert first_upload.start_us >= load.end_us - 1e-6
+
+    def test_construction_wires_dataload_edge(self, tiny_trace):
+        graph = build_graph(tiny_trace)
+        load = next(t for t in graph.tasks()
+                    if t.kind is TaskKind.DATALOAD)
+        succs = graph.successors(load)
+        assert succs, "data load must gate the batch upload"
+        assert any(s.is_cpu for s in succs)
+
+    def test_replay_fidelity_preserved(self, tiny_trace):
+        makespan = simulate(build_graph(tiny_trace)).makespan_us
+        assert makespan == pytest.approx(tiny_trace.duration_us, rel=0.01)
+
+    def test_slow_loader_delays_iteration(self):
+        model = make_tiny_model()
+        fast = profile_iteration(model, TrainingConfig(data_loading_us=100.0))
+        slow = profile_iteration(model,
+                                 TrainingConfig(data_loading_us=50_000.0))
+        assert (slow.duration_us - fast.duration_us) > 40_000.0
+
+    def test_what_if_faster_loader(self, tiny_trace):
+        """Shrinking the loader task answers 'is IO my bottleneck?'."""
+        graph = build_graph(tiny_trace)
+        load = next(t for t in graph.tasks()
+                    if t.kind is TaskKind.DATALOAD)
+        baseline = simulate(graph).makespan_us
+        load.duration = 0.0
+        assert simulate(graph).makespan_us <= baseline

@@ -1,0 +1,107 @@
+"""Deeper engine behavior tests: phase structure, markers, gaps, scaling."""
+
+import dataclasses
+
+import pytest
+
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import profile_iteration
+from repro.hw.device import CPU_EPYC_7601, GPU_P4000
+from repro.tracing.records import EventCategory
+
+from conftest import make_tiny_model
+
+
+class TestPhaseStructure:
+    def test_forward_markers_in_layer_order(self, tiny_model, tiny_trace):
+        fwd = tiny_trace.markers("forward")
+        assert [m.layer for m in fwd] == [l.name for l in tiny_model.layers]
+
+    def test_backward_markers_reversed(self, tiny_model, tiny_trace):
+        bwd = tiny_trace.markers("backward")
+        assert [m.layer for m in bwd] == [l.name for l in
+                                          tiny_model.backward_order()]
+
+    def test_forward_precedes_backward(self, tiny_trace):
+        last_fwd = max(m.end_us for m in tiny_trace.markers("forward"))
+        first_bwd = min(m.start_us for m in tiny_trace.markers("backward"))
+        assert first_bwd >= last_fwd - 1e-6
+
+    def test_backward_precedes_weight_update(self, tiny_trace):
+        last_bwd = max(m.end_us for m in tiny_trace.markers("backward"))
+        first_wu = min(m.start_us for m in
+                       tiny_trace.markers("weight_update"))
+        assert first_wu >= last_bwd - 1e-6
+
+    def test_marker_windows_cover_their_launches(self, tiny_trace):
+        apis = [e for e in tiny_trace.by_category(EventCategory.RUNTIME)
+                if e.name == "cudaLaunchKernel"]
+        markers = tiny_trace.markers()
+        for api in apis:
+            inside = any(m.start_us <= api.start_us < m.end_us
+                         for m in markers)
+            # launches outside any marker exist only for the input upload
+            assert inside or api.start_us < markers[0].start_us
+
+    def test_weight_update_only_parameterized_layers(self, tiny_model,
+                                                     tiny_trace):
+        wu_layers = {m.layer for m in tiny_trace.markers("weight_update")}
+        expected = {l.name for l in tiny_model.layers if l.params}
+        assert wu_layers == expected
+
+
+class TestGapsAndOverheads:
+    def test_cpu_gap_scale_slows_cpu_side(self):
+        base = profile_iteration(make_tiny_model())
+        scaled_model = dataclasses.replace(make_tiny_model(),
+                                           cpu_gap_scale=8.0)
+        scaled = profile_iteration(scaled_model)
+        assert scaled.duration_us > base.duration_us
+
+    def test_dispatch_gap_parameter(self):
+        model = make_tiny_model()
+        cheap_cpu = dataclasses.replace(CPU_EPYC_7601, dispatch_gap_us=0.5,
+                                        layer_gap_us=1.0)
+        cheap = profile_iteration(model, TrainingConfig(cpu=cheap_cpu))
+        default = profile_iteration(model, TrainingConfig())
+        assert cheap.duration_us < default.duration_us
+
+    def test_launch_api_duration_respected(self, tiny_trace):
+        launches = [e for e in tiny_trace.by_category(EventCategory.RUNTIME)
+                    if e.name == "cudaLaunchKernel"]
+        for api in launches:
+            assert api.duration_us == pytest.approx(
+                CPU_EPYC_7601.launch_api_us)
+
+
+class TestDeviceSensitivity:
+    def test_slower_gpu_slower_iteration(self):
+        model = make_tiny_model()
+        fast = profile_iteration(model, TrainingConfig())
+        slow = profile_iteration(model, TrainingConfig(gpu=GPU_P4000))
+        assert slow.duration_us > fast.duration_us
+
+    def test_gpu_name_in_metadata(self):
+        trace = profile_iteration(make_tiny_model(),
+                                  TrainingConfig(gpu=GPU_P4000))
+        assert trace.metadata["gpu"] == "Quadro-P4000"
+
+    def test_bigger_batch_longer_iteration(self):
+        small = profile_iteration(make_tiny_model(batch=2))
+        large = profile_iteration(make_tiny_model(batch=16))
+        assert large.duration_us > small.duration_us
+
+
+class TestEventAccounting:
+    def test_runtime_api_count(self, tiny_model, tiny_trace):
+        """One launch per kernel + upload + DtoH + syncs."""
+        kernels = len(tiny_trace.kernels())
+        runtime = len(tiny_trace.by_category(EventCategory.RUNTIME))
+        # every GPU-side event has a launch; plus 1 DtoH wrapper + 1 final
+        # device sync (the upload's cudaMemcpyAsync is the memcpy's launch)
+        assert runtime == kernels + 1
+
+    def test_marker_count(self, tiny_model, tiny_trace):
+        n_layers = len(tiny_model.layers)
+        n_param_layers = sum(1 for l in tiny_model.layers if l.params)
+        assert len(tiny_trace.markers()) == 2 * n_layers + n_param_layers

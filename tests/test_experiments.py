@@ -1,0 +1,131 @@
+"""Tests for the experiment runners (reduced configurations for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_timeline,
+    fig5_amp,
+    fig6_breakdown,
+    fig7_fusedadam,
+    fig8_distributed,
+    fig9_nccl,
+    fig10_p3,
+    sec52_modeling,
+    sec64_batchnorm,
+    table1_catalog,
+)
+from repro.experiments.common import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_add_row_checks_width(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add_row(1, 2)
+        with pytest.raises(ValueError):
+            r.add_row(1)
+
+    def test_render_contains_title_and_cells(self):
+        r = ExperimentResult("x", "My Title", ["a"], notes="note here")
+        r.add_row(3.14159)
+        out = r.render()
+        assert "My Title" in out and "3.14" in out and "note here" in out
+
+    def test_column(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add_row(1, 2)
+        r.add_row(3, 4)
+        assert r.column("b") == [2, 4]
+
+
+class TestFig1:
+    def test_runs(self):
+        r = fig1_timeline.run("resnet50")
+        assert dict(zip(r.column("quantity"), r.column("value")))["threads"] == 3
+        assert "gpu_stream" in r.notes
+
+
+class TestTable1:
+    def test_all_ten_optimizations_covered(self):
+        r = table1_catalog.run()
+        assert len(r.rows) == 10
+        evaluated = [row for row in r.rows if row[3] == "yes"]
+        assert len(evaluated) == 5
+
+
+class TestFig5:
+    def test_single_model(self):
+        r = fig5_amp.run(models=["resnet50"])
+        (row,) = r.rows
+        assert row[0] == "resnet50"
+        baseline, truth, pred = row[1], row[2], row[3]
+        assert truth < baseline          # AMP helps
+        assert row[5] < 15.0             # prediction error within paper band
+
+
+class TestFig6:
+    def test_breakdown_rows(self):
+        r = fig6_breakdown.run(models=["resnet50"])
+        assert len(r.rows) == 2  # fp32 + fp16
+        fp32, fp16 = r.rows
+        assert fp16[4] < fp32[4]        # gpu_only shrinks under AMP
+        assert fp16[3] == pytest.approx(fp32[3], rel=0.25)  # cpu_only stays
+
+
+class TestFig7:
+    def test_single_model(self):
+        r = fig7_fusedadam.run(models=["bert_base"])
+        (row,) = r.rows
+        assert row[2] < row[1]   # ground truth faster than baseline
+        assert row[5] < 10.0     # error
+        assert row[6] == pytest.approx(2633, rel=0.05)  # wu kernel count
+
+
+class TestFig8:
+    def test_reduced_grid(self):
+        r = fig8_distributed.run(models=["resnet50"], bandwidths=[10],
+                                 configs=[(1, 1), (2, 1)])
+        assert len(r.rows) == 2
+        one, two = r.rows
+        assert two[3] > one[3]   # 2 workers slower per-iteration
+        assert two[5] < 10.0     # error within paper band
+
+
+class TestFig9:
+    def test_contention_above_theoretical(self):
+        r = fig9_nccl.run(cluster_shape=(2, 1))
+        ratios = r.column("baseline_over_theoretical")
+        assert all(x > 1.0 for x in ratios)
+        assert 1.1 < sum(ratios) / len(ratios) < 1.6
+
+    def test_sync_impact_never_degrades(self):
+        r = fig9_nccl.run_sync_impact(bandwidths=[10.0],
+                                      configs=[(2, 1), (4, 1)])
+        assert all(imp > -1.0 for imp in r.column("improvement_%"))
+
+
+class TestFig10:
+    def test_reduced_sweep(self):
+        r = fig10_p3.run("resnet50", bandwidths=[2.0, 6.0], batch_size=32)
+        low, high = r.rows
+        assert low[1] > high[1]          # higher bandwidth -> faster baseline
+        for row in r.rows:
+            assert row[2] <= row[1] * 1.01   # P3 never slower than baseline
+            assert row[4] < 25.0             # prediction error sane
+
+
+class TestSec52:
+    def test_all_five_modeled(self):
+        r = sec52_modeling.run()
+        assert {row[0] for row in r.rows} == {
+            "blueconnect", "dgc", "metaflow", "vdnn", "gist"}
+
+
+class TestSec64:
+    def test_prediction_overestimates_ground_truth(self):
+        r = sec64_batchnorm.run()
+        values = dict(zip(r.column("quantity"), r.column("value")))
+        assert values["predicted_improvement_%"] > \
+            values["ground_truth_improvement_%"] > 0
+        # the paper's qualitative conclusion: less promising than the
+        # 17.5% the optimization's own paper claims
+        assert values["predicted_improvement_%"] < 17.5

@@ -1,0 +1,80 @@
+"""Tests for Chrome-trace export and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.session import WhatIfSession
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+from repro.optimizations import AutomaticMixedPrecision
+from repro.tracing.export import simulation_to_chrome, trace_to_chrome
+
+
+class TestChromeExport:
+    def test_trace_export_valid_json(self, tiny_trace):
+        data = json.loads(trace_to_chrome(tiny_trace))
+        assert "traceEvents" in data
+        events = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == len(tiny_trace)
+
+    def test_trace_export_fields(self, tiny_trace):
+        data = json.loads(trace_to_chrome(tiny_trace))
+        kernels = [e for e in data["traceEvents"] if e.get("cat") == "kernel"]
+        assert kernels
+        for k in kernels[:5]:
+            assert k["dur"] > 0
+            assert "correlation" in k["args"]
+
+    def test_thread_name_metadata(self, tiny_trace):
+        data = json.loads(trace_to_chrome(tiny_trace))
+        names = [e for e in data["traceEvents"] if e.get("ph") == "M"]
+        labels = {e["args"]["name"] for e in names}
+        assert "cpu:0" in labels
+        assert "gpu_stream:7" in labels
+
+    def test_simulation_export(self, tiny_trace):
+        graph = build_graph(tiny_trace)
+        result = simulate(graph)
+        data = json.loads(simulation_to_chrome(graph, result))
+        spans = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == len(graph)
+
+    def test_whatif_schedule_export(self, tiny_model):
+        """Exporting a transformed schedule works end to end."""
+        session = WhatIfSession.from_model(tiny_model)
+        graph, result = session.predict_simulation(AutomaticMixedPrecision())
+        data = json.loads(simulation_to_chrome(graph, result))
+        assert data["traceEvents"]
+
+
+class TestCLI:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "bert_large" in out
+
+    def test_profile(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "t.json")
+        chrome_path = str(tmp_path / "c.json")
+        code = main(["profile", "resnet50", "--batch-size", "2",
+                     "--save", trace_path, "--chrome", chrome_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ms/iteration" in out
+        assert json.load(open(chrome_path))["traceEvents"]
+        from repro.tracing.trace import Trace
+        assert len(Trace.load(trace_path)) > 100
+
+    def test_whatif(self, capsys):
+        assert main(["whatif", "resnet50", "--batch-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "amp" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "AMP" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2

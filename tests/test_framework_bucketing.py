@@ -1,0 +1,87 @@
+"""Tests for PyTorch-DDP-style gradient bucketing."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.framework.bucketing import Bucket, compute_buckets, layer_to_bucket
+from repro.models.registry import build_model
+
+from conftest import make_tiny_model
+
+
+class TestComputeBuckets:
+    def test_partition_covers_all_gradients(self):
+        model = build_model("resnet50")
+        buckets = compute_buckets(model)
+        assert sum(b.size_bytes for b in buckets) == model.grad_bytes
+
+    def test_each_parameterized_layer_in_exactly_one_bucket(self):
+        model = build_model("resnet50")
+        buckets = compute_buckets(model)
+        layers = [l for b in buckets for l in b.layers]
+        assert len(layers) == len(set(layers))
+        expected = {l.name for l in model.layers if l.grad_bytes}
+        assert set(layers) == expected
+
+    def test_backward_order(self):
+        model = make_tiny_model()
+        buckets = compute_buckets(model, bucket_cap_mb=0.001)
+        order = [l for b in buckets for l in b.layers]
+        bwd = [l.name for l in model.backward_order() if l.grad_bytes]
+        assert order == bwd
+
+    def test_bucket_capacity_respected_before_close(self):
+        model = build_model("resnet50")
+        cap_mb = 25.0
+        for bucket in compute_buckets(model, cap_mb):
+            # a bucket exceeds cap only by its final layer's contribution
+            without_last = bucket.size_bytes - model.layer(
+                bucket.trigger_layer).grad_bytes
+            assert without_last < cap_mb * 1024 * 1024
+
+    def test_trigger_is_last_layer_in_bucket(self):
+        for bucket in compute_buckets(build_model("resnet50")):
+            assert bucket.trigger_layer == bucket.layers[-1]
+
+    def test_tiny_cap_gives_one_bucket_per_layer(self):
+        model = make_tiny_model()
+        buckets = compute_buckets(model, bucket_cap_mb=1e-9)
+        n_param_layers = sum(1 for l in model.layers if l.grad_bytes)
+        assert len(buckets) == n_param_layers
+
+    def test_huge_cap_gives_single_bucket(self):
+        buckets = compute_buckets(make_tiny_model(), bucket_cap_mb=1e6)
+        assert len(buckets) == 1
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ConfigError):
+            compute_buckets(make_tiny_model(), bucket_cap_mb=0)
+
+    def test_indices_sequential(self):
+        buckets = compute_buckets(build_model("resnet50"))
+        assert [b.index for b in buckets] == list(range(len(buckets)))
+
+
+class TestBucketSerialization:
+    def test_dict_roundtrip(self):
+        bucket = Bucket(index=2, size_bytes=1024, layers=("a", "b"),
+                        trigger_layer="b")
+        again = Bucket.from_dict(bucket.to_dict())
+        assert again == bucket
+
+
+class TestLayerToBucket:
+    def test_inverts_mapping(self):
+        buckets = compute_buckets(build_model("resnet50"))
+        mapping = layer_to_bucket(buckets)
+        for bucket in buckets:
+            for layer in bucket.layers:
+                assert mapping[layer] == bucket.index
+
+    def test_detects_duplicates(self):
+        buckets = [
+            Bucket(0, 10, ("a",), "a"),
+            Bucket(1, 10, ("a",), "a"),
+        ]
+        with pytest.raises(ConfigError):
+            layer_to_bucket(buckets)

@@ -1,0 +1,173 @@
+"""Tests for the framework execution engine (the substrate)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import Engine, profile_iteration
+from repro.hw.device import GPU_2080TI, GPU_P4000
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.tracing.records import EventCategory
+
+from conftest import make_tiny_model
+
+
+class TestTrainingConfig:
+    def test_defaults(self):
+        config = TrainingConfig()
+        assert config.framework == "pytorch"
+        assert config.precision == "fp32"
+
+    def test_rejects_unknown_framework(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(framework="jax")
+
+    def test_rejects_unknown_precision(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(precision="int8")
+
+    def test_rejects_unknown_optimizer(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(optimizer="lamb")
+
+    def test_with_returns_modified_copy(self):
+        config = TrainingConfig()
+        fp16 = config.with_(precision="fp16")
+        assert fp16.precision == "fp16"
+        assert config.precision == "fp32"
+
+    def test_resolve_optimizer(self):
+        assert TrainingConfig().resolve_optimizer("adam") == "adam"
+        assert TrainingConfig(optimizer="sgd").resolve_optimizer("adam") == "sgd"
+
+
+class TestEngineBasics:
+    def test_trace_validates(self, tiny_model):
+        trace = profile_iteration(tiny_model)
+        trace.validate()  # no exception
+
+    def test_deterministic(self, tiny_model):
+        t1 = profile_iteration(tiny_model)
+        t2 = profile_iteration(tiny_model)
+        assert t1.duration_us == t2.duration_us
+        assert len(t1) == len(t2)
+
+    def test_contains_all_phases(self, tiny_trace):
+        phases = {m.phase for m in tiny_trace.markers()}
+        assert phases == {"forward", "backward", "weight_update"}
+
+    def test_every_kernel_has_launch_api(self, tiny_trace):
+        kernel_corrs = {e.correlation_id for e in tiny_trace.kernels()}
+        api_corrs = {e.correlation_id
+                     for e in tiny_trace.by_category(EventCategory.RUNTIME)
+                     if e.correlation_id is not None}
+        assert kernel_corrs <= api_corrs
+
+    def test_kernel_launched_before_execution(self, tiny_trace):
+        apis = {e.correlation_id: e
+                for e in tiny_trace.by_category(EventCategory.RUNTIME)
+                if e.correlation_id is not None}
+        for kernel in tiny_trace.kernels():
+            launch = apis[kernel.correlation_id]
+            assert kernel.start_us >= launch.start_us
+
+    def test_data_loading_first(self, tiny_trace):
+        first = tiny_trace.events[0]
+        assert first.category is EventCategory.DATALOAD
+
+    def test_ends_with_device_sync(self, tiny_trace):
+        runtime = tiny_trace.by_category(EventCategory.RUNTIME)
+        assert runtime[-1].name == "cudaDeviceSynchronize"
+
+    def test_metadata_complete(self, tiny_trace):
+        meta = tiny_trace.metadata
+        for key in ("model", "buckets", "layer_order", "layer_kinds",
+                    "layer_grad_bytes", "param_tensors", "optimizer"):
+            assert key in meta, key
+
+    def test_adam_weight_update_kernel_count(self, tiny_model, tiny_trace):
+        # 13 pointwise kernels per parameter tensor
+        expected = 13 * len(tiny_model.param_tensors)
+        pointwise = [e for e in tiny_trace.kernels()
+                     if "PointwiseApply" in e.name]
+        assert len(pointwise) == expected
+
+    def test_sgd_variant_launches_fewer_kernels(self):
+        adam = profile_iteration(make_tiny_model(optimizer="adam"))
+        sgd = profile_iteration(make_tiny_model(optimizer="sgd"))
+        assert len(sgd) < len(adam)
+
+
+class TestPrecisionAndOptimizerVariants:
+    def test_fp16_is_faster(self, tiny_model):
+        fp32 = profile_iteration(tiny_model, TrainingConfig())
+        fp16 = profile_iteration(tiny_model, TrainingConfig(precision="fp16"))
+        assert fp16.duration_us < fp32.duration_us
+
+    def test_fp16_does_not_change_cpu_api_count(self, tiny_model):
+        fp32 = profile_iteration(tiny_model, TrainingConfig())
+        fp16 = profile_iteration(tiny_model, TrainingConfig(precision="fp16"))
+        n32 = len(fp32.by_category(EventCategory.RUNTIME))
+        n16 = len(fp16.by_category(EventCategory.RUNTIME))
+        assert n32 == n16
+
+    def test_fused_adam_single_update_kernel(self, tiny_model):
+        trace = profile_iteration(
+            tiny_model, TrainingConfig(optimizer="fused_adam"))
+        fused = trace.find("fused_adam")
+        assert len([e for e in fused if e.category is EventCategory.KERNEL]) == 1
+
+    def test_fused_adam_faster_than_unfused(self, tiny_model):
+        unfused = profile_iteration(tiny_model)
+        fused = profile_iteration(
+            tiny_model, TrainingConfig(optimizer="fused_adam"))
+        assert fused.duration_us < unfused.duration_us
+
+
+class TestDistributedExecution:
+    def _cluster(self, machines=2, gpus=1, bw=10.0):
+        return ClusterSpec(machines, gpus, GPU_2080TI, NetworkSpec(bw))
+
+    def test_comm_events_inserted(self, tiny_model):
+        trace = profile_iteration(tiny_model, cluster=self._cluster())
+        comm = trace.by_category(EventCategory.COMM)
+        assert len(comm) == len(tiny_model and trace.metadata["buckets"])
+
+    def test_single_worker_cluster_no_comm(self, tiny_model):
+        trace = profile_iteration(tiny_model, cluster=self._cluster(1, 1))
+        assert not trace.by_category(EventCategory.COMM)
+
+    def test_distributed_slower_than_single(self, tiny_model):
+        single = profile_iteration(tiny_model)
+        multi = profile_iteration(tiny_model, cluster=self._cluster())
+        assert multi.duration_us > single.duration_us
+
+    def test_lower_bandwidth_is_slower(self, tiny_model):
+        fast = profile_iteration(tiny_model, cluster=self._cluster(bw=40.0))
+        slow = profile_iteration(tiny_model, cluster=self._cluster(bw=5.0))
+        assert slow.duration_us > fast.duration_us
+
+    def test_sync_variant_adds_syncs(self, tiny_model):
+        plain = profile_iteration(tiny_model, cluster=self._cluster())
+        synced = profile_iteration(tiny_model, cluster=self._cluster(),
+                                   sync_before_allreduce=True)
+        n_plain = len(plain.find("cudaStreamSynchronize"))
+        n_synced = len(synced.find("cudaStreamSynchronize"))
+        assert n_synced > n_plain
+
+    def test_comm_duration_exceeds_theoretical(self, tiny_model):
+        trace = profile_iteration(tiny_model, cluster=self._cluster())
+        for comm in trace.by_category(EventCategory.COMM):
+            assert comm.duration_us > comm.metadata["theoretical_us"]
+
+    def test_gpu_mismatch_rejected(self, tiny_model):
+        cluster = ClusterSpec(2, 1, GPU_P4000, NetworkSpec(10.0))
+        with pytest.raises(ConfigError):
+            Engine(model=tiny_model, config=TrainingConfig(),
+                   cluster=cluster).run_iteration()
+
+    def test_cluster_metadata_recorded(self, tiny_model):
+        trace = profile_iteration(tiny_model, cluster=self._cluster(3, 2))
+        assert trace.metadata["cluster"]["machines"] == 3
+        assert trace.metadata["cluster"]["gpus_per_machine"] == 2

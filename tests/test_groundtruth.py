@@ -1,0 +1,115 @@
+"""Tests for the ground-truth executions and model surgery."""
+
+import pytest
+
+from repro.framework import groundtruth as gt
+from repro.framework.config import TrainingConfig
+from repro.framework.paramserver import run_ps_baseline, run_ps_p3
+from repro.hw.device import GPU_2080TI, GPU_P4000
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+
+from conftest import make_tiny_model
+
+
+@pytest.fixture
+def tiny_bn_model():
+    return make_tiny_model()
+
+
+class TestSingleGpuGroundTruths:
+    def test_baseline(self, tiny_model):
+        result = gt.run_baseline(tiny_model)
+        assert result.iteration_us == result.trace.duration_us > 0
+
+    def test_amp_faster_than_baseline(self, tiny_model):
+        base = gt.run_baseline(tiny_model)
+        amp = gt.run_amp(tiny_model)
+        assert amp.iteration_us < base.iteration_us
+
+    def test_amp_differs_from_flat_heuristic(self, tiny_model):
+        """GT must not equal the /3,/2 heuristic — otherwise the evaluation
+        would trivially report zero error."""
+        from repro.analysis.session import WhatIfSession
+        from repro.optimizations import AutomaticMixedPrecision
+        session = WhatIfSession.from_model(tiny_model)
+        pred = session.predict(AutomaticMixedPrecision())
+        truth = gt.run_amp(tiny_model)
+        gpu_pred = sum(t.duration for t in session.graph.tasks() if t.is_gpu)
+        assert pred.predicted_us != pytest.approx(truth.iteration_us,
+                                                  rel=1e-6)
+
+    def test_fused_adam_faster(self, tiny_model):
+        base = gt.run_baseline(tiny_model)
+        fused = gt.run_fused_adam(tiny_model)
+        assert fused.iteration_us < base.iteration_us
+
+    def test_reconstructed_bn_faster(self, tiny_bn_model):
+        base = gt.run_baseline(tiny_bn_model)
+        rebuilt = gt.run_reconstructed_batchnorm(tiny_bn_model)
+        assert rebuilt.iteration_us < base.iteration_us
+
+
+class TestBatchnormSurgery:
+    def test_relu_after_bn_removed(self, tiny_bn_model):
+        surgered = gt.apply_batchnorm_restructuring(tiny_bn_model)
+        kinds = [l.kind for l in surgered.layers]
+        for prev, cur in zip(kinds, kinds[1:]):
+            assert not (prev == "batchnorm" and cur == "relu")
+
+    def test_bn_kernels_renamed_and_cheaper(self, tiny_bn_model):
+        surgered = gt.apply_batchnorm_restructuring(tiny_bn_model)
+        bn = surgered.layer("bn1")
+        restructured = [k for k in bn.forward_kernels
+                        if "restructured_bn" in k.name]
+        assert restructured
+        original = tiny_bn_model.layer("bn1").forward_kernels[0]
+        assert restructured[0].bytes < original.bytes
+
+    def test_staging_copies_added(self, tiny_bn_model):
+        surgered = gt.apply_batchnorm_restructuring(tiny_bn_model)
+        bn = surgered.layer("bn1")
+        assert any("staging" in k.name for k in bn.forward_kernels)
+
+    def test_params_preserved(self, tiny_bn_model):
+        surgered = gt.apply_batchnorm_restructuring(tiny_bn_model)
+        assert surgered.param_numel == tiny_bn_model.param_numel
+
+    def test_name_tagged(self, tiny_bn_model):
+        surgered = gt.apply_batchnorm_restructuring(tiny_bn_model)
+        assert "restructured_bn" in surgered.name
+
+
+class TestDistributedGroundTruth:
+    def test_runs_and_slower_than_single(self, tiny_model):
+        cluster = ClusterSpec(2, 1, GPU_2080TI, NetworkSpec(10.0))
+        single = gt.run_baseline(tiny_model)
+        multi = gt.run_distributed(tiny_model, cluster)
+        assert multi.iteration_us > single.iteration_us
+
+    def test_sync_variant_never_slower(self, tiny_model):
+        cluster = ClusterSpec(4, 1, GPU_2080TI, NetworkSpec(10.0))
+        plain = gt.run_distributed(tiny_model, cluster,
+                                   sync_before_allreduce=False)
+        synced = gt.run_distributed(tiny_model, cluster,
+                                    sync_before_allreduce=True)
+        assert synced.iteration_us <= plain.iteration_us * 1.02
+
+
+class TestParameterServerGroundTruth:
+    def _cluster(self, bw=4.0):
+        return ClusterSpec(4, 1, GPU_P4000, NetworkSpec(bw))
+
+    def test_baseline_and_p3(self, tiny_model):
+        config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+        baseline = run_ps_baseline(tiny_model, self._cluster(), config)
+        p3 = run_ps_p3(tiny_model, self._cluster(), config)
+        assert baseline.variant == "baseline"
+        assert p3.variant == "p3"
+        assert p3.iteration_us <= baseline.iteration_us
+
+    def test_bandwidth_scaling(self, tiny_model):
+        config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+        slow = run_ps_baseline(tiny_model, self._cluster(bw=1.0), config)
+        fast = run_ps_baseline(tiny_model, self._cluster(bw=16.0), config)
+        assert fast.iteration_us < slow.iteration_us

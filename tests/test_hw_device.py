@@ -1,0 +1,87 @@
+"""Tests for repro.hw.device."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.hw.device import (
+    CPU_EPYC_7601,
+    GPU_2080TI,
+    GPU_P4000,
+    GPU_V100,
+    GPUSpec,
+    get_gpu,
+)
+
+
+class TestGPUSpecs:
+    def test_2080ti_preset(self):
+        assert GPU_2080TI.memory_gb == 11.0
+        assert GPU_2080TI.has_tensor_cores
+
+    def test_p4000_has_no_tensor_cores(self):
+        assert not GPU_P4000.has_tensor_cores
+
+    def test_achieved_below_peak(self):
+        peak = GPU_2080TI.fp32_tflops * 1e12 / 1e6
+        assert GPU_2080TI.achieved_flops_per_us("fp32") < peak
+
+    def test_fp16_faster_with_tensor_cores(self):
+        assert (GPU_2080TI.achieved_flops_per_us("fp16")
+                > GPU_2080TI.achieved_flops_per_us("fp32"))
+
+    def test_fp16_marginal_without_tensor_cores(self):
+        ratio = (GPU_P4000.achieved_flops_per_us("fp16")
+                 / GPU_P4000.achieved_flops_per_us("fp32"))
+        assert ratio < 1.5
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ConfigError):
+            GPU_2080TI.achieved_flops_per_us("int8")
+
+    def test_memory_bandwidth_conversion(self):
+        # 616 GB/s * 0.78 efficiency ~ 480k bytes/us
+        assert GPU_2080TI.achieved_bytes_per_us() == pytest.approx(
+            616e9 * 0.78 / 1e6)
+
+    def test_pcie_below_memory_bandwidth(self):
+        assert GPU_2080TI.pcie_bytes_per_us() < GPU_2080TI.achieved_bytes_per_us()
+
+    def test_scaled_gpu(self):
+        fast = GPU_2080TI.scaled(2.0)
+        assert fast.fp32_tflops == pytest.approx(2 * GPU_2080TI.fp32_tflops)
+        assert fast.memory_bandwidth_gBps == pytest.approx(
+            2 * GPU_2080TI.memory_bandwidth_gBps)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            GPU_2080TI.scaled(0.0)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(name="bad", fp32_tflops=1, fp16_tflops=1,
+                    memory_bandwidth_gBps=1, memory_gb=1,
+                    compute_efficiency=1.5)
+
+    def test_nonpositive_throughput_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(name="bad", fp32_tflops=0, fp16_tflops=1,
+                    memory_bandwidth_gBps=1, memory_gb=1)
+
+
+class TestGetGpu:
+    def test_lookup_variants(self):
+        assert get_gpu("2080ti") is GPU_2080TI
+        assert get_gpu("P4000") is GPU_P4000
+        assert get_gpu("v-100") is GPU_V100
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_gpu("tpu-v4")
+
+
+class TestCPUSpec:
+    def test_defaults_positive(self):
+        cpu = CPU_EPYC_7601
+        assert cpu.launch_api_us > 0
+        assert cpu.dispatch_gap_us > 0
+        assert cpu.optimizer_gap_us > 0

@@ -1,0 +1,132 @@
+"""Tests for repro.hw.network and repro.hw.topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.hw.device import GPU_2080TI
+from repro.hw.network import (
+    NetworkSpec,
+    allgather_time_us,
+    ps_pull_time_us,
+    ps_push_time_us,
+    reduce_scatter_time_us,
+    ring_allreduce_time_us,
+)
+from repro.hw.topology import ClusterSpec
+
+
+class TestNetworkSpec:
+    def test_bytes_per_us(self):
+        assert NetworkSpec(10.0).bytes_per_us() == pytest.approx(1250.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigError):
+            NetworkSpec(0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            NetworkSpec(10.0, latency_us=-1.0)
+
+
+class TestRingAllReduce:
+    def test_single_worker_free(self):
+        assert ring_allreduce_time_us(1e6, 1, 1250.0) == 0.0
+
+    def test_two_workers_transfer_one_payload(self):
+        # 2(n-1)/n = 1.0 for n=2
+        assert ring_allreduce_time_us(1e6, 2, 1250.0) == pytest.approx(800.0)
+
+    def test_asymptote_is_double_payload(self):
+        big_n = ring_allreduce_time_us(1e6, 1000, 1250.0)
+        assert big_n == pytest.approx(2 * 1e6 / 1250.0, rel=0.01)
+
+    def test_latency_term(self):
+        with_lat = ring_allreduce_time_us(0.0, 4, 1250.0, latency_us=10.0)
+        assert with_lat == pytest.approx(2 * 3 * 10.0)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_monotone_in_workers(self, n):
+        t1 = ring_allreduce_time_us(1e6, n, 1250.0)
+        t2 = ring_allreduce_time_us(1e6, n + 1, 1250.0)
+        assert t2 >= t1
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_monotone_in_size(self, size):
+        t1 = ring_allreduce_time_us(size, 4, 1250.0)
+        t2 = ring_allreduce_time_us(size + 1000, 4, 1250.0)
+        assert t2 >= t1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigError):
+            ring_allreduce_time_us(1e6, 0, 1250.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigError):
+            ring_allreduce_time_us(-1, 2, 1250.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            ring_allreduce_time_us(1e6, 2, 0.0)
+
+
+class TestRingHalves:
+    def test_reduce_scatter_plus_allgather_equals_allreduce(self):
+        size, n, bw = 1e7, 8, 2500.0
+        combined = (reduce_scatter_time_us(size, n, bw)
+                    + allgather_time_us(size, n, bw))
+        assert combined == pytest.approx(ring_allreduce_time_us(size, n, bw))
+
+    def test_single_worker_free(self):
+        assert reduce_scatter_time_us(1e6, 1, 1250.0) == 0.0
+        assert allgather_time_us(1e6, 1, 1250.0) == 0.0
+
+
+class TestParameterServer:
+    def test_push_is_wire_time_plus_latency(self):
+        assert ps_push_time_us(1e6, 1250.0, latency_us=25.0) == pytest.approx(
+            825.0)
+
+    def test_pull_matches_push(self):
+        assert ps_pull_time_us(5e5, 1250.0) == ps_push_time_us(5e5, 1250.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            ps_push_time_us(-1, 1250.0)
+        with pytest.raises(ConfigError):
+            ps_push_time_us(1e6, 0.0)
+
+
+class TestClusterSpec:
+    def _cluster(self, machines, gpus, bw=10.0):
+        return ClusterSpec(machines, gpus, GPU_2080TI, NetworkSpec(bw))
+
+    def test_worker_count(self):
+        assert self._cluster(4, 2).n_workers == 8
+
+    def test_single_machine_uses_pcie(self):
+        single = self._cluster(1, 4)
+        assert not single.crosses_network
+        assert single.ring_link_bytes_per_us() == pytest.approx(
+            GPU_2080TI.pcie_bytes_per_us())
+
+    def test_nic_shared_between_gpus(self):
+        one = self._cluster(2, 1)
+        two = self._cluster(2, 2)
+        assert two.ring_link_bytes_per_us() == pytest.approx(
+            one.ring_link_bytes_per_us() / 2)
+
+    def test_single_worker_has_no_ring(self):
+        with pytest.raises(ConfigError):
+            self._cluster(1, 1).ring_link_bytes_per_us()
+
+    def test_label(self):
+        assert self._cluster(3, 2).label() == "3x2"
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ConfigError):
+            self._cluster(0, 1)
+
+    def test_is_distributed(self):
+        assert not self._cluster(1, 1).is_distributed
+        assert self._cluster(1, 2).is_distributed

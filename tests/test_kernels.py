@@ -1,0 +1,179 @@
+"""Tests for repro.kernels: specs, library constructors, cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.hw.device import GPU_2080TI, GPU_P4000
+from repro.kernels import library as K
+from repro.kernels.costmodel import KernelCostModel
+from repro.kernels.kernel import KernelKind, KernelSpec
+
+
+class TestKernelSpec:
+    def test_arithmetic_intensity(self):
+        k = KernelSpec("k", KernelKind.GEMM, flops=100, bytes=50)
+        assert k.arithmetic_intensity() == 2.0
+
+    def test_intensity_edge_cases(self):
+        assert KernelSpec("k", KernelKind.MISC).arithmetic_intensity() == 0.0
+        pure = KernelSpec("k", KernelKind.MISC, flops=10, bytes=0)
+        assert pure.arithmetic_intensity() == float("inf")
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigError):
+            KernelSpec("k", KernelKind.GEMM, flops=-1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            KernelSpec("", KernelKind.GEMM)
+
+    def test_with_metadata_merges(self):
+        k = KernelSpec("k", KernelKind.GEMM, metadata={"a": 1})
+        k2 = k.with_metadata(b=2)
+        assert k2.metadata == {"a": 1, "b": 2}
+        assert k.metadata == {"a": 1}
+
+    def test_scaled(self):
+        k = KernelSpec("k", KernelKind.GEMM, flops=10, bytes=20)
+        k2 = k.scaled(flop_factor=2.0, byte_factor=0.5)
+        assert (k2.flops, k2.bytes) == (20, 10)
+
+    def test_kind_helpers(self):
+        assert KernelKind.MEMCPY_H2D.is_memcpy
+        assert not KernelKind.GEMM.is_memcpy
+        assert KernelKind.CONV.is_compute_bound
+        assert not KernelKind.ELEMENTWISE.is_compute_bound
+
+
+class TestLibraryConstructors:
+    def test_sgemm_flops(self):
+        k = K.sgemm(64, 128, 256)
+        assert k.flops == 2 * 64 * 128 * 256
+        assert "sgemm" in k.name
+        assert k.tensor_core_eligible
+
+    def test_sgemm_batched(self):
+        assert K.sgemm(8, 8, 8, batch=10).flops == 10 * 2 * 8 * 8 * 8
+
+    def test_conv_forward_flops(self):
+        # 1x1 conv, stride 1: flops = 2*N*Cout*H*W*Cin
+        k = K.conv2d_forward(2, 16, 8, 8, 32, 1)
+        assert k.flops == 2 * 2 * 32 * 8 * 8 * 16
+        assert "scudnn" in k.name
+
+    def test_conv_output_bytes_metadata(self):
+        k = K.conv2d_forward(2, 16, 8, 8, 32, 3, 1, 1)
+        assert k.metadata["output_bytes"] == 4 * 2 * 32 * 8 * 8
+
+    def test_conv_backward_matches_forward_cost(self):
+        fwd = K.conv2d_forward(2, 16, 8, 8, 32, 3, 1, 1)
+        dgrad = K.conv2d_backward_data(2, 16, 8, 8, 32, 3, 1, 1)
+        wgrad = K.conv2d_backward_filter(2, 16, 8, 8, 32, 3, 1, 1)
+        assert dgrad.flops == fwd.flops
+        assert wgrad.flops == fwd.flops
+
+    def test_strided_conv_shrinks_output(self):
+        s1 = K.conv2d_forward(1, 8, 16, 16, 8, 3, 1, 1)
+        s2 = K.conv2d_forward(1, 8, 16, 16, 8, 3, 2, 1)
+        assert s2.flops < s1.flops
+
+    def test_adam_step_kernel_count(self):
+        kernels = list(K.adam_step_kernels(1000))
+        assert len(kernels) == 13  # reproduces the paper's 2633/5164 counts
+        assert all(k.kind is KernelKind.OPTIMIZER for k in kernels)
+
+    def test_sgd_step_kernel_count(self):
+        assert len(list(K.sgd_step_kernels(1000))) == 2
+
+    def test_adam_core_kernels_are_selectable(self):
+        names = [k.name for k in K.adam_step_kernels(10)]
+        assert any("addcmul" in n for n in names)
+        assert any("addcdiv" in n for n in names)
+
+    def test_fused_adam_kernel(self):
+        k = K.fused_adam_kernel(1e6)
+        assert k.kind is KernelKind.OPTIMIZER
+        assert "fused_adam" in k.name
+
+    def test_memcpy_kinds(self):
+        assert K.memcpy_h2d(100).kind is KernelKind.MEMCPY_H2D
+        assert K.memcpy_d2h(100).kind is KernelKind.MEMCPY_D2H
+
+    def test_nccl_names_match_selection_patterns(self):
+        assert "AllReduce" in K.nccl_allreduce(100).name
+        assert "ReduceScatter" in K.nccl_reduce_scatter(100).name
+        assert "AllGather" in K.nccl_allgather(100).name
+
+    def test_elementwise_traffic(self):
+        k = K.elementwise(1000, reads=2, writes=1)
+        assert k.bytes == 4 * 1000 * 3
+
+
+class TestCostModel:
+    model = KernelCostModel(GPU_2080TI)
+
+    def test_deterministic(self):
+        k = K.sgemm(512, 512, 512)
+        assert self.model.duration_us(k) == self.model.duration_us(k)
+
+    def test_salt_changes_duration_slightly(self):
+        k = K.sgemm(512, 512, 512)
+        d0 = self.model.duration_us(k, key_salt="0")
+        d1 = self.model.duration_us(k, key_salt="1")
+        assert d0 != d1
+        assert abs(d0 - d1) / d0 < 0.1
+
+    def test_compute_bound_scales_with_flops(self):
+        small = self.model.duration_us(K.sgemm(256, 256, 256))
+        large = self.model.duration_us(K.sgemm(1024, 1024, 1024))
+        assert large > small * 10
+
+    def test_memory_bound_scales_with_bytes(self):
+        small = self.model.duration_us(K.elementwise(1e5))
+        large = self.model.duration_us(K.elementwise(1e8))
+        assert large > small * 100
+
+    def test_fixed_overhead_floors_tiny_kernels(self):
+        tiny = self.model.duration_us(K.elementwise(1))
+        assert tiny >= GPU_2080TI.kernel_overhead_us * 0.9
+
+    def test_fp16_speedup_band_tensor_cores(self):
+        k = K.sgemm(2048, 2048, 2048)
+        speedup = self.model.duration_us(k) / self.model.duration_us(k, "fp16")
+        assert 2.0 < speedup < 3.2
+
+    def test_fp16_speedup_band_memory_bound(self):
+        k = K.elementwise(1e8)
+        speedup = self.model.duration_us(k) / self.model.duration_us(k, "fp16")
+        assert 1.5 < speedup < 2.2
+
+    def test_fp16_without_tensor_cores_is_modest(self):
+        p4000 = KernelCostModel(GPU_P4000)
+        k = K.sgemm(2048, 2048, 2048)
+        speedup = p4000.duration_us(k) / p4000.duration_us(k, "fp16")
+        assert speedup < 1.5
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ConfigError):
+            self.model.duration_us(K.sgemm(8, 8, 8), precision="bf16")
+
+    def test_memcpy_uses_pcie(self):
+        k = K.memcpy_h2d(1e7)
+        expected = 1e7 / GPU_2080TI.pcie_bytes_per_us()
+        assert self.model.duration_us(k) == pytest.approx(expected, rel=0.1)
+
+    def test_fused_cheaper_than_sum(self):
+        kernels = [K.elementwise(1e6) for _ in range(10)]
+        unfused = sum(self.model.duration_us(k, key_salt=str(i))
+                      for i, k in enumerate(kernels))
+        fused = self.model.fused_duration_us(kernels)
+        assert fused < unfused
+
+    def test_fused_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            self.model.fused_duration_us([])
+
+    @given(st.floats(min_value=1, max_value=1e10))
+    def test_duration_positive(self, numel):
+        assert self.model.duration_us(K.elementwise(numel)) > 0

@@ -1,0 +1,158 @@
+"""Tests for the model zoo: parameter counts, structure, lowering."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.models.base import LayerSpec, ModelSpec, ParamTensor, Phase
+from repro.models.registry import available_models, build_model
+
+
+class TestParamTensor:
+    def test_grad_bytes(self):
+        assert ParamTensor("w", 100).grad_bytes == 400
+
+    def test_rejects_empty_tensor(self):
+        with pytest.raises(ConfigError):
+            ParamTensor("w", 0)
+
+
+class TestModelSpecValidation:
+    def test_duplicate_layer_names_rejected(self):
+        layer = LayerSpec(name="dup", kind="relu")
+        with pytest.raises(ConfigError):
+            ModelSpec(name="m", layers=[layer, LayerSpec(name="dup", kind="relu")],
+                      batch_size=1, input_sample_bytes=4)
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelSpec(name="m", layers=[], batch_size=1, input_sample_bytes=4,
+                      default_optimizer="adagrad")
+
+    def test_layer_lookup(self):
+        layer = LayerSpec(name="a", kind="relu")
+        model = ModelSpec(name="m", layers=[layer], batch_size=1,
+                          input_sample_bytes=4)
+        assert model.layer("a") is layer
+        with pytest.raises(ConfigError):
+            model.layer("b")
+
+    def test_backward_order_is_reversed(self):
+        layers = [LayerSpec(name=f"l{i}", kind="relu") for i in range(3)]
+        model = ModelSpec(name="m", layers=layers, batch_size=1,
+                          input_sample_bytes=4)
+        assert [l.name for l in model.backward_order()] == ["l2", "l1", "l0"]
+
+
+class TestRegistry:
+    def test_all_models_listed(self):
+        assert set(available_models()) == {
+            "resnet50", "vgg19", "densenet121", "gnmt", "bert_base",
+            "bert_large",
+        }
+
+    def test_aliases(self):
+        assert build_model("Seq2Seq").name == "gnmt"
+        assert build_model("BERT-Large").name == "bert_large"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            build_model("alexnet")
+
+    def test_batch_size_override(self):
+        assert build_model("resnet50", batch_size=8).batch_size == 8
+
+
+class TestParameterCounts:
+    """Parameter totals should match the published architectures."""
+
+    def test_resnet50(self):
+        assert build_model("resnet50").param_numel / 1e6 == pytest.approx(
+            25.5, abs=0.6)
+
+    def test_vgg19(self):
+        assert build_model("vgg19").param_numel / 1e6 == pytest.approx(
+            143.7, abs=1.0)
+
+    def test_densenet121(self):
+        assert build_model("densenet121").param_numel / 1e6 == pytest.approx(
+            8.0, abs=0.5)
+
+    def test_bert_base(self):
+        assert build_model("bert_base").param_numel / 1e6 == pytest.approx(
+            109.0, abs=3.0)
+
+    def test_bert_large(self):
+        assert build_model("bert_large").param_numel / 1e6 == pytest.approx(
+            335.0, abs=6.0)
+
+    def test_gnmt_order_of_magnitude(self):
+        gnmt = build_model("gnmt").param_numel / 1e6
+        assert 120 < gnmt < 220
+
+
+class TestStructure:
+    def test_resnet_conv_count(self):
+        convs = build_model("resnet50").layers_of_kind("conv")
+        assert len(convs) == 53  # 52 in blocks + stem
+
+    def test_densenet_batchnorm_count(self):
+        bns = build_model("densenet121").layers_of_kind("batchnorm")
+        assert len(bns) == 121  # 58 units x 2 + stem + 3 transitions + final
+
+    def test_vgg_conv_count(self):
+        assert len(build_model("vgg19").layers_of_kind("conv")) == 16
+
+    def test_bert_block_structure(self):
+        bert = build_model("bert_base")
+        assert len(bert.layers_of_kind("attention")) == 12
+        assert len(bert.layers_of_kind("ffn")) == 12
+
+    def test_gnmt_lstm_count(self):
+        assert len(build_model("gnmt").layers_of_kind("lstm")) == 8
+
+    def test_every_layer_has_kernels_or_params(self):
+        for name in available_models():
+            model = build_model(name)
+            for layer in model.layers:
+                assert layer.forward_kernels or layer.params, layer.name
+
+    def test_backward_kernels_exist_where_forward_exists(self):
+        for name in available_models():
+            model = build_model(name)
+            for layer in model.layers:
+                if layer.forward_kernels:
+                    assert layer.backward_kernels, layer.name
+
+
+class TestAdamKernelCounts:
+    """Section 6.3: ~2633 weight-update kernels for BERT_base, 5164 for
+    BERT_large; our lowering lands within a few percent."""
+
+    def test_bert_base_weight_update_kernels(self):
+        model = build_model("bert_base")
+        kernels = len(model.param_tensors) * 13
+        assert kernels == pytest.approx(2633, rel=0.05)
+
+    def test_bert_large_weight_update_kernels(self):
+        model = build_model("bert_large")
+        kernels = len(model.param_tensors) * 13
+        assert kernels == pytest.approx(5164, rel=0.05)
+
+
+class TestAggregates:
+    def test_grad_bytes_is_4x_params(self):
+        model = build_model("resnet50")
+        assert model.grad_bytes == model.param_numel * 4
+
+    def test_kernel_counts_positive(self):
+        model = build_model("resnet50")
+        assert model.kernel_count(Phase.FORWARD) > 100
+        assert model.kernel_count(Phase.BACKWARD) > 100
+
+    def test_weight_update_phase_not_in_kernels(self):
+        model = build_model("resnet50")
+        with pytest.raises(ConfigError):
+            model.layers[0].kernels(Phase.WEIGHT_UPDATE)
+
+    def test_summary_contains_name(self):
+        assert "resnet50" in build_model("resnet50").summary()

@@ -1,0 +1,131 @@
+"""Tests for the AMP and FusedAdam what-if models."""
+
+import pytest
+
+from repro.analysis.session import WhatIfSession
+from repro.common.errors import GraphConsistencyError
+from repro.core import transform
+from repro.core.simulate import simulate
+from repro.framework.config import TrainingConfig
+from repro.hw.device import GPU_P4000
+from repro.optimizations import AutomaticMixedPrecision, FusedAdam
+from repro.optimizations.base import WhatIfContext
+
+from conftest import make_tiny_model
+
+
+@pytest.fixture
+def session(tiny_model):
+    return WhatIfSession.from_model(tiny_model)
+
+
+class TestAMPModel:
+    def test_predicts_speedup(self, session):
+        pred = session.predict(AutomaticMixedPrecision())
+        assert pred.predicted_us < session.baseline_us
+        assert pred.speedup > 1.0
+
+    def test_compute_kernels_shrunk_3x(self, session):
+        graph, _ = session.predict_simulation(AutomaticMixedPrecision())
+        baseline = session.graph
+        base_gemm = transform.select_by_name(baseline, "sgemm", "scudnn")
+        amp_gemm = transform.select_by_name(graph, "sgemm", "scudnn")
+        base_total = transform.total_duration(
+            [t for t in base_gemm if t.is_gpu])
+        amp_total = transform.total_duration([t for t in amp_gemm if t.is_gpu])
+        assert amp_total == pytest.approx(base_total / 3.0, rel=1e-6)
+
+    def test_memory_kernels_shrunk_2x(self, session):
+        graph, _ = session.predict_simulation(AutomaticMixedPrecision())
+        base = [t for t in transform.select_gpu_tasks(session.graph)
+                if "RELU" in t.name]
+        amp = [t for t in transform.select_gpu_tasks(graph)
+               if "RELU" in t.name]
+        assert transform.total_duration(amp) == pytest.approx(
+            transform.total_duration(base) / 2.0, rel=1e-6)
+
+    def test_weight_update_kernels_untouched(self, session):
+        """fp32 master weights: optimizer kernels keep their duration."""
+        graph, _ = session.predict_simulation(AutomaticMixedPrecision())
+        base_wu = [t for t in transform.select_by_phase(session.graph,
+                                                        "weight_update")
+                   if t.is_gpu]
+        amp_wu = [t for t in transform.select_by_phase(graph, "weight_update")
+                  if t.is_gpu]
+        assert transform.total_duration(amp_wu) == pytest.approx(
+            transform.total_duration(base_wu))
+
+    def test_cpu_tasks_untouched(self, session):
+        graph, _ = session.predict_simulation(AutomaticMixedPrecision())
+        base_cpu = sum(t.duration for t in session.graph.tasks() if t.is_cpu)
+        amp_cpu = sum(t.duration for t in graph.tasks() if t.is_cpu)
+        assert amp_cpu == pytest.approx(base_cpu)
+
+    def test_no_tensor_cores_reduces_gemm_gain(self, tiny_model):
+        config = TrainingConfig(gpu=GPU_P4000)
+        session = WhatIfSession.from_model(tiny_model, config=config)
+        graph, _ = session.predict_simulation(AutomaticMixedPrecision())
+        base = transform.total_duration(
+            [t for t in transform.select_by_name(session.graph, "sgemm",
+                                                 "scudnn") if t.is_gpu])
+        amp = transform.total_duration(
+            [t for t in transform.select_by_name(graph, "sgemm", "scudnn")
+             if t.is_gpu])
+        assert amp > base / 2.0  # only the modest non-TC gain
+
+    def test_custom_shrink_factors(self, session):
+        mild = session.predict(AutomaticMixedPrecision(
+            compute_shrink=1.5, memory_shrink=1.2))
+        aggressive = session.predict(AutomaticMixedPrecision())
+        assert mild.predicted_us > aggressive.predicted_us
+
+
+class TestFusedAdamModel:
+    def test_predicts_speedup(self, session):
+        pred = session.predict(FusedAdam())
+        assert pred.predicted_us < session.baseline_us
+
+    def test_single_wu_kernel_remains(self, session):
+        graph, _ = session.predict_simulation(FusedAdam())
+        wu_gpu = [t for t in transform.select_by_phase(graph, "weight_update")
+                  if t.is_gpu]
+        assert len(wu_gpu) == 1
+        assert "fused_adam" in wu_gpu[0].name
+
+    def test_launch_apis_removed(self, session):
+        graph, _ = session.predict_simulation(FusedAdam())
+        base_wu_cpu = [t for t in transform.select_by_phase(
+            session.graph, "weight_update") if t.is_cpu]
+        fused_wu_cpu = [t for t in transform.select_by_phase(
+            graph, "weight_update") if t.is_cpu]
+        assert len(fused_wu_cpu) == 1
+        assert len(base_wu_cpu) > 50
+
+    def test_fused_duration_is_core_kernel_sum(self, session):
+        base_wu = [t for t in transform.select_by_phase(
+            session.graph, "weight_update") if t.is_gpu]
+        expected = sum(t.duration for t in base_wu
+                       if any(m in t.name for m in
+                              ("addcmul", "addcdiv", "mul_exp_avg")))
+        graph, _ = session.predict_simulation(FusedAdam())
+        fused = [t for t in transform.select_by_phase(graph, "weight_update")
+                 if t.is_gpu][0]
+        assert fused.duration == pytest.approx(expected)
+
+    def test_graph_still_valid_and_simulates(self, session):
+        graph, result = session.predict_simulation(FusedAdam())
+        graph.validate()
+        assert result.makespan_us > 0
+
+    def test_requires_mapped_wu_tasks(self, session):
+        graph = session.graph.copy()
+        for task in graph.tasks():
+            task.phase = None
+        with pytest.raises(GraphConsistencyError):
+            FusedAdam().apply(graph, WhatIfContext())
+
+    def test_sgd_model_falls_back_to_full_sum(self):
+        model = make_tiny_model(optimizer="sgd")
+        session = WhatIfSession.from_model(model)
+        pred = session.predict(FusedAdam())  # no addcmul kernels in SGD
+        assert pred.predicted_us < session.baseline_us

@@ -1,0 +1,151 @@
+"""Tests for the distributed-training and P3 what-if models."""
+
+import pytest
+
+from repro.analysis.session import WhatIfSession
+from repro.common.errors import ConfigError
+from repro.framework.config import TrainingConfig
+from repro.hw.device import GPU_2080TI, GPU_P4000
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.optimizations import DistributedTraining, PriorityParameterPropagation
+from repro.optimizations.p3 import (
+    RECEIVE_CHANNEL,
+    SEND_CHANNEL,
+    ParameterServerTransfer,
+    ServerCostModel,
+)
+
+
+def cluster(machines=2, gpus=1, bw=10.0, gpu=GPU_2080TI):
+    return ClusterSpec(machines, gpus, gpu, NetworkSpec(bandwidth_gbps=bw))
+
+
+@pytest.fixture
+def session(tiny_model):
+    return WhatIfSession.from_model(tiny_model)
+
+
+class TestDistributedTraining:
+    def test_requires_cluster(self, session):
+        with pytest.raises(ConfigError):
+            session.predict(DistributedTraining())
+
+    def test_single_worker_is_noop(self, session):
+        pred = session.predict(DistributedTraining(), cluster=cluster(1, 1))
+        assert pred.predicted_us == pytest.approx(session.baseline_us)
+
+    def test_prediction_slower_than_single_gpu(self, session):
+        pred = session.predict(DistributedTraining(), cluster=cluster())
+        assert pred.predicted_us > session.baseline_us
+
+    def test_one_allreduce_per_bucket(self, session):
+        graph, _ = session.predict_simulation(DistributedTraining(),
+                                              cluster=cluster())
+        comm = [t for t in graph.tasks() if t.is_comm]
+        assert len(comm) == len(session.trace.metadata["buckets"])
+
+    def test_allreduce_gates_weight_update(self, session):
+        graph, result = session.predict_simulation(DistributedTraining(),
+                                                   cluster=cluster())
+        comm = [t for t in graph.tasks() if t.is_comm]
+        wu_start = min(result.start_us[t] for t in graph.tasks()
+                       if t.phase == "weight_update")
+        assert wu_start >= max(result.end_us(t) for t in comm) - 1e-6
+
+    def test_more_workers_more_comm_time(self, session):
+        two = session.predict(DistributedTraining(), cluster=cluster(2, 1))
+        eight = session.predict(DistributedTraining(), cluster=cluster(4, 2))
+        assert eight.predicted_us > two.predicted_us
+
+    def test_higher_bandwidth_faster(self, session):
+        slow = session.predict(DistributedTraining(), cluster=cluster(bw=5))
+        fast = session.predict(DistributedTraining(), cluster=cluster(bw=40))
+        assert fast.predicted_us < slow.predicted_us
+
+    def test_missing_bucket_metadata_rejected(self, session):
+        context = session.context(cluster())
+        context.trace_metadata["buckets"] = []
+        with pytest.raises(ConfigError):
+            DistributedTraining().apply(session.graph.copy(), context)
+
+
+class TestParameterServerTransfer:
+    def _mxnet_session(self, tiny_model):
+        config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+        return WhatIfSession.from_model(tiny_model, config=config)
+
+    def test_requires_cluster(self, session):
+        with pytest.raises(ConfigError):
+            session.predict(PriorityParameterPropagation())
+
+    def test_push_pull_tasks_created(self, tiny_model):
+        session = self._mxnet_session(tiny_model)
+        graph, _ = session.predict_simulation(
+            PriorityParameterPropagation(),
+            cluster=cluster(4, 1, gpu=GPU_P4000))
+        pushes = [t for t in graph.tasks() if t.name.startswith("push")]
+        pulls = [t for t in graph.tasks() if t.name.startswith("pull")]
+        assert pushes and len(pushes) == len(pulls)
+
+    def test_channels_unordered(self, tiny_model):
+        session = self._mxnet_session(tiny_model)
+        graph, _ = session.predict_simulation(
+            PriorityParameterPropagation(),
+            cluster=cluster(4, 1, gpu=GPU_P4000))
+        assert not graph.is_ordered(SEND_CHANNEL)
+        assert not graph.is_ordered(RECEIVE_CHANNEL)
+
+    def test_slicing_splits_large_tensors(self, tiny_model):
+        session = self._mxnet_session(tiny_model)
+        small_slices = PriorityParameterPropagation(slice_bytes=64 * 1024)
+        graph, _ = session.predict_simulation(
+            small_slices, cluster=cluster(4, 1, gpu=GPU_P4000))
+        coarse = PriorityParameterPropagation(slice_bytes=1 << 30)
+        graph2, _ = session.predict_simulation(
+            coarse, cluster=cluster(4, 1, gpu=GPU_P4000))
+        n_fine = sum(1 for t in graph.tasks() if t.name.startswith("push"))
+        n_coarse = sum(1 for t in graph2.tasks() if t.name.startswith("push"))
+        assert n_fine > n_coarse
+
+    def test_p3_beats_baseline_ps(self, tiny_model):
+        session = self._mxnet_session(tiny_model)
+        cl = cluster(4, 1, bw=2.0, gpu=GPU_P4000)
+        baseline = session.predict(
+            ParameterServerTransfer(slice_bytes=None, prioritize=False),
+            cluster=cl)
+        p3 = session.predict(PriorityParameterPropagation(), cluster=cl)
+        assert p3.predicted_us <= baseline.predicted_us
+
+    def test_server_cost_slows_transfers(self, tiny_model):
+        session = self._mxnet_session(tiny_model)
+        cl = cluster(4, 1, bw=8.0, gpu=GPU_P4000)
+        ideal = session.predict(
+            ParameterServerTransfer(slice_bytes=None, prioritize=False),
+            cluster=cl)
+        costly = session.predict(
+            ParameterServerTransfer(slice_bytes=None, prioritize=False,
+                                    server=ServerCostModel()),
+            cluster=cl)
+        assert costly.predicted_us >= ideal.predicted_us
+
+    def test_invalid_slice_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ParameterServerTransfer(slice_bytes=0)
+
+    def test_graph_validates(self, tiny_model):
+        session = self._mxnet_session(tiny_model)
+        graph, _ = session.predict_simulation(
+            PriorityParameterPropagation(),
+            cluster=cluster(4, 1, gpu=GPU_P4000))
+        graph.validate()
+
+
+class TestServerCostModel:
+    def test_cost_grows_with_size(self):
+        server = ServerCostModel()
+        assert server.cost_us(1e6) > server.cost_us(1e3)
+
+    def test_fixed_floor(self):
+        server = ServerCostModel(per_op_us=50.0)
+        assert server.cost_us(0.0) == 50.0

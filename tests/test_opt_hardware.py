@@ -1,0 +1,85 @@
+"""Tests for the hardware what-if models (GPU/CPU upgrade, limit studies)."""
+
+import pytest
+
+from repro.analysis.session import WhatIfSession
+from repro.common.errors import ConfigError
+from repro.optimizations.hardware import (
+    CpuUpgrade,
+    GpuUpgrade,
+    InfinitelyFastKernels,
+)
+
+
+@pytest.fixture
+def session(tiny_model):
+    return WhatIfSession.from_model(tiny_model)
+
+
+class TestGpuUpgrade:
+    def test_faster_gpu_helps(self, session):
+        pred = session.predict(GpuUpgrade(2.0))
+        assert pred.predicted_us < session.baseline_us
+
+    def test_monotone_in_factor(self, session):
+        t2 = session.predict(GpuUpgrade(2.0)).predicted_us
+        t4 = session.predict(GpuUpgrade(4.0)).predicted_us
+        assert t4 <= t2
+
+    def test_sublinear_end_to_end(self, session):
+        """Amdahl: 2x GPU never gives a full 2x iteration speedup (CPU
+        path unchanged)."""
+        pred = session.predict(GpuUpgrade(2.0))
+        assert pred.speedup < 2.0
+
+    def test_unit_factor_is_identity(self, session):
+        pred = session.predict(GpuUpgrade(1.0))
+        assert pred.predicted_us == pytest.approx(session.baseline_us)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            GpuUpgrade(0.0)
+
+
+class TestCpuUpgrade:
+    def test_faster_cpu_helps(self, session):
+        pred = session.predict(CpuUpgrade(4.0))
+        assert pred.predicted_us < session.baseline_us
+
+    def test_scales_gaps_too(self, session):
+        graph, _ = session.predict_simulation(CpuUpgrade(2.0))
+        base_gaps = sum(t.gap for t in session.graph.tasks() if t.is_cpu)
+        new_gaps = sum(t.gap for t in graph.tasks() if t.is_cpu)
+        assert new_gaps == pytest.approx(base_gaps / 2.0, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CpuUpgrade(-1.0)
+
+
+class TestInfinitelyFastKernels:
+    def test_zeroes_selected_tasks(self, session):
+        graph, _ = session.predict_simulation(
+            InfinitelyFastKernels(lambda t: t.is_gpu and "sgemm" in t.name))
+        gemms = [t for t in graph.tasks() if t.is_gpu and "sgemm" in t.name]
+        assert gemms
+        assert all(t.duration == 0.0 for t in gemms)
+
+    def test_lower_bound_property(self, session):
+        """Making everything GPU free is the GPU-side Amdahl limit."""
+        all_free = session.predict(
+            InfinitelyFastKernels(lambda t: t.is_gpu))
+        some_free = session.predict(
+            InfinitelyFastKernels(lambda t: t.is_gpu and "scudnn" in t.name))
+        assert all_free.predicted_us <= some_free.predicted_us
+
+    def test_label_in_name(self):
+        opt = InfinitelyFastKernels(lambda t: True, label="gemms")
+        assert "gemms" in opt.name
+
+    def test_cpu_still_bounds_iteration(self, session):
+        """Even with a free GPU, the CPU path keeps a floor."""
+        pred = session.predict(InfinitelyFastKernels(lambda t: t.is_gpu))
+        cpu_floor = sum(t.duration + t.gap for t in session.graph.tasks()
+                        if t.is_cpu) * 0.5
+        assert pred.predicted_us > cpu_floor

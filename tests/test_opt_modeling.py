@@ -1,0 +1,211 @@
+"""Tests for the Section-5.2 modeling-only optimizations."""
+
+import pytest
+
+from repro.analysis.session import WhatIfSession
+from repro.common.errors import ConfigError
+from repro.core.simulate import simulate
+from repro.framework.config import TrainingConfig
+from repro.hw.device import GPU_2080TI
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.optimizations import (
+    BlueConnect,
+    DeepGradientCompression,
+    DistributedTraining,
+    Gist,
+    MetaFlowSubstitution,
+    ReconstructBatchnorm,
+    VirtualizedDNN,
+)
+from repro.optimizations.metaflow import (
+    SubstitutionPolicy,
+    fuse_conv_bn_relu_policy,
+)
+
+
+def cluster(bw=5.0, machines=4, gpus=1):
+    return ClusterSpec(machines, gpus, GPU_2080TI, NetworkSpec(bw))
+
+
+@pytest.fixture
+def session(tiny_model):
+    return WhatIfSession.from_model(tiny_model)
+
+
+def distributed_graph(session, cl):
+    graph = session.graph.copy()
+    DistributedTraining().apply(graph, session.context(cl))
+    return graph
+
+
+class TestReconstructBatchnorm:
+    def test_removes_relu_kernels(self, session):
+        graph, _ = session.predict_simulation(ReconstructBatchnorm())
+        relu_layers = {n for n, k in
+                       session.trace.metadata["layer_kinds"].items()
+                       if k == "relu"}
+        remaining = [t for t in graph.tasks()
+                     if t.is_gpu and t.layer in relu_layers]
+        assert not remaining
+
+    def test_halves_batchnorm_durations(self, session):
+        graph, _ = session.predict_simulation(ReconstructBatchnorm())
+        bn_layers = {n for n, k in
+                     session.trace.metadata["layer_kinds"].items()
+                     if k == "batchnorm"}
+        base_bn = sum(t.duration for t in session.graph.tasks()
+                      if t.is_gpu and t.layer in bn_layers)
+        new_bn = sum(t.duration for t in graph.tasks()
+                     if t.is_gpu and t.layer in bn_layers)
+        assert new_bn == pytest.approx(base_bn / 2.0, rel=1e-6)
+
+    def test_predicts_improvement(self, session):
+        pred = session.predict(ReconstructBatchnorm())
+        assert pred.improvement_percent > 0
+
+
+class TestBlueConnect:
+    def test_replaces_allreduce_with_stages(self, session):
+        cl = cluster(machines=2, gpus=2)
+        graph = distributed_graph(session, cl)
+        n_reduce = sum(1 for t in graph.tasks()
+                       if t.is_comm and "AllReduce" in t.name)
+        BlueConnect().apply(graph, session.context(cl))
+        assert not any("AllReduce" in t.name for t in graph.tasks()
+                       if t.is_comm)
+        stages = [t for t in graph.tasks() if t.is_comm]
+        # 2 factors -> 2 reduce-scatter + 2 all-gather per bucket
+        assert len(stages) == n_reduce * 4
+        graph.validate()
+
+    def test_requires_distributed_graph(self, session):
+        with pytest.raises(ConfigError):
+            BlueConnect().apply(session.graph.copy(), session.context(cluster()))
+
+    def test_bad_factorization_rejected(self, session):
+        cl = cluster(machines=2, gpus=2)
+        graph = distributed_graph(session, cl)
+        with pytest.raises(ConfigError):
+            BlueConnect(factorization=[3]).apply(graph, session.context(cl))
+
+    def test_helps_on_shared_nic(self, session):
+        """Hierarchical decomposition beats a flat ring when GPUs share a
+        NIC (the BlueConnect use case)."""
+        cl = cluster(bw=3.0, machines=4, gpus=2)
+        flat = distributed_graph(session, cl)
+        flat_time = simulate(flat).makespan_us
+        decomposed = distributed_graph(session, cl)
+        outcome = BlueConnect().apply(decomposed, session.context(cl))
+        assert simulate(outcome.graph).makespan_us < flat_time
+
+
+class TestMetaFlow:
+    def test_remove_and_scale(self, session):
+        policy = SubstitutionPolicy(remove_layers=["bn1"],
+                                    scale_layers={"conv1": 1.5})
+        graph, _ = session.predict_simulation(MetaFlowSubstitution(policy))
+        assert not any(t.layer == "bn1" for t in graph.tasks() if t.is_gpu)
+        base_conv = sum(t.duration for t in session.graph.tasks()
+                        if t.is_gpu and t.layer == "conv1")
+        new_conv = sum(t.duration for t in graph.tasks()
+                       if t.is_gpu and t.layer == "conv1")
+        assert new_conv == pytest.approx(base_conv * 1.5, rel=1e-6)
+
+    def test_fusion_policy_improves(self, session):
+        policy = fuse_conv_bn_relu_policy(session.context())
+        pred = session.predict(MetaFlowSubstitution(policy))
+        assert pred.improvement_percent > 0
+
+
+class TestVDNN:
+    def test_inserts_copies_on_copy_stream(self, session):
+        graph, _ = session.predict_simulation(VirtualizedDNN())
+        offloads = [t for t in graph.tasks() if "vdnn offload" in t.name]
+        prefetches = [t for t in graph.tasks() if "vdnn prefetch" in t.name]
+        n_convs = sum(1 for n, k in
+                      session.trace.metadata["layer_kinds"].items()
+                      if k == "conv")
+        assert len(offloads) == len(prefetches) == n_convs
+        graph.validate()
+
+    def test_prefetch_gates_backward(self, session):
+        graph, result = session.predict_simulation(VirtualizedDNN())
+        for prefetch in (t for t in graph.tasks()
+                         if "vdnn prefetch" in t.name):
+            bwd = [s for s in graph.successors(prefetch)
+                   if s.phase == "backward"]
+            assert bwd
+            for task in bwd:
+                assert result.start_us[task] >= result.end_us(prefetch) - 1e-6
+
+    def test_never_speeds_up(self, session):
+        pred = session.predict(VirtualizedDNN())
+        assert pred.predicted_us >= session.baseline_us - 1e-6
+
+    def test_noop_without_convs(self, session):
+        context = session.context()
+        context.trace_metadata["layer_kinds"] = {}
+        graph = session.graph.copy()
+        VirtualizedDNN().apply(graph, context)
+        assert simulate(graph).makespan_us == pytest.approx(
+            session.baseline_us)
+
+
+class TestGist:
+    def test_inserts_encode_decode(self, session):
+        graph, _ = session.predict_simulation(Gist())
+        encodes = [t for t in graph.tasks() if "encode" in t.name]
+        decodes = [t for t in graph.tasks() if "decode" in t.name]
+        assert encodes and decodes
+        graph.validate()
+
+    def test_adds_overhead(self, session):
+        pred = session.predict(Gist())
+        assert pred.predicted_us > session.baseline_us
+
+    def test_lossy_adds_dpr_kernels(self, session):
+        graph, _ = session.predict_simulation(Gist(lossy=True))
+        assert any("dpr" in t.name for t in graph.tasks())
+
+    def test_cost_factor_scales_inserted_kernels(self, session):
+        cheap_graph, _ = session.predict_simulation(Gist(cost_factor=0.1))
+        pricey_graph, _ = session.predict_simulation(Gist(cost_factor=2.0))
+
+        def inserted_gpu_time(graph):
+            return sum(t.duration for t in graph.tasks()
+                       if "gist_sdc" in t.name)
+
+        assert (inserted_gpu_time(pricey_graph)
+                == pytest.approx(inserted_gpu_time(cheap_graph) * 20.0,
+                                 rel=1e-6))
+
+
+class TestDGC:
+    def test_scales_comm_and_inserts_kernels(self, session):
+        cl = cluster()
+        graph = distributed_graph(session, cl)
+        before = sum(t.duration for t in graph.tasks() if t.is_comm)
+        DeepGradientCompression(compression_ratio=0.01).apply(
+            graph, session.context(cl))
+        after = sum(t.duration for t in graph.tasks() if t.is_comm)
+        assert after == pytest.approx(before * 0.01, rel=1e-6)
+        assert any("dgc_compress" in t.name for t in graph.tasks())
+        assert any("dgc_decompress" in t.name for t in graph.tasks())
+        graph.validate()
+
+    def test_requires_distributed_graph(self, session):
+        with pytest.raises(ConfigError):
+            DeepGradientCompression().apply(session.graph.copy(),
+                                            session.context(cluster()))
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            DeepGradientCompression(compression_ratio=0.0)
+
+    def test_helps_when_comm_bound(self, session):
+        cl = cluster(bw=1.0)
+        graph = distributed_graph(session, cl)
+        before = simulate(graph).makespan_us
+        outcome = DeepGradientCompression().apply(graph, session.context(cl))
+        assert simulate(outcome.graph).makespan_us < before

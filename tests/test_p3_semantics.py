@@ -1,0 +1,115 @@
+"""Behavioral tests of the parameter-server/P3 scheduling semantics."""
+
+import pytest
+
+from repro.analysis.session import WhatIfSession
+from repro.core.simulate import simulate
+from repro.framework.config import TrainingConfig
+from repro.framework.paramserver import run_ps_baseline, run_ps_p3
+from repro.hw.device import GPU_P4000
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.optimizations import PriorityParameterPropagation
+from repro.optimizations.p3 import (
+    RECEIVE_CHANNEL,
+    ParameterServerTransfer,
+    ServerCostModel,
+)
+
+from conftest import make_tiny_model
+
+
+def make_cluster(bw=2.0):
+    return ClusterSpec(4, 1, GPU_P4000, NetworkSpec(bandwidth_gbps=bw))
+
+
+@pytest.fixture
+def session():
+    config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+    return WhatIfSession.from_model(make_tiny_model(), config=config)
+
+
+class TestPullOrdering:
+    def _pull_order(self, session, prioritize):
+        opt = ParameterServerTransfer(slice_bytes=1 << 30,
+                                      prioritize=prioritize)
+        graph, result = session.predict_simulation(opt,
+                                                   cluster=make_cluster())
+        pulls = [t for t in graph.tasks_on(RECEIVE_CHANNEL)]
+        pulls.sort(key=lambda t: result.start_us[t])
+        return [t.layer for t in pulls]
+
+    def test_p3_pulls_front_layers_first(self, session):
+        order = self._pull_order(session, prioritize=True)
+        layer_index = {name: i for i, name in
+                       enumerate(session.trace.metadata["layer_order"])}
+        indices = [layer_index[l] for l in order]
+        assert indices == sorted(indices)
+
+    def test_baseline_pulls_back_layers_first(self, session):
+        order = self._pull_order(session, prioritize=False)
+        layer_index = {name: i for i, name in
+                       enumerate(session.trace.metadata["layer_order"])}
+        indices = [layer_index[l] for l in order]
+        assert indices == sorted(indices, reverse=True)
+
+    def test_p3_overlaps_better(self, session):
+        """Front-first pulls let the forward pass start sooner."""
+        cl = make_cluster(bw=1.0)
+        p3 = session.predict(PriorityParameterPropagation(), cluster=cl)
+        baseline = session.predict(
+            ParameterServerTransfer(slice_bytes=None, prioritize=False),
+            cluster=cl)
+        assert p3.predicted_us < baseline.predicted_us
+
+
+class TestPushSemantics:
+    def test_push_waits_for_backward(self, session):
+        graph, result = session.predict_simulation(
+            PriorityParameterPropagation(), cluster=make_cluster())
+        for push in (t for t in graph.tasks()
+                     if t.name.startswith("push")):
+            for pred in graph.predecessors(push):
+                assert result.start_us[push] >= result.end_us(pred) - 1e-6
+
+    def test_slice_sizes_sum_to_gradients(self, session):
+        graph, _ = session.predict_simulation(
+            PriorityParameterPropagation(slice_bytes=128 * 1024),
+            cluster=make_cluster())
+        pushed = sum(t.size_bytes for t in graph.tasks()
+                     if t.name.startswith("push"))
+        expected = sum(session.trace.metadata["layer_grad_bytes"].values())
+        assert pushed == pytest.approx(expected)
+
+
+class TestGroundTruthVsPrediction:
+    def test_prediction_is_optimistic(self):
+        """The idealized prediction (no server cost) lower-bounds the
+        ground truth at every bandwidth — the Section 6.6 over-estimation."""
+        model = make_tiny_model()
+        config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+        session = WhatIfSession.from_model(model, config=config)
+        for bw in (1.0, 4.0, 16.0):
+            cl = make_cluster(bw)
+            truth = run_ps_p3(model, cl, config, trace=session.trace)
+            pred = session.predict(PriorityParameterPropagation(), cluster=cl)
+            assert pred.predicted_us <= truth.iteration_us + 1e-6
+
+    def test_p3_gt_never_worse_than_baseline_gt(self):
+        model = make_tiny_model()
+        config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+        session = WhatIfSession.from_model(model, config=config)
+        for bw in (1.0, 8.0):
+            cl = make_cluster(bw)
+            base = run_ps_baseline(model, cl, config, trace=session.trace)
+            p3 = run_ps_p3(model, cl, config, trace=session.trace)
+            assert p3.iteration_us <= base.iteration_us * 1.02
+
+    def test_custom_server_model(self):
+        model = make_tiny_model()
+        config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
+        slow_server = ServerCostModel(bytes_per_us=100.0, per_op_us=500.0)
+        fast = run_ps_baseline(model, make_cluster(), config)
+        slow = run_ps_baseline(model, make_cluster(), config,
+                               server=slow_server)
+        assert slow.iteration_us > fast.iteration_us

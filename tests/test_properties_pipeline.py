@@ -1,0 +1,107 @@
+"""End-to-end property tests: random models through the full pipeline.
+
+Hypothesis generates small random-but-valid training workloads; for each we
+check the pipeline invariants that every what-if prediction relies on:
+
+* the engine's trace validates (no overlaps, correlations consistent);
+* graph construction + simulation replays the traced time (< 1% error);
+* the task-to-layer mapping matches the engine's oracle annotations;
+* transformations preserve graph validity and never produce negative times;
+* physical sanity: shrinking durations never increases the makespan.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.session import WhatIfSession
+from repro.core import transform
+from repro.core.construction import build_graph
+from repro.core.simulate import simulate
+from repro.framework.engine import profile_iteration
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.blocks import (
+    batchnorm_layer,
+    conv_layer,
+    linear_layer,
+    loss_layer,
+    relu_layer,
+)
+from repro.optimizations import AutomaticMixedPrecision
+
+
+@st.composite
+def random_model(draw) -> ModelSpec:
+    """A random small CNN/MLP hybrid with a valid layer graph."""
+    batch = draw(st.sampled_from([1, 2, 4]))
+    n_blocks = draw(st.integers(min_value=1, max_value=3))
+    optimizer = draw(st.sampled_from(["sgd", "adam"]))
+    layers = []
+    c_in, h = 3, 16
+    for i in range(n_blocks):
+        c_out = draw(st.sampled_from([8, 16, 32]))
+        layers.append(conv_layer(f"b{i}.conv", batch, c_in, h, h, c_out,
+                                 3, 1, 1))
+        if draw(st.booleans()):
+            layers.append(batchnorm_layer(f"b{i}.bn", batch, c_out, h, h))
+        layers.append(relu_layer(f"b{i}.relu", batch * c_out * h * h))
+        c_in = c_out
+    layers.append(linear_layer("fc", batch, c_in * h * h, 10))
+    layers.append(loss_layer("loss", batch, 10))
+    return ModelSpec(
+        name="randcnn",
+        layers=layers,
+        batch_size=batch,
+        input_sample_bytes=3 * h * h * 4,
+        default_optimizer=optimizer,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_model())
+def test_trace_validates(model):
+    profile_iteration(model).validate()
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_model())
+def test_replay_fidelity(model):
+    trace = profile_iteration(model)
+    makespan = simulate(build_graph(trace)).makespan_us
+    assert abs(makespan - trace.duration_us) / trace.duration_us < 0.01
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_model())
+def test_mapping_matches_oracle(model):
+    graph = build_graph(profile_iteration(model))
+    for task in graph.tasks():
+        oracle = task.metadata.get("oracle_layer")
+        if task.is_gpu and oracle:
+            assert task.layer == oracle
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_model())
+def test_amp_transform_preserves_validity(model):
+    session = WhatIfSession.from_model(model)
+    graph, result = session.predict_simulation(AutomaticMixedPrecision())
+    graph.validate()
+    assert 0 < result.makespan_us <= session.baseline_us + 1e-6
+    assert all(t.duration >= 0 for t in graph.tasks())
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_model(), st.floats(min_value=1.0, max_value=10.0))
+def test_shrinking_never_hurts(model, divisor):
+    """Monotonicity: making GPU kernels faster never slows the iteration."""
+    session = WhatIfSession.from_model(model)
+    graph = session.graph.copy()
+    transform.shrink_durations(transform.select_gpu_tasks(graph), divisor)
+    assert simulate(graph).makespan_us <= session.baseline_us + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_model())
+def test_profile_deterministic(model):
+    t1 = profile_iteration(model)
+    t2 = profile_iteration(model)
+    assert t1.duration_us == t2.duration_us

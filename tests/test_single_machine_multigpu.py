@@ -1,0 +1,51 @@
+"""Tests for single-machine multi-GPU training (PCIe ring, no network)."""
+
+import pytest
+
+from repro.analysis.metrics import prediction_error
+from repro.analysis.session import WhatIfSession
+from repro.framework import groundtruth as gt
+from repro.hw.device import GPU_2080TI
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.optimizations import DistributedTraining
+
+from conftest import make_tiny_model
+
+
+def pcie_cluster(gpus: int) -> ClusterSpec:
+    # the network spec is irrelevant for a single machine but required
+    return ClusterSpec(1, gpus, GPU_2080TI, NetworkSpec(10.0))
+
+
+class TestPcieRing:
+    def test_pcie_ring_much_faster_than_slow_network(self):
+        model = make_tiny_model()
+        local = gt.run_distributed(model, pcie_cluster(4))
+        slow_net = gt.run_distributed(
+            model, ClusterSpec(4, 1, GPU_2080TI, NetworkSpec(1.0)))
+        assert local.iteration_us < slow_net.iteration_us
+
+    def test_prediction_accuracy_on_pcie(self):
+        model = make_tiny_model()
+        session = WhatIfSession.from_model(model)
+        for gpus in (2, 4):
+            cluster = pcie_cluster(gpus)
+            truth = gt.run_distributed(model, cluster)
+            pred = session.predict(DistributedTraining(), cluster=cluster)
+            assert prediction_error(pred.predicted_us,
+                                    truth.iteration_us) < 0.10
+
+    def test_scaling_monotone_in_gpus(self):
+        model = make_tiny_model()
+        session = WhatIfSession.from_model(model)
+        t2 = session.predict(DistributedTraining(),
+                             cluster=pcie_cluster(2)).predicted_us
+        t8 = session.predict(DistributedTraining(),
+                             cluster=pcie_cluster(8)).predicted_us
+        assert t8 >= t2
+
+    def test_cluster_properties(self):
+        cluster = pcie_cluster(4)
+        assert not cluster.crosses_network
+        assert cluster.ring_latency_us() < NetworkSpec(10.0).latency_us

@@ -1,0 +1,49 @@
+"""Tests for the fixed-width table renderer."""
+
+import pytest
+
+from repro.common.texttable import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_thousands_separator(self):
+        assert format_cell(1234567.0) == "1,234,567.00"
+
+    def test_ints_and_strings_verbatim(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.25" in out
+
+    def test_title_rule(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1].startswith("=")
+
+    def test_numbers_right_aligned(self):
+        out = render_table(["n"], [[5], [12345]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("12345")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_percent_counts_as_numeric(self):
+        out = render_table(["gain"], [["+5.0%"]])
+        assert "+5.0%" in out
