@@ -11,7 +11,6 @@ These quantify why the paper's design choices matter:
   re-deriving them from dependencies bakes stale waits into predictions.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis.metrics import prediction_error
@@ -21,7 +20,6 @@ from repro.core.simulate import simulate
 from repro.framework import groundtruth
 from repro.models.registry import build_model
 from repro.optimizations import AutomaticMixedPrecision
-from repro.optimizations.amp import COMPUTE_BOUND_MARKERS
 
 
 #: layer kinds a layer-level tool would call 'compute-bound' wholesale

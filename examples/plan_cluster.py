@@ -74,7 +74,7 @@ def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "gnmt"
     session = WhatIfSession.profile(model)
     print(f"profiled {model}: {session.baseline_us / 1000:.1f} ms/iteration "
-          f"on one GPU\n")
+          "on one GPU\n")
     scaling_table(session)
     communication_fixes(session, bandwidth=10.0)
 

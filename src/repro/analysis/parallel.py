@@ -1,0 +1,78 @@
+"""Fork-based fan-out for what-if sweeps.
+
+Figure-8-style grids evaluate dozens of independent (model, cluster,
+bandwidth) cells; each cell re-runs the ground-truth engine and a
+prediction, so the grid parallelizes embarrassingly.  :func:`fork_map` fans
+a callable over items with ``multiprocessing`` *fork* workers:
+
+* the callable and items are inherited by the children through fork,
+  **never pickled** — closures over sessions, graphs, and optimization
+  models all work;
+* only integer indices go down to the workers and only the (picklable)
+  results come back;
+* result order matches item order, and because the substrate is
+  deterministic (``repro.common.prng`` is keyed, not stateful) the results
+  are identical to a serial run;
+* platforms without fork (or ``processes=1``, or a nested call) fall back
+  to a plain serial map.
+"""
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# fork-inherited state for the worker processes (never pickled)
+_WORK_FN: Optional[Callable] = None
+_WORK_ITEMS: Optional[Sequence] = None
+
+
+def _invoke(index: int):
+    assert _WORK_FN is not None and _WORK_ITEMS is not None
+    return _WORK_FN(_WORK_ITEMS[index])
+
+
+def default_processes() -> int:
+    """Worker count when the caller does not choose: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def fork_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    processes: Optional[int] = None,
+) -> List[R]:
+    """``[fn(x) for x in items]``, fanned out over fork workers.
+
+    Args:
+        fn: the per-item callable; may close over arbitrary unpicklable
+            state (it is inherited via fork, not sent).  Results must be
+            picklable.
+        items: the work items.
+        processes: worker count; ``None`` uses one per CPU, capped at the
+            item count.  ``1`` (or a single item, or no fork support, or a
+            nested ``fork_map``) runs serially in-process.
+    """
+    global _WORK_FN, _WORK_ITEMS
+    work = list(items)
+    n = len(work)
+    if n == 0:
+        return []
+    if processes is None:
+        processes = default_processes()
+    processes = max(1, min(processes, n))
+    if (
+        processes == 1
+        or _WORK_FN is not None  # nested call: stay serial in the worker
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        return [fn(x) for x in work]
+    _WORK_FN, _WORK_ITEMS = fn, work
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes) as pool:
+            return pool.map(_invoke, range(n))
+    finally:
+        _WORK_FN = _WORK_ITEMS = None

@@ -13,9 +13,10 @@ answer questions for many different optimizations"):
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.metrics import improvement_percent, speedup
+from repro.analysis.parallel import fork_map
 from repro.core.breakdown import RuntimeBreakdown, compute_breakdown
 from repro.core.construction import build_graph
 from repro.core.graph import DependencyGraph
@@ -61,9 +62,11 @@ class WhatIfSession:
     machine you no longer have access to).
     """
 
-    def __init__(self, trace: Trace, config: Optional[TrainingConfig] = None):
+    def __init__(self, trace: Trace, config: Optional[TrainingConfig] = None,
+                 copy_on_write: bool = True):
         self.trace = trace
         self.config = config or TrainingConfig()
+        self.copy_on_write = copy_on_write
         self._graph: Optional[DependencyGraph] = None
         self._baseline: Optional[SimulationResult] = None
 
@@ -103,7 +106,27 @@ class WhatIfSession:
         """The baseline dependency graph (constructed lazily, cached)."""
         if self._graph is None:
             self._graph = build_graph(self.trace)
+            # keep the cached baseline result keyed correctly when a
+            # copy-on-write overlay materializes a mutated task and the base
+            # graph swaps in a pristine clone
+            self._graph.add_swap_listener(self._on_task_swapped)
         return self._graph
+
+    def _on_task_swapped(self, old, new) -> None:
+        if self._baseline is not None:
+            start = self._baseline.start_us.pop(old, None)
+            if start is not None:
+                self._baseline.start_us[new] = start
+
+    def _working_graph(self) -> DependencyGraph:
+        """A mutable graph for one what-if question.
+
+        Copy-on-write sessions hand out a cheap overlay (shares unmutated
+        tasks with the baseline); otherwise a full deep copy.
+        """
+        if self.copy_on_write:
+            return self.graph.overlay()
+        return self.graph.copy()
 
     @property
     def baseline_result(self) -> SimulationResult:
@@ -137,10 +160,12 @@ class WhatIfSession:
     ) -> Prediction:
         """Predict the effect of one optimization on iteration time.
 
-        The baseline graph is copied, transformed by the optimization model,
-        and re-simulated (with the model's custom scheduler when supplied).
+        The baseline graph is viewed copy-on-write (or deep-copied for
+        ``copy_on_write=False`` sessions), transformed by the optimization
+        model, and re-simulated (with the model's custom scheduler when
+        supplied).
         """
-        working = self.graph.copy()
+        working = self._working_graph()
         outcome = optimization.apply(working, self.context(cluster))
         result = simulate(outcome.graph, outcome.scheduler)
         return Prediction(
@@ -156,7 +181,46 @@ class WhatIfSession:
     ):
         """Like :meth:`predict` but returns ``(graph, SimulationResult)``
         for deeper inspection (per-task start times, breakdowns)."""
-        working = self.graph.copy()
+        working = self._working_graph()
         outcome = optimization.apply(working, self.context(cluster))
         result = simulate(outcome.graph, outcome.scheduler)
         return outcome.graph, result
+
+    # ------------------------------------------------------------------ sweeps
+
+    def sweep(
+        self,
+        questions: Iterable[Union[OptimizationModel,
+                                  Tuple[OptimizationModel,
+                                        Optional[ClusterSpec]]]],
+        cluster: Optional[ClusterSpec] = None,
+        processes: Optional[int] = None,
+    ) -> List["Prediction"]:
+        """Answer many what-if questions, fanned out across CPU cores.
+
+        Args:
+            questions: optimization models, or ``(model, cluster)`` pairs for
+                per-question clusters (Figure-8-style grids).
+            cluster: default cluster for bare-model questions.
+            processes: worker count (see
+                :func:`repro.analysis.parallel.fork_map`); serial fallback
+                preserves exactly the same results.
+
+        Returns:
+            One :class:`Prediction` per question, in question order.
+        """
+        pairs: List[Tuple[OptimizationModel, Optional[ClusterSpec]]] = []
+        for question in questions:
+            if isinstance(question, tuple):
+                optimization, question_cluster = question
+                pairs.append((optimization, question_cluster))
+            else:
+                pairs.append((question, cluster))
+        # materialize the shared state *before* forking so every worker
+        # inherits the built graph and baseline instead of rebuilding them
+        self.baseline_result
+        return fork_map(
+            lambda pair: self.predict(pair[0], cluster=pair[1]),
+            pairs,
+            processes=processes,
+        )

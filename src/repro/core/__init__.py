@@ -4,7 +4,13 @@ from repro.core.task import Task, TaskKind
 from repro.core.graph import DependencyGraph
 from repro.core.construction import build_graph
 from repro.core.mapping import map_tasks_to_layers
-from repro.core.simulate import SimulationResult, Scheduler, simulate
+from repro.core.simulate import (
+    SchedulePolicy,
+    Scheduler,
+    SimulationResult,
+    make_priority_scheduler,
+    simulate,
+)
 from repro.core.breakdown import RuntimeBreakdown, compute_breakdown
 from repro.core import transform
 
@@ -15,7 +21,9 @@ __all__ = [
     "build_graph",
     "map_tasks_to_layers",
     "SimulationResult",
+    "SchedulePolicy",
     "Scheduler",
+    "make_priority_scheduler",
     "simulate",
     "RuntimeBreakdown",
     "compute_breakdown",

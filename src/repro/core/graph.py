@@ -2,20 +2,51 @@
 
 Structure (paper Section 4.2):
 
-* **threads** — per-execution-thread ordered task lists.  The paper's
+* **threads** — per-execution-thread ordered task sequences.  The paper's
   dependency types 1 and 2 (sequential CPU order, sequential CUDA-stream
-  order) are represented *implicitly* by these lists: a task always depends
-  on its thread predecessor.  This makes the insert/remove primitives cheap
-  list splices instead of edge rewiring.
+  order) are represented *implicitly* by this order: a task always depends
+  on its thread predecessor.  Each thread's order is kept as a doubly-linked
+  list (``_prev``/``_next`` maps plus per-thread head/tail), so the
+  transformation primitives are O(1) pointer splices:
+
+  =====================  ==========
+  primitive              complexity
+  =====================  ==========
+  ``append``             O(1)
+  ``insert_after``       O(1)
+  ``insert_before``      O(1)
+  ``remove``             O(1) + O(preds x succs) when rewiring
+  ``thread_successor``   O(1)
+  ``thread_predecessor`` O(1)
+  ``add_dependency``     O(1)
+  ``copy``               O(N + E)
+  ``overlay``            O(N) pointer copies, no task cloning
+  =====================  ==========
+
 * **explicit edges** — cross-thread dependencies: launch->kernel correlation,
   CUDA synchronization, and communication (dependency types 3-5), plus any
   edges optimization models add.
 
 Mutating operations keep the graph consistent and are the substrate of the
 transformation primitives in :mod:`repro.core.transform`.
+
+Copy-on-write overlays
+----------------------
+
+:meth:`DependencyGraph.overlay` builds a cheap writable view for what-if
+questions: the overlay gets private copies of the *structure* (edges and
+thread links — plain pointer maps) but shares the :class:`Task` objects with
+the base graph.  Shared tasks carry a write barrier (see
+``Task.__setattr__``): the first attribute write to a shared task makes the
+base graph swap in a pristine clone of it (keeping cached simulation results
+consistent via swap listeners), so only *mutated* tasks are ever
+materialized.  Removing tasks or rewiring edges in the overlay touches only
+the overlay's private structure and materializes nothing.
 """
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+import gc
+import weakref
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.common.errors import GraphConsistencyError
 from repro.core.task import Task
@@ -26,12 +57,20 @@ class DependencyGraph:
     """Mutable kernel-level dependency graph with per-thread task order."""
 
     def __init__(self) -> None:
-        self._threads: Dict[ExecutionThread, List[Task]] = {}
         self._succ: Dict[Task, Set[Task]] = {}
         self._pred: Dict[Task, Set[Task]] = {}
-        self._position_dirty = True
-        self._position: Dict[Task, int] = {}
+        # intrusive per-thread doubly-linked order
+        self._next: Dict[Task, Optional[Task]] = {}
+        self._prev: Dict[Task, Optional[Task]] = {}
+        self._heads: Dict[ExecutionThread, Task] = {}
+        self._tails: Dict[ExecutionThread, Task] = {}
+        self._counts: Dict[ExecutionThread, int] = {}
         self._unordered: Set[ExecutionThread] = set()
+        # copy-on-write bookkeeping
+        self._overlays: List["weakref.ref[DependencyGraph]"] = []
+        self._swap_listeners: List[Callable[[Task, Task], None]] = []
+        self._cow_base: Optional["DependencyGraph"] = None
+        self._shared: Set[Task] = set()
 
     # -------------------------------------------------------------- ordering
 
@@ -53,119 +92,183 @@ class DependencyGraph:
     # ----------------------------------------------------------------- queries
 
     def __len__(self) -> int:
-        return sum(len(tasks) for tasks in self._threads.values())
+        return sum(self._counts.values())
 
     def __contains__(self, task: Task) -> bool:
         return task in self._succ
 
     def threads(self) -> List[ExecutionThread]:
         """All execution threads, sorted."""
-        return sorted(self._threads)
+        return sorted(self._heads)
+
+    def iter_tasks_on(self, thread: ExecutionThread) -> Iterator[Task]:
+        """Tasks on one thread in execution order (zero-copy iterator).
+
+        The iterator walks the live linked list; take a snapshot with
+        :meth:`tasks_on` if the loop body splices this thread's order.
+        """
+        task = self._heads.get(thread)
+        nxt = self._next
+        while task is not None:
+            yield task
+            task = nxt[task]
 
     def tasks_on(self, thread: ExecutionThread) -> List[Task]:
-        """Tasks on one thread in execution order (a copy)."""
-        return list(self._threads.get(thread, []))
+        """Tasks on one thread in execution order (a snapshot list)."""
+        return list(self.iter_tasks_on(thread))
+
+    def iter_tasks(self) -> Iterator[Task]:
+        """All tasks, grouped by thread, in thread order (zero-copy)."""
+        for thread in self.threads():
+            yield from self.iter_tasks_on(thread)
 
     def tasks(self) -> List[Task]:
         """All tasks, grouped by thread, in thread order."""
-        return [t for thread in self.threads() for t in self._threads[thread]]
+        return list(self.iter_tasks())
 
     def select(self, predicate: Callable[[Task], bool]) -> List[Task]:
         """The Select primitive: all tasks satisfying ``predicate``."""
-        return [t for t in self.tasks() if predicate(t)]
+        return [t for t in self.iter_tasks() if predicate(t)]
 
     def successors(self, task: Task) -> Set[Task]:
-        """Explicit (cross-thread) successors of a task."""
+        """Explicit (cross-thread) successors of a task.
+
+        Returns the graph's *live* adjacency set — do not mutate it, and
+        snapshot it (``set(...)``) before loops that add or remove the
+        same task's edges.  Zero-copy so the simulator's inner loop stays
+        allocation-free.
+        """
         self._require(task)
-        return set(self._succ[task])
+        return self._succ[task]
 
     def predecessors(self, task: Task) -> Set[Task]:
-        """Explicit (cross-thread) predecessors of a task."""
+        """Explicit (cross-thread) predecessors of a task (live set — see
+        :meth:`successors` for the aliasing caveat)."""
         self._require(task)
-        return set(self._pred[task])
+        return self._pred[task]
 
     def thread_predecessor(self, task: Task) -> Optional[Task]:
         """The task immediately before ``task`` on its thread, if any."""
-        tasks = self._threads[task.thread]
-        idx = self._index_of(task)
-        return tasks[idx - 1] if idx > 0 else None
+        self._require(task)
+        return self._prev[task]
 
     def thread_successor(self, task: Task) -> Optional[Task]:
         """The task immediately after ``task`` on its thread, if any."""
-        tasks = self._threads[task.thread]
-        idx = self._index_of(task)
-        return tasks[idx + 1] if idx + 1 < len(tasks) else None
+        self._require(task)
+        return self._next[task]
 
     # ---------------------------------------------------------------- mutation
 
     def append(self, task: Task) -> Task:
-        """Append a task at the end of its thread's order."""
+        """Append a task at the end of its thread's order.  O(1)."""
         if task in self._succ:
             raise GraphConsistencyError(f"task already in graph: {task!r}")
-        self._threads.setdefault(task.thread, []).append(task)
+        thread = task.thread
+        tail = self._tails.get(thread)
+        self._prev[task] = tail
+        self._next[task] = None
+        if tail is None:
+            self._heads[thread] = task
+            self._counts[thread] = 1
+        else:
+            self._next[tail] = task
+            self._counts[thread] += 1
+        self._tails[thread] = task
         self._succ[task] = set()
         self._pred[task] = set()
-        self._position_dirty = True
         return task
 
     def insert_after(self, anchor: Task, task: Task) -> Task:
         """Insert ``task`` right after ``anchor`` in ``anchor``'s thread order.
 
         ``task.thread`` is forced to ``anchor.thread`` (the paper's insert
-        primitive inserts into an execution thread's linked list).
+        primitive inserts into an execution thread's linked list).  O(1).
         """
         self._require(anchor)
         if task in self._succ:
             raise GraphConsistencyError(f"task already in graph: {task!r}")
-        task.thread = anchor.thread
-        tasks = self._threads[anchor.thread]
-        tasks.insert(self._index_of(anchor) + 1, task)
+        thread = anchor.thread
+        task.thread = thread
+        nxt = self._next[anchor]
+        self._prev[task] = anchor
+        self._next[task] = nxt
+        self._next[anchor] = task
+        if nxt is None:
+            self._tails[thread] = task
+        else:
+            self._prev[nxt] = task
+        self._counts[thread] += 1
         self._succ[task] = set()
         self._pred[task] = set()
-        self._position_dirty = True
         return task
 
     def insert_before(self, anchor: Task, task: Task) -> Task:
-        """Insert ``task`` right before ``anchor`` in thread order."""
+        """Insert ``task`` right before ``anchor`` in thread order.  O(1)."""
         self._require(anchor)
         if task in self._succ:
             raise GraphConsistencyError(f"task already in graph: {task!r}")
-        task.thread = anchor.thread
-        tasks = self._threads[anchor.thread]
-        tasks.insert(self._index_of(anchor), task)
+        thread = anchor.thread
+        task.thread = thread
+        prv = self._prev[anchor]
+        self._next[task] = anchor
+        self._prev[task] = prv
+        self._prev[anchor] = task
+        if prv is None:
+            self._heads[thread] = task
+        else:
+            self._next[prv] = task
+        self._counts[thread] += 1
         self._succ[task] = set()
         self._pred[task] = set()
-        self._position_dirty = True
         return task
 
     def remove(self, task: Task, rewire: bool = True) -> None:
-        """Remove a task.
+        """Remove a task.  O(1) splice plus optional O(preds x succs) rewire.
 
         With ``rewire=True`` (default) each explicit predecessor is connected
         to each explicit successor, preserving transitive ordering across the
-        removed node.  Sequential thread order heals automatically (the list
-        splice joins the neighbors).
+        removed node.  Sequential thread order heals automatically (the
+        linked-list splice joins the neighbors).
         """
-        self._require(task)
+        succs = self._succ.pop(task, None)
+        if succs is None:
+            raise GraphConsistencyError(f"task not in graph: {task!r}")
         preds = self._pred.pop(task)
-        succs = self._succ.pop(task)
         for p in preds:
             self._succ[p].discard(task)
         for s in succs:
             self._pred[s].discard(task)
         if rewire:
             for p in preds:
+                succ_p = self._succ[p]
                 for s in succs:
                     if p is not s:
-                        self._succ[p].add(s)
+                        succ_p.add(s)
                         self._pred[s].add(p)
-        self._threads[task.thread].remove(task)
-        if not self._threads[task.thread]:
-            del self._threads[task.thread]
-        self._position_dirty = True
+        thread = task.thread
+        prv = self._prev.pop(task)
+        nxt = self._next.pop(task)
+        if prv is None:
+            if nxt is None:
+                del self._heads[thread]
+                del self._tails[thread]
+                del self._counts[thread]
+            else:
+                self._heads[thread] = nxt
+                self._prev[nxt] = None
+                self._counts[thread] -= 1
+        else:
+            self._next[prv] = nxt
+            if nxt is None:
+                self._tails[thread] = prv
+            else:
+                self._prev[nxt] = prv
+            self._counts[thread] -= 1
+        if self._cow_base is not None:
+            self._shared.discard(task)
 
     def add_dependency(self, src: Task, dst: Task) -> None:
-        """Add an explicit edge ``src -> dst``."""
+        """Add an explicit edge ``src -> dst``.  O(1)."""
         self._require(src)
         self._require(dst)
         if src is dst:
@@ -174,7 +277,7 @@ class DependencyGraph:
         self._pred[dst].add(src)
 
     def remove_dependency(self, src: Task, dst: Task) -> None:
-        """Remove an explicit edge if present."""
+        """Remove an explicit edge if present.  O(1)."""
         self._require(src)
         self._require(dst)
         self._succ[src].discard(dst)
@@ -185,13 +288,45 @@ class DependencyGraph:
     def validate(self) -> None:
         """Check graph invariants; raise :class:`GraphConsistencyError`.
 
+        * linked-list order is internally consistent (counts, head/tail,
+          prev/next symmetry);
         * no explicit edge points backwards within one thread's order;
         * the combined graph (explicit edges + thread order) is acyclic.
         """
+        position: Dict[Task, int] = {}
+        for thread, head in self._heads.items():
+            prev = None
+            count = 0
+            task = head
+            while task is not None:
+                if self._prev[task] is not prev:
+                    raise GraphConsistencyError(
+                        f"broken prev link at {task!r} on {thread}"
+                    )
+                if task.thread != thread:
+                    raise GraphConsistencyError(
+                        f"{task!r} linked on {thread} but claims {task.thread}"
+                    )
+                position[task] = count
+                count += 1
+                prev = task
+                task = self._next[task]
+            if self._tails[thread] is not prev:
+                raise GraphConsistencyError(f"broken tail link on {thread}")
+            if self._counts[thread] != count:
+                raise GraphConsistencyError(
+                    f"count mismatch on {thread}: "
+                    f"{self._counts[thread]} recorded, {count} linked"
+                )
+        if len(position) != len(self._succ):
+            raise GraphConsistencyError(
+                f"{len(self._succ)} tasks in adjacency but "
+                f"{len(position)} linked in thread order"
+            )
         for src, dsts in self._succ.items():
             for dst in dsts:
                 if src.thread == dst.thread and self.is_ordered(src.thread):
-                    if self._index_of(src) >= self._index_of(dst):
+                    if position[src] >= position[dst]:
                         raise GraphConsistencyError(
                             f"edge {src!r} -> {dst!r} contradicts thread order"
                         )
@@ -199,10 +334,13 @@ class DependencyGraph:
 
     def _topological_order(self) -> List[Task]:
         indeg: Dict[Task, int] = {}
-        for thread, thread_tasks in self._threads.items():
+        for thread in self._heads:
             ordered = self.is_ordered(thread)
-            for i, task in enumerate(thread_tasks):
-                indeg[task] = len(self._pred[task]) + (1 if ordered and i > 0 else 0)
+            first = True
+            for task in self.iter_tasks_on(thread):
+                indeg[task] = len(self._pred[task]) + (
+                    0 if first or not ordered else 1)
+                first = False
         ready = [t for t, d in indeg.items() if d == 0]
         order: List[Task] = []
         while ready:
@@ -210,7 +348,7 @@ class DependencyGraph:
             order.append(task)
             children: Iterable[Task] = self._succ[task]
             if self.is_ordered(task.thread):
-                nxt = self.thread_successor(task)
+                nxt = self._next[task]
                 if nxt is not None:
                     children = list(children) + [nxt]
             for child in children:
@@ -230,15 +368,6 @@ class DependencyGraph:
         if task not in self._succ:
             raise GraphConsistencyError(f"task not in graph: {task!r}")
 
-    def _index_of(self, task: Task) -> int:
-        if self._position_dirty:
-            self._position = {}
-            for tasks in self._threads.values():
-                for i, t in enumerate(tasks):
-                    self._position[t] = i
-            self._position_dirty = False
-        return self._position[task]
-
     # ----------------------------------------------------------------- cloning
 
     def copy(self) -> "DependencyGraph":
@@ -246,33 +375,237 @@ class DependencyGraph:
 
         Optimization models transform a copy so the baseline graph can be
         reused for many what-if questions (paper Section 7.1: profile once,
-        ask many questions).
+        ask many questions).  For the common transform-and-simulate path
+        prefer :meth:`overlay`, which skips cloning unmutated tasks.
         """
-        clone_of: Dict[Task, Task] = {}
+        # everything allocated here stays live; pause the collector so the
+        # allocation burst doesn't trigger full scans mid-copy
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._copy_impl()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _copy_impl(self) -> "DependencyGraph":
         out = DependencyGraph()
         out._unordered = set(self._unordered)
-        for thread in self.threads():
-            for task in self._threads[thread]:
-                clone = Task(
-                    name=task.name, kind=task.kind, thread=task.thread,
-                    duration=task.duration, gap=task.gap, layer=task.layer,
-                    phase=task.phase, correlation_id=task.correlation_id,
-                    size_bytes=task.size_bytes, priority=task.priority,
-                    trace_start_us=task.trace_start_us,
-                    metadata=dict(task.metadata),
-                )
+        clone_of: Dict[Task, Task] = {}
+        heads = out._heads
+        tails = out._tails
+        nxt_out = out._next
+        prv_out = out._prev
+        nxt_in = self._next
+        new = object.__new__
+        for thread, head in self._heads.items():
+            prev_clone: Optional[Task] = None
+            task: Optional[Task] = head
+            while task is not None:
+                # inlined Task.clone(): this loop dominates copy() cost
+                clone = new(Task)
+                cd = clone.__dict__
+                cd.update(task.__dict__)
+                cd.pop("_cow_base", None)
+                cd["metadata"] = dict(cd["metadata"])
                 clone_of[task] = clone
-                out.append(clone)
-        for src, dsts in self._succ.items():
-            for dst in dsts:
-                out.add_dependency(clone_of[src], clone_of[dst])
+                prv_out[clone] = prev_clone
+                if prev_clone is None:
+                    heads[thread] = clone
+                else:
+                    nxt_out[prev_clone] = clone
+                prev_clone = clone
+                task = nxt_in[task]
+            nxt_out[prev_clone] = None
+            tails[thread] = prev_clone
+        out._counts = dict(self._counts)
+        succ_out = out._succ
+        pred_out = out._pred
+        for task, clone in clone_of.items():
+            # adjacency sets are overwhelmingly empty or single-element;
+            # specializing those sizes avoids set-comprehension frames
+            succs = self._succ[task]
+            n = len(succs)
+            if n == 0:
+                succ_out[clone] = set()
+            elif n == 1:
+                (s,) = succs
+                succ_out[clone] = {clone_of[s]}
+            else:
+                succ_out[clone] = {clone_of[s] for s in succs}
+            preds = self._pred[task]
+            n = len(preds)
+            if n == 0:
+                pred_out[clone] = set()
+            elif n == 1:
+                (p,) = preds
+                pred_out[clone] = {clone_of[p]}
+            else:
+                pred_out[clone] = {clone_of[p] for p in preds}
         # remap task-valued metadata (launch<->kernel links) onto the clones
         for clone in clone_of.values():
-            for key, value in list(clone.metadata.items()):
+            metadata = clone.metadata
+            stale = None
+            for key, value in metadata.items():
                 if isinstance(value, Task):
                     remapped = clone_of.get(value)
                     if remapped is not None:
-                        clone.metadata[key] = remapped
+                        metadata[key] = remapped
                     else:
-                        del clone.metadata[key]
+                        stale = [key] if stale is None else stale + [key]
+            if stale:
+                for key in stale:
+                    del metadata[key]
         return out
+
+    # ------------------------------------------------------------ copy-on-write
+
+    def overlay(self) -> "DependencyGraph":
+        """Build a copy-on-write view of this graph.
+
+        The overlay owns private structure (edges, thread links) but shares
+        task objects with this graph until they are written; the first
+        attribute write to a shared task materializes it (this graph swaps in
+        a pristine clone and keeps the mutated original for the overlay).
+        Mutating the overlay never changes what this graph's tasks look like.
+
+        Overlays do not nest; asking an overlay for an overlay falls back to
+        a full :meth:`copy`.
+        """
+        if self._cow_base is not None:
+            return self.copy()
+        self._quiesce_overlays()
+        out = DependencyGraph()
+        out._unordered = set(self._unordered)
+        out._succ = {t: set(s) for t, s in self._succ.items()}
+        out._pred = {t: set(s) for t, s in self._pred.items()}
+        out._next = dict(self._next)
+        out._prev = dict(self._prev)
+        out._heads = dict(self._heads)
+        out._tails = dict(self._tails)
+        out._counts = dict(self._counts)
+        out._cow_base = self
+        out._shared = set(self._succ)
+        for task in self._succ:
+            task.__dict__["_cow_base"] = self
+        self._overlays.append(weakref.ref(out))
+        return out
+
+    def add_swap_listener(self, listener: Callable[[Task, Task], None]) -> None:
+        """Register ``listener(old, new)`` for copy-on-write task swaps.
+
+        Holders of task-keyed caches (e.g. a cached baseline
+        ``SimulationResult``) use this to re-key when the base graph swaps a
+        written-to shared task for its pristine clone.
+        """
+        self._swap_listeners.append(listener)
+
+    def _live_overlays(self) -> List["DependencyGraph"]:
+        alive: List[DependencyGraph] = []
+        refs: List[weakref.ref] = []
+        for ref in self._overlays:
+            overlay = ref()
+            if overlay is not None:
+                alive.append(overlay)
+                refs.append(ref)
+        self._overlays = refs
+        return alive
+
+    def _cow_task_written(self, task: Task) -> None:
+        """Write-barrier hook: a shared task is about to be mutated.
+
+        Called by ``Task.__setattr__`` *before* the write lands, so the
+        task's current state is still pristine.  The base keeps a pristine
+        clone; the (single active) overlay keeps the original, which the
+        writer is holding a reference to.
+        """
+        task.__dict__.pop("_cow_base", None)
+        overlays = self._live_overlays()
+        if task not in self._succ:
+            return
+        if not overlays:
+            return  # no overlay alive: a direct base write mutates in place
+        self._materialize_in_base(self._metadata_group(task), overlays)
+
+    def _metadata_group(self, task: Task) -> List[Task]:
+        """``task`` plus tasks transitively linked via task-valued metadata.
+
+        Launch APIs and their kernels reference each other through
+        ``launches``/``launched_by`` metadata; swapping one without the other
+        would leave the base pointing at an overlay-owned task.
+        """
+        group = [task]
+        seen = {task}
+        queue = [task]
+        while queue:
+            for value in queue.pop().metadata.values():
+                if (isinstance(value, Task) and value not in seen
+                        and value in self._succ):
+                    seen.add(value)
+                    group.append(value)
+                    queue.append(value)
+        return group
+
+    def _materialize_in_base(self, group: List[Task],
+                             overlays: List["DependencyGraph"]) -> None:
+        clone_of: Dict[Task, Task] = {}
+        for member in group:
+            member.__dict__.pop("_cow_base", None)
+            clone = member.clone()
+            clone_of[member] = clone
+            for overlay in overlays:
+                overlay._shared.discard(member)
+        for member, clone in clone_of.items():
+            self._swap_task(member, clone)
+            metadata = clone.metadata
+            for key, value in metadata.items():
+                if isinstance(value, Task) and value in clone_of:
+                    metadata[key] = clone_of[value]
+
+    def _swap_task(self, old: Task, new: Task) -> None:
+        """Replace ``old`` with ``new`` in place (same edges, same position)."""
+        succs = self._succ.pop(old)
+        preds = self._pred.pop(old)
+        self._succ[new] = succs
+        self._pred[new] = preds
+        for s in succs:
+            pred_s = self._pred[s]
+            pred_s.discard(old)
+            pred_s.add(new)
+        for p in preds:
+            succ_p = self._succ[p]
+            succ_p.discard(old)
+            succ_p.add(new)
+        thread = new.thread
+        prv = self._prev.pop(old)
+        nxt = self._next.pop(old)
+        self._prev[new] = prv
+        self._next[new] = nxt
+        if prv is None:
+            self._heads[thread] = new
+        else:
+            self._next[prv] = new
+        if nxt is None:
+            self._tails[thread] = new
+        else:
+            self._prev[nxt] = new
+        for listener in self._swap_listeners:
+            listener(old, new)
+
+    def _quiesce_overlays(self) -> None:
+        """Detach still-live overlays before handing out a new one.
+
+        A retained overlay (e.g. the graph returned by
+        ``predict_simulation``) may still share tasks with the base; give the
+        base pristine clones of everything still shared so the old overlay
+        can keep mutating its tasks without write barriers.
+        """
+        for overlay in self._live_overlays():
+            if not overlay._shared:
+                continue
+            group = [t for t in overlay._shared if t in self._succ]
+            overlay._shared.clear()
+            if group:
+                self._materialize_in_base(group, [])
+        self._overlays = []

@@ -45,7 +45,7 @@ def map_tasks_to_layers(graph: DependencyGraph, trace: Trace) -> int:
         if not thread_windows:
             continue
         idx = 0
-        for task in graph.tasks_on(thread):
+        for task in graph.iter_tasks_on(thread):
             start = task.trace_start_us
             while (idx < len(thread_windows)
                    and thread_windows[idx][1] <= start):

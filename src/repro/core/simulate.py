@@ -1,18 +1,35 @@
-"""Execution simulation — the paper's Algorithm 1.
+"""Execution simulation — the paper's Algorithm 1, event-driven.
 
-The simulator traverses the dependency graph, dispatching each frontier task
-to its execution thread:
+The simulator traverses the dependency graph, dispatching each task to its
+execution thread:
 
 * ``u.start = max(P[thread], max over parents of parent end)``;
 * ``P[thread] = u.start + u.duration + u.gap``;
-* a task joins the frontier when its explicit parents *and* its thread
+* a task becomes dispatchable when its explicit parents *and* its thread
   predecessor have executed.
 
-The ``schedule`` step (line 9) is pluggable: the default picks the task with
-the globally earliest feasible start, and optimization models may override
-it (P3's priority queue, vDNN's prefetch delay — paper Section 4.4).
+The engine is a lazy-deletion min-heap keyed on each dispatchable task's
+*feasible start* (plus a policy key and a FIFO sequence number): O(N log N)
+instead of the naive per-dispatch frontier scan's O(N * F).  A popped entry
+whose thread made progress since it was pushed is stale; it is re-pushed
+with its recomputed feasible start (feasible starts only grow, so lazy
+reinsertion is exact, not approximate).
+
+The ``schedule`` step (Algorithm 1 line 9) stays pluggable two ways:
+
+* a :class:`SchedulePolicy` ranks dispatchable tasks via a secondary key
+  (after feasible start, before FIFO order) and runs on the heap engine —
+  this is how P3's priority queue (``make_priority_scheduler``) and other
+  Schedule-primitive overrides plug in;
+* a legacy callable ``(frontier, progress) -> task`` (the seed protocol)
+  still works and routes to the reference frontier-scan engine, since an
+  arbitrary function of the whole frontier cannot be heapified.
+
+Both engines implement identical semantics; the equivalence is
+property-tested against an independent reference in the test suite.
 """
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -21,8 +38,8 @@ from repro.core.graph import DependencyGraph
 from repro.core.task import Task
 from repro.tracing.records import ExecutionThread
 
-#: A scheduler picks the next task to dispatch from the frontier.
-#: It receives the frontier and the per-thread progress map.
+#: Legacy scheduler protocol: picks the next task to dispatch from the
+#: frontier, given the frontier and the per-thread progress map.
 Scheduler = Callable[[List[Task], Dict[ExecutionThread, float]], Task]
 
 
@@ -50,14 +67,69 @@ class SimulationResult:
 
     def critical_tasks(self, top: int = 10) -> List[Task]:
         """The ``top`` tasks by duration — a quick bottleneck view."""
-        tasks = sorted(self.start_us, key=lambda t: t.duration, reverse=True)
-        return tasks[:top]
+        return heapq.nlargest(top, self.start_us, key=lambda t: t.duration)
+
+
+class SchedulePolicy:
+    """A heap-friendly scheduling policy (the paper's Schedule primitive).
+
+    The event-driven engine orders dispatchable tasks by
+    ``(feasible_start, policy.key(task), fifo_sequence)``; subclasses
+    override :meth:`key` to reorder ties without forfeiting the O(N log N)
+    engine.  The default key (0 for every task) reproduces the
+    earliest-feasible-start, FIFO-tie-break baseline schedule.
+    """
+
+    def key(self, task: Task) -> float:
+        """Secondary sort key; smaller dispatches first among feasible ties."""
+        return 0.0
+
+
+class PrioritySchedulePolicy(SchedulePolicy):
+    """P3-style priority override (paper Appendix Algorithm 7).
+
+    Among dispatchable tasks, the earliest feasible start still wins (work
+    conservation), but when several prioritized tasks could start at the
+    same instant the one with the highest ``task.priority`` goes first.
+
+    Instances are also callable with the legacy ``(frontier, progress)``
+    protocol so code written against the seed API keeps working.
+    """
+
+    def __init__(self, is_prioritized: Callable[[Task], bool]) -> None:
+        self._is_prioritized = is_prioritized
+
+    def key(self, task: Task) -> float:
+        return -float(task.priority) if self._is_prioritized(task) else 0.0
+
+    def __call__(self, frontier: List[Task],
+                 progress: Dict[ExecutionThread, float]) -> Task:
+        best: Optional[Task] = None
+        best_key: Optional[Tuple[float, float]] = None
+        for task in frontier:
+            feasible = max(progress.get(task.thread, 0.0),
+                           task.metadata["_ready_us"])
+            key = (feasible, self.key(task))
+            if best_key is None or key < best_key:
+                best, best_key = task, key
+        assert best is not None
+        return best
+
+
+def make_priority_scheduler(
+    is_prioritized: Callable[[Task], bool],
+) -> PrioritySchedulePolicy:
+    """Build the P3 priority schedule override (see
+    :class:`PrioritySchedulePolicy`)."""
+    return PrioritySchedulePolicy(is_prioritized)
 
 
 def earliest_start_scheduler(
     frontier: List[Task], progress: Dict[ExecutionThread, float]
 ) -> Task:
-    """Default scheduler: earliest feasible start, FIFO tie-break."""
+    """Default schedule as a legacy callable: earliest feasible start, FIFO
+    tie-break.  Retained for the reference engine and API compatibility; the
+    default simulate path uses the heap engine instead."""
     best = frontier[0]
     best_time = max(progress.get(best.thread, 0.0), best.metadata["_ready_us"])
     for task in frontier[1:]:
@@ -74,24 +146,159 @@ def simulate(
 ) -> SimulationResult:
     """Run Algorithm 1 over the graph and return predicted timings.
 
+    ``scheduler`` may be a :class:`SchedulePolicy` (heap engine, O(N log N))
+    or a legacy ``(frontier, progress) -> task`` callable (reference engine,
+    O(N * F)).  ``None`` uses the default earliest-start policy on the heap
+    engine.
+
     Raises:
         SimulationError: if the graph deadlocks (cycle), or a custom
             scheduler returns a task that is not in the frontier.
     """
-    scheduler = scheduler or earliest_start_scheduler
+    if scheduler is None:
+        return _simulate_event_driven(graph, _DEFAULT_POLICY)
+    if isinstance(scheduler, SchedulePolicy):
+        return _simulate_event_driven(graph, scheduler)
+    return _simulate_reference(graph, scheduler)
 
+
+_DEFAULT_POLICY = SchedulePolicy()
+
+
+def _simulate_event_driven(
+    graph: DependencyGraph, policy: SchedulePolicy
+) -> SimulationResult:
+    """Heap-based event-driven engine keyed on feasible start."""
+    # the base policy keys every task 0.0; skip the per-push call for it
+    trivial_key = type(policy) is SchedulePolicy
+    policy_key = policy.key
+    succ = graph._succ
+    pred = graph._pred
+    # per-task state [pending_refs, thread_index, ready_us]: one dict lookup
+    # per release instead of separate refs/ready/thread maps
+    state: Dict[Task, List] = {}
+    initial: List[Task] = []
+
+    # map threads to dense indices so the inner loop indexes flat lists
+    # instead of hashing ExecutionThread keys on every dispatch
+    threads = graph.threads()
+    progress: List[float] = [0.0] * len(threads)
+    busy_lists: List[List[Tuple[float, float]]] = [[] for _ in threads]
+    ordered_at: List[bool] = [graph.is_ordered(t) for t in threads]
+
+    heads = graph._heads
+    nxt_link = graph._next
+    for i, thread in enumerate(threads):
+        ordered = ordered_at[i]
+        first = True
+        task = heads.get(thread)
+        while task is not None:
+            n = len(pred[task])
+            if ordered and not first:
+                n += 1
+            state[task] = [n, i, 0.0]
+            if n == 0:
+                initial.append(task)
+            first = False
+            task = nxt_link[task]
+
+    total = len(state)
+    start_us: Dict[Task, float] = {}
+    makespan = 0.0
+    # heap entries: (feasible_start, policy_key, fifo_seq, thread_idx, task);
+    # the seq makes ties FIFO in frontier-entry order, matching the reference
+    # engine's frontier-scan order (and keeps tuple comparison from ever
+    # reaching the task).  A task's ready time is final once its last
+    # reference drops (all parents done), so the pushed feasible start can
+    # only go stale through *thread progress* — re-checked on pop.
+    heap: List[Tuple[float, float, int, int, Task]] = [
+        (0.0, 0.0 if trivial_key else policy_key(task), seq, state[task][1],
+         task)
+        for seq, task in enumerate(initial)
+    ]
+    heapq.heapify(heap)
+    seq = len(initial)
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    while heap:
+        feasible, pkey, s, ti, task = pop(heap)
+        cur = progress[ti]
+        if cur > feasible:
+            # stale entry: the thread advanced since this was pushed
+            push(heap, (cur, pkey, s, ti, task))
+            continue
+        now = feasible
+        start_us[task] = now
+        duration = task.duration
+        end = now + duration
+        if end > makespan:
+            makespan = end
+        progress[ti] = end + task.gap
+        if duration > 0:
+            busy_lists[ti].append((now, end))
+        children = succ[task]
+        if children:
+            for child in children:
+                st = state[child]
+                if st[2] < end:
+                    st[2] = end
+                n = st[0] - 1
+                st[0] = n
+                if n == 0:
+                    ci = st[1]
+                    cf = progress[ci]
+                    rc = st[2]
+                    push(heap, (cf if cf > rc else rc,
+                                0.0 if trivial_key else policy_key(child),
+                                seq, ci, child))
+                    seq += 1
+        nxt = nxt_link[task] if ordered_at[ti] else None
+        if nxt is not None:
+            # thread order: predecessor completion gates the successor, but
+            # the gap is enforced via thread progress, not readiness
+            st = state[nxt]
+            if st[2] < end:
+                st[2] = end
+            n = st[0] - 1
+            st[0] = n
+            if n == 0:
+                cf = progress[ti]
+                rc = st[2]
+                push(heap, (cf if cf > rc else rc,
+                            0.0 if trivial_key else policy_key(nxt),
+                            seq, ti, nxt))
+                seq += 1
+
+    if len(start_us) != total:
+        raise SimulationError(
+            f"deadlock: executed {len(start_us)} of {total} tasks "
+            "(dependency cycle)"
+        )
+    return SimulationResult(
+        start_us=start_us, makespan_us=makespan,
+        thread_busy=dict(zip(threads, busy_lists)),
+    )
+
+
+def _simulate_reference(
+    graph: DependencyGraph, scheduler: Scheduler
+) -> SimulationResult:
+    """The seed frontier-scan engine, kept for legacy callable schedulers."""
     # reference counts: explicit preds + one for the thread predecessor
     refs: Dict[Task, int] = {}
     thread_next: Dict[Task, Optional[Task]] = {}
     for thread in graph.threads():
-        tasks = graph.tasks_on(thread)
         ordered = graph.is_ordered(thread)
-        for i, task in enumerate(tasks):
+        prev: Optional[Task] = None
+        for i, task in enumerate(graph.iter_tasks_on(thread)):
             refs[task] = len(graph.predecessors(task)) + (
                 1 if ordered and i > 0 else 0)
-            thread_next[task] = (tasks[i + 1]
-                                 if ordered and i + 1 < len(tasks) else None)
+            thread_next[task] = None
+            if ordered and prev is not None:
+                thread_next[prev] = task
             task.metadata["_ready_us"] = 0.0
+            prev = task
 
     frontier: List[Task] = [t for t, r in refs.items() if r == 0]
     progress: Dict[ExecutionThread, float] = {t: 0.0 for t in graph.threads()}
@@ -143,31 +350,3 @@ def simulate(
     makespan = max((start_us[t] + t.duration for t in start_us), default=0.0)
     return SimulationResult(start_us=start_us, makespan_us=makespan,
                             thread_busy=busy)
-
-
-def make_priority_scheduler(
-    is_prioritized: Callable[[Task], bool],
-) -> Scheduler:
-    """Build a scheduler that breaks feasibility ties by ``task.priority``.
-
-    Among frontier tasks, the earliest feasible start still wins (work
-    conservation), but when several prioritized tasks could start at the
-    same instant the one with the highest priority goes first — the paper's
-    P3 schedule override (Appendix Algorithm 7).
-    """
-
-    def scheduler(frontier: List[Task],
-                  progress: Dict[ExecutionThread, float]) -> Task:
-        best: Optional[Task] = None
-        best_key: Optional[Tuple[float, float]] = None
-        for task in frontier:
-            feasible = max(progress.get(task.thread, 0.0),
-                           task.metadata["_ready_us"])
-            pri = -float(task.priority) if is_prioritized(task) else 0.0
-            key = (feasible, pri)
-            if best_key is None or key < best_key:
-                best, best_key = task, key
-        assert best is not None
-        return best
-
-    return scheduler

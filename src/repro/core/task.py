@@ -74,6 +74,31 @@ class Task:
         if self.gap < 0:
             raise ConfigError(f"task {self.name!r} has negative gap")
 
+    def __setattr__(self, name: str, value: object) -> None:
+        # Copy-on-write write barrier: while a task is shared between a base
+        # graph and an overlay (graph.overlay()), the base stashes itself
+        # under ``_cow_base``; the first attribute write materializes a
+        # pristine clone in the base before the mutation lands here.
+        base = self.__dict__.get("_cow_base")
+        if base is not None:
+            base._cow_task_written(self)
+        object.__setattr__(self, name, value)
+
+    def clone(self) -> "Task":
+        """A fast field-for-field clone (fresh identity, own metadata dict).
+
+        Bypasses dataclass ``__init__`` — the source task already satisfies
+        the constructor invariants — and never carries over copy-on-write
+        seals.  Task-valued metadata still references the *original* linked
+        tasks; graph-level cloning remaps those.
+        """
+        out = object.__new__(Task)
+        d = out.__dict__
+        d.update(self.__dict__)
+        d.pop("_cow_base", None)
+        d["metadata"] = dict(self.metadata)
+        return out
+
     @property
     def is_gpu(self) -> bool:
         """True for GPU-side tasks (kernels and memory copies)."""

@@ -115,7 +115,7 @@ def insert_gpu_task(
         The inserted GPU task (its launch is reachable via metadata).
     """
     launch = Task(
-        name=f"cudaLaunchKernel", kind=TaskKind.CPU, thread=cpu_anchor.thread,
+        name="cudaLaunchKernel", kind=TaskKind.CPU, thread=cpu_anchor.thread,
         duration=launch_duration_us, layer=layer, phase=phase,
         metadata={"inserted": True},
     )

@@ -12,6 +12,7 @@ exceptions at 20/40 Gbps.
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import prediction_error
+from repro.analysis.parallel import fork_map
 from repro.analysis.session import WhatIfSession
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
@@ -30,8 +31,15 @@ BANDWIDTHS_GBPS = (10, 20, 40)
 
 def run(models: Optional[List[str]] = None,
         bandwidths: Optional[Sequence[float]] = None,
-        configs: Optional[Sequence[Tuple[int, int]]] = None) -> ExperimentResult:
-    """Reproduce Figure 8 (all four sub-figures)."""
+        configs: Optional[Sequence[Tuple[int, int]]] = None,
+        processes: Optional[int] = None) -> ExperimentResult:
+    """Reproduce Figure 8 (all four sub-figures).
+
+    The (bandwidth, machines, gpus) cells of each model are independent —
+    one ground-truth engine run plus one copy-on-write prediction each — so
+    they fan out across cores via :func:`fork_map` (deterministic: the
+    parallel rows are identical to a serial run).
+    """
     result = ExperimentResult(
         experiment="fig8",
         title="Distributed training: Daydream prediction vs ground truth",
@@ -43,22 +51,28 @@ def run(models: Optional[List[str]] = None,
     for name in models or MODELS:
         model = build_model(name)
         session = WhatIfSession.from_model(model, config=config)
-        for bw in bandwidths or BANDWIDTHS_GBPS:
+        session.baseline_result  # materialize before the workers fork
+        cells = [(bw, machines, gpus)
+                 for bw in (bandwidths or BANDWIDTHS_GBPS)
+                 for machines, gpus in (configs or CONFIGS)]
+
+        def evaluate(cell: Tuple[float, int, int]) -> Tuple:
+            bw, machines, gpus = cell
             network = NetworkSpec(bandwidth_gbps=bw)
-            for machines, gpus in configs or CONFIGS:
-                cluster = ClusterSpec(machines, gpus, GPU_2080TI, network)
-                if not cluster.is_distributed:
-                    result.add_row(name, cluster.label(), bw,
-                                   session.baseline_us / 1000.0,
-                                   session.baseline_us / 1000.0, 0.0)
-                    continue
-                truth = groundtruth.run_distributed(
-                    model, cluster, config, sync_before_allreduce=True)
-                pred = session.predict(DistributedTraining(), cluster=cluster)
-                result.add_row(
-                    name, cluster.label(), bw,
+            cluster = ClusterSpec(machines, gpus, GPU_2080TI, network)
+            if not cluster.is_distributed:
+                return (name, cluster.label(), bw,
+                        session.baseline_us / 1000.0,
+                        session.baseline_us / 1000.0, 0.0)
+            truth = groundtruth.run_distributed(
+                model, cluster, config, sync_before_allreduce=True)
+            pred = session.predict(DistributedTraining(), cluster=cluster)
+            return (name, cluster.label(), bw,
                     truth.iteration_us / 1000.0,
                     pred.predicted_us / 1000.0,
-                    prediction_error(pred.predicted_us, truth.iteration_us) * 100.0,
-                )
+                    prediction_error(pred.predicted_us,
+                                     truth.iteration_us) * 100.0)
+
+        for row in fork_map(evaluate, cells, processes=processes):
+            result.add_row(*row)
     return result

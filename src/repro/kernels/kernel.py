@@ -75,6 +75,24 @@ class KernelSpec:
             raise ConfigError(f"negative flops/bytes in kernel {self.name!r}")
         if not self.name:
             raise ConfigError("kernel name must be non-empty")
+        # specs key the kernel-duration memo; cache the hash of the compare
+        # fields once (metadata is compare=False and stays excluded)
+        object.__setattr__(self, "_hash", hash(
+            (self.name, self.kind, self.flops, self.bytes,
+             self.tensor_core_eligible)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is KernelSpec:
+            return (self.name == other.name and self.kind is other.kind
+                    and self.flops == other.flops
+                    and self.bytes == other.bytes
+                    and self.tensor_core_eligible == other.tensor_core_eligible)
+        return NotImplemented
 
     def arithmetic_intensity(self) -> float:
         """FLOPs per DRAM byte; infinite for pure-compute, 0 for pure-copy."""

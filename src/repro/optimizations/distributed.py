@@ -81,7 +81,7 @@ def _last_backward_gpu_task_by_layer(graph: DependencyGraph) -> Dict[str, Task]:
     for thread in graph.threads():
         if not thread.is_gpu:
             continue
-        for task in graph.tasks_on(thread):
+        for task in graph.iter_tasks_on(thread):
             if task.layer is not None and task.phase == "backward":
                 out[task.layer] = task
     return out
@@ -92,7 +92,7 @@ def _earliest_weight_update_task(graph: DependencyGraph) -> Optional[Task]:
     for thread in graph.threads():
         if not thread.is_cpu:
             continue
-        for task in graph.tasks_on(thread):
+        for task in graph.iter_tasks_on(thread):
             if task.phase == "weight_update":
                 return task
     return None

@@ -163,7 +163,7 @@ def _first_forward_gpu_task_by_layer(graph: DependencyGraph) -> Dict[str, Task]:
     for thread in graph.threads():
         if not thread.is_gpu:
             continue
-        for task in graph.tasks_on(thread):
+        for task in graph.iter_tasks_on(thread):
             if (task.layer is not None and task.phase == "forward"
                     and task.layer not in out):
                 out[task.layer] = task
@@ -176,7 +176,7 @@ def _last_backward_gpu_task_by_layer(graph: DependencyGraph) -> Dict[str, Task]:
     for thread in graph.threads():
         if not thread.is_gpu:
             continue
-        for task in graph.tasks_on(thread):
+        for task in graph.iter_tasks_on(thread):
             if task.layer is not None and task.phase == "backward":
                 out[task.layer] = task
     return out

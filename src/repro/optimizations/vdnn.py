@@ -86,7 +86,7 @@ def _phase_gpu_tasks(graph: DependencyGraph, phase: str,
     for thread in graph.threads():
         if not thread.is_gpu:
             continue
-        for task in graph.tasks_on(thread):
+        for task in graph.iter_tasks_on(thread):
             if task.layer is None or task.phase != phase:
                 continue
             if last or task.layer not in out:

@@ -10,6 +10,7 @@ markers with phase tags, communication metadata).
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional
 
 
@@ -37,6 +38,21 @@ class ExecutionThread:
     def __post_init__(self) -> None:
         if self.kind not in ("cpu", "gpu_stream", "comm"):
             raise ValueError(f"unknown thread kind {self.kind!r}")
+        # Threads key every hot dict in simulation and tracing; cache the
+        # hash (and the display label, used as a sort key) once instead of
+        # recomputing per lookup.
+        object.__setattr__(self, "_hash", hash((self.kind, self.index)))
+        object.__setattr__(self, "_label", f"{self.kind}:{self.index}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is ExecutionThread:
+            return self.kind == other.kind and self.index == other.index
+        return NotImplemented
 
     @property
     def is_cpu(self) -> bool:
@@ -51,27 +67,33 @@ class ExecutionThread:
         return self.kind == "comm"
 
     def __str__(self) -> str:
-        return f"{self.kind}:{self.index}"
+        return self._label
 
 
+@lru_cache(maxsize=None)
 def cpu_thread(index: int = 0) -> ExecutionThread:
-    """Convenience constructor for a CPU thread."""
+    """Convenience constructor for a CPU thread (interned)."""
     return ExecutionThread("cpu", index)
 
 
+@lru_cache(maxsize=None)
 def gpu_stream(index: int = 0) -> ExecutionThread:
-    """Convenience constructor for a CUDA stream."""
+    """Convenience constructor for a CUDA stream (interned)."""
     return ExecutionThread("gpu_stream", index)
 
 
+@lru_cache(maxsize=None)
 def comm_channel(index: int = 0) -> ExecutionThread:
-    """Convenience constructor for a communication channel."""
+    """Convenience constructor for a communication channel (interned)."""
     return ExecutionThread("comm", index)
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One trace record.
+
+    ``slots=True``: engines emit hundreds of thousands of events per sweep;
+    slot storage trims per-event memory and attribute access.
 
     Attributes:
         category: activity kind.

@@ -8,10 +8,13 @@ per-layer gradient sizes, model/device identity).
 
 import json
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, List, Optional
 
 from repro.common.errors import TraceError
 from repro.tracing.records import EventCategory, ExecutionThread, TraceEvent
+
+_START_US = attrgetter("start_us")
 
 
 @dataclass
@@ -102,7 +105,7 @@ class Trace:
                 continue
             per_thread.setdefault(e.thread, []).append(e)
         for thread, evs in per_thread.items():
-            evs.sort(key=lambda e: e.start_us)
+            evs.sort(key=_START_US)
             for prev, cur in zip(evs, evs[1:]):
                 if cur.start_us < prev.end_us - 1e-6:
                     raise TraceError(

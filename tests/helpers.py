@@ -1,0 +1,39 @@
+"""Importable test helpers shared across the suite.
+
+Test modules must import shared model builders from here rather than from
+``conftest``: a bare ``from conftest import ...`` resolves against whichever
+conftest pytest put on ``sys.path`` first (historically this picked up
+``benchmarks/conftest.py`` when running from the repo root, breaking
+collection).
+"""
+
+from repro.models.base import ModelSpec
+from repro.models.blocks import (
+    batchnorm_layer,
+    conv_layer,
+    linear_layer,
+    loss_layer,
+    relu_layer,
+)
+
+
+def make_tiny_model(batch: int = 4, optimizer: str = "adam") -> ModelSpec:
+    """A small but structurally complete CNN training workload."""
+    layers = [
+        conv_layer("conv1", batch, 3, 32, 32, 16, 3, 1, 1),
+        batchnorm_layer("bn1", batch, 16, 32, 32),
+        relu_layer("relu1", batch * 16 * 32 * 32),
+        conv_layer("conv2", batch, 16, 32, 32, 32, 3, 2, 1),
+        batchnorm_layer("bn2", batch, 32, 16, 16),
+        relu_layer("relu2", batch * 32 * 16 * 16),
+        linear_layer("fc", batch, 32 * 16 * 16, 10),
+        loss_layer("loss", batch, 10),
+    ]
+    return ModelSpec(
+        name="tinycnn",
+        layers=layers,
+        batch_size=batch,
+        input_sample_bytes=3 * 32 * 32 * 4,
+        default_optimizer=optimizer,
+        application="testing",
+    )

@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.metrics import improvement_percent, prediction_error, speedup
 from repro.analysis.session import Prediction, WhatIfSession
 from repro.common.errors import ConfigError
-from repro.framework.config import TrainingConfig
 from repro.optimizations import AutomaticMixedPrecision, FusedAdam
 from repro.tracing.trace import Trace
 

@@ -11,7 +11,7 @@ from repro.framework.config import TrainingConfig
 from repro.framework.engine import profile_iteration
 from repro.tracing.records import cpu_thread, gpu_stream
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 def cpu_task(name, dur, gap=0.0):

@@ -13,7 +13,7 @@ from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec
 from repro.tracing.trace import Trace
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 @pytest.fixture

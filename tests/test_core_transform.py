@@ -8,7 +8,7 @@ from repro.core.construction import build_graph
 from repro.core.graph import DependencyGraph
 from repro.core.simulate import simulate
 from repro.core.task import Task, TaskKind
-from repro.tracing.records import comm_channel, cpu_thread, gpu_stream
+from repro.tracing.records import comm_channel, cpu_thread
 
 
 @pytest.fixture

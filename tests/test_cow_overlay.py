@@ -1,0 +1,170 @@
+"""Copy-on-write overlay semantics: base graphs stay pristine.
+
+``DependencyGraph.overlay()`` shares task objects with the base until they
+are written; these tests pin down the isolation contract the what-if
+session relies on (paper Section 7.1: one profile, many questions).
+"""
+
+import multiprocessing
+
+import pytest
+
+from helpers import make_tiny_model
+
+from repro.analysis.session import WhatIfSession
+from repro.core.graph import DependencyGraph
+from repro.core.simulate import simulate
+from repro.core.task import Task, TaskKind
+from repro.framework.config import TrainingConfig
+from repro.framework.engine import Engine
+from repro.hw.device import GPU_2080TI
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.optimizations import (
+    AutomaticMixedPrecision,
+    DistributedTraining,
+    FusedAdam,
+)
+from repro.tracing.records import cpu_thread, gpu_stream
+
+
+def make_task(name, thread=None, duration=1.0):
+    return Task(name=name, kind=TaskKind.CPU, thread=thread or cpu_thread(0),
+                duration=duration)
+
+
+@pytest.fixture
+def tiny_graph(tiny_trace):
+    from repro.core.construction import build_graph
+    return build_graph(tiny_trace)
+
+
+class TestOverlayIsolation:
+    def test_overlay_shares_until_written(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a", duration=3.0))
+        overlay = g.overlay()
+        assert overlay.tasks()[0] is a  # shared, not cloned
+        overlay.tasks()[0].duration = 99.0
+        # the write materialized a pristine clone in the base
+        (base_a,) = g.tasks()
+        assert base_a is not a
+        assert base_a.duration == 3.0
+        assert a.duration == 99.0
+        assert overlay.tasks()[0] is a
+
+    def test_structural_mutation_never_touches_base(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a"))
+        b = g.append(make_task("b", thread=gpu_stream(0)))
+        g.add_dependency(a, b)
+        overlay = g.overlay()
+        overlay.remove(b)
+        overlay.insert_after(a, make_task("x"))
+        overlay.add_dependency(overlay.tasks()[0], overlay.tasks()[1])
+        assert len(g) == 2
+        assert b in g
+        assert g.successors(a) == {b}
+        g.validate()
+        overlay.validate()
+
+    def test_launch_kernel_metadata_group_swaps_together(self, tiny_graph):
+        overlay = tiny_graph.overlay()
+        kernel = next(t for t in overlay.tasks()
+                      if isinstance(t.metadata.get("launched_by"), Task))
+        launch = kernel.metadata["launched_by"]
+        kernel.duration = kernel.duration * 2  # materializes the pair
+        base_kernels = [t for t in tiny_graph.tasks()
+                        if t.name == kernel.name
+                        and t.correlation_id == kernel.correlation_id]
+        assert base_kernels and all(t is not kernel for t in base_kernels)
+        base_kernel = base_kernels[0]
+        base_launch = base_kernel.metadata["launched_by"]
+        assert base_launch is not launch
+        assert base_launch.metadata["launches"] is base_kernel
+        assert launch.metadata["launches"] is kernel
+        tiny_graph.validate()
+
+    def test_base_resimulates_identically_after_heavy_overlay_mutation(
+            self, tiny_graph):
+        baseline = simulate(tiny_graph).makespan_us
+        overlay = tiny_graph.overlay()
+        for task in overlay.select(lambda t: t.is_gpu):
+            task.scale_duration(0.25)
+        for task in list(overlay.iter_tasks_on(cpu_thread(0)))[::3]:
+            overlay.remove(task)
+        assert simulate(tiny_graph).makespan_us == baseline
+        tiny_graph.validate()
+
+    def test_retained_overlay_survives_new_overlay(self, tiny_graph):
+        first = tiny_graph.overlay()
+        for task in first.select(lambda t: t.is_gpu):
+            task.scale_duration(0.5)
+        first_makespan = simulate(first).makespan_us
+        second = tiny_graph.overlay()  # quiesces `first`
+        for task in second.select(lambda t: t.is_gpu):
+            task.scale_duration(2.0)
+        assert simulate(first).makespan_us == first_makespan
+        first.validate()
+        second.validate()
+        tiny_graph.validate()
+
+    def test_overlay_of_overlay_falls_back_to_copy(self, tiny_graph):
+        overlay = tiny_graph.overlay()
+        nested = overlay.overlay()
+        nested_tasks = nested.tasks()
+        assert all(a is not b for a, b in zip(nested_tasks, overlay.tasks()))
+        nested.validate()
+
+
+class TestCowSession:
+    @pytest.fixture
+    def session(self, tiny_model):
+        trace = Engine(model=tiny_model,
+                       config=TrainingConfig()).run_iteration()
+        return WhatIfSession.from_trace(trace)
+
+    def test_predictions_match_deep_copy_sessions(self, session):
+        cluster = ClusterSpec(2, 2, GPU_2080TI, NetworkSpec(bandwidth_gbps=10))
+        reference = WhatIfSession.from_trace(session.trace, session.config)
+        reference.copy_on_write = False
+        for optimization, cl in [(FusedAdam(), None),
+                                 (AutomaticMixedPrecision(), None),
+                                 (DistributedTraining(), cluster)]:
+            cow = session.predict(optimization, cluster=cl)
+            deep = reference.predict(optimization, cluster=cl)
+            assert cow.predicted_us == deep.predicted_us
+            assert cow.baseline_us == deep.baseline_us
+
+    def test_baseline_and_breakdown_stable_across_questions(self, session):
+        baseline = session.baseline_us
+        breakdown = session.breakdown().as_row()
+        session.predict(FusedAdam())
+        session.predict(AutomaticMixedPrecision())
+        assert session.baseline_us == baseline
+        assert session.breakdown().as_row() == breakdown
+        assert simulate(session.graph).makespan_us == baseline
+
+    def test_sweep_matches_serial_predicts(self, session):
+        cluster = ClusterSpec(2, 1, GPU_2080TI, NetworkSpec(bandwidth_gbps=10))
+        questions = [FusedAdam(), AutomaticMixedPrecision(),
+                     (DistributedTraining(), cluster)]
+        serial = [session.predict(FusedAdam()),
+                  session.predict(AutomaticMixedPrecision()),
+                  session.predict(DistributedTraining(), cluster=cluster)]
+        swept = session.sweep(questions, processes=1)
+        assert [p.predicted_us for p in swept] == \
+            [p.predicted_us for p in serial]
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_sweep_parallel_matches_serial(self, session):
+        questions = [FusedAdam(), AutomaticMixedPrecision()]
+        serial = session.sweep(questions, processes=1)
+        parallel = session.sweep(questions, processes=2)
+        assert [p.predicted_us for p in parallel] == \
+            [p.predicted_us for p in serial]
+        # forked workers never corrupt the parent's baseline
+        assert simulate(session.graph).makespan_us == session.baseline_us

@@ -9,7 +9,7 @@ from repro.framework.config import TrainingConfig
 from repro.framework.engine import profile_iteration
 from repro.tracing.records import EventCategory, cpu_thread
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 class TestDataLoaderThread:

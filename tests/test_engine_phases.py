@@ -9,7 +9,7 @@ from repro.framework.engine import profile_iteration
 from repro.hw.device import CPU_EPYC_7601, GPU_P4000
 from repro.tracing.records import EventCategory
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 class TestPhaseStructure:

@@ -6,7 +6,7 @@ from repro.common.errors import ConfigError
 from repro.framework.bucketing import Bucket, compute_buckets, layer_to_bucket
 from repro.models.registry import build_model
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 class TestComputeBuckets:

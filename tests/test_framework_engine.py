@@ -10,7 +10,7 @@ from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec
 from repro.tracing.records import EventCategory
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 class TestTrainingConfig:

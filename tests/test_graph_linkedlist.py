@@ -1,0 +1,169 @@
+"""Unit tests for the linked-list graph representation and its invariants.
+
+The thread order moved from Python list splices to an intrusive doubly
+linked list (O(1) insert/remove/neighbor queries); these tests model the
+order with plain lists and check the graph agrees after heavy random churn,
+with ``validate()`` auditing link symmetry, counts, and acyclicity.
+"""
+
+import pytest
+
+from repro.common.errors import GraphConsistencyError
+from repro.common.prng import stable_hash
+from repro.core.graph import DependencyGraph
+from repro.core.task import Task, TaskKind
+from repro.tracing.records import cpu_thread, gpu_stream
+
+
+def make_task(name, thread=None, duration=1.0):
+    return Task(name=name, kind=TaskKind.CPU, thread=thread or cpu_thread(0),
+                duration=duration)
+
+
+class TestLinkedOrder:
+    def test_append_insert_remove_order(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a"))
+        c = g.append(make_task("c"))
+        b = g.insert_after(a, make_task("b"))
+        z = g.insert_before(a, make_task("z"))
+        assert [t.name for t in g.tasks_on(cpu_thread(0))] == \
+            ["z", "a", "b", "c"]
+        assert g.thread_predecessor(a) is z
+        assert g.thread_successor(a) is b
+        assert g.thread_predecessor(z) is None
+        assert g.thread_successor(c) is None
+        g.remove(a)
+        assert [t.name for t in g.tasks_on(cpu_thread(0))] == ["z", "b", "c"]
+        assert g.thread_successor(z) is b
+        assert g.thread_predecessor(b) is z
+        g.validate()
+
+    def test_remove_last_task_drops_thread(self):
+        g = DependencyGraph()
+        t = g.append(make_task("only"))
+        g.remove(t)
+        assert len(g) == 0
+        assert g.threads() == []
+        g.validate()
+
+    def test_insert_forces_anchor_thread(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a", thread=gpu_stream(3)))
+        b = g.insert_after(a, make_task("b", thread=cpu_thread(0)))
+        assert b.thread == gpu_stream(3)
+        assert g.tasks_on(gpu_stream(3)) == [a, b]
+
+    def test_double_insert_rejected(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a"))
+        with pytest.raises(GraphConsistencyError):
+            g.append(a)
+        with pytest.raises(GraphConsistencyError):
+            g.insert_after(a, a)
+
+    def test_remove_rewires_transitive_edges(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a"))
+        b = g.append(make_task("b", thread=gpu_stream(0)))
+        c = g.append(make_task("c", thread=gpu_stream(1)))
+        g.add_dependency(a, b)
+        g.add_dependency(b, c)
+        g.remove(b)
+        assert c in g.successors(a)
+        assert a in g.predecessors(c)
+        g.remove(a)
+        assert g.predecessors(c) == set()
+
+    def test_remove_without_rewire(self):
+        g = DependencyGraph()
+        a = g.append(make_task("a"))
+        b = g.append(make_task("b", thread=gpu_stream(0)))
+        c = g.append(make_task("c", thread=gpu_stream(1)))
+        g.add_dependency(a, b)
+        g.add_dependency(b, c)
+        g.remove(b, rewire=False)
+        assert g.successors(a) == set()
+        assert g.predecessors(c) == set()
+
+
+class TestChurnInvariants:
+    """Randomized splice churn checked against a plain-list model."""
+
+    def test_heavy_churn_matches_list_model(self):
+        g = DependencyGraph()
+        thread = cpu_thread(0)
+        model = []
+        counter = 0
+
+        def fresh():
+            nonlocal counter
+            counter += 1
+            return make_task(f"t{counter}")
+
+        for step in range(2000):
+            r = stable_hash(f"churn/{step}") % 100
+            if not model or r < 30:
+                task = fresh()
+                g.append(task)
+                model.append(task)
+            elif r < 55:
+                anchor_i = stable_hash(f"anchor/{step}") % len(model)
+                task = fresh()
+                g.insert_after(model[anchor_i], task)
+                model.insert(anchor_i + 1, task)
+            elif r < 75:
+                anchor_i = stable_hash(f"anchor/{step}") % len(model)
+                task = fresh()
+                g.insert_before(model[anchor_i], task)
+                model.insert(anchor_i, task)
+            else:
+                victim_i = stable_hash(f"victim/{step}") % len(model)
+                g.remove(model.pop(victim_i))
+            if step % 250 == 0:
+                g.validate()
+                assert g.tasks_on(thread) == model
+        g.validate()
+        assert g.tasks_on(thread) == model
+        assert len(g) == len(model)
+        # neighbor queries agree with the model everywhere
+        for i, task in enumerate(model):
+            prev = model[i - 1] if i > 0 else None
+            nxt = model[i + 1] if i + 1 < len(model) else None
+            assert g.thread_predecessor(task) is prev
+            assert g.thread_successor(task) is nxt
+
+    def test_churn_with_edges_stays_valid(self):
+        g = DependencyGraph()
+        cpu = [g.append(make_task(f"c{i}")) for i in range(50)]
+        gpu = [g.append(make_task(f"g{i}", thread=gpu_stream(0)))
+               for i in range(50)]
+        for i in range(50):
+            g.add_dependency(cpu[i], gpu[i])
+        g.validate()
+        # remove every other GPU task (rewired), then their launches
+        for i in range(0, 50, 2):
+            g.remove(gpu[i])
+        for i in range(0, 50, 2):
+            g.remove(cpu[i])
+        g.validate()
+        assert len(g) == 50
+
+    def test_copy_preserves_structure_after_churn(self):
+        g = DependencyGraph()
+        tasks = [g.append(make_task(f"t{i}")) for i in range(100)]
+        for i in range(0, 98, 3):
+            g.add_dependency(tasks[i], tasks[i + 2])
+        for i in range(0, 100, 7):
+            g.remove(tasks[i])
+        g.validate()
+        clone = g.copy()
+        clone.validate()
+        assert len(clone) == len(g)
+        originals = g.tasks_on(cpu_thread(0))
+        clones = clone.tasks_on(cpu_thread(0))
+        assert [t.name for t in clones] == [t.name for t in originals]
+        assert all(c is not o for c, o in zip(clones, originals))
+        for o, c in zip(originals, clones):
+            assert ({s.name for s in g.successors(o)}
+                    == {s.name for s in clone.successors(c)})

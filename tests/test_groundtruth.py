@@ -9,7 +9,7 @@ from repro.hw.device import GPU_2080TI, GPU_P4000
 from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 @pytest.fixture

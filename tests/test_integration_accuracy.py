@@ -10,10 +10,7 @@ import pytest
 
 from repro.analysis.metrics import improvement_percent, prediction_error
 from repro.analysis.session import WhatIfSession
-from repro.core.construction import build_graph
-from repro.core.simulate import simulate
 from repro.framework import groundtruth as gt
-from repro.framework.config import TrainingConfig
 from repro.hw.device import GPU_2080TI
 from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec

@@ -5,13 +5,12 @@ import pytest
 from repro.analysis.session import WhatIfSession
 from repro.common.errors import GraphConsistencyError
 from repro.core import transform
-from repro.core.simulate import simulate
 from repro.framework.config import TrainingConfig
 from repro.hw.device import GPU_P4000
 from repro.optimizations import AutomaticMixedPrecision, FusedAdam
 from repro.optimizations.base import WhatIfContext
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.session import WhatIfSession
 from repro.common.errors import ConfigError
 from repro.core.simulate import simulate
-from repro.framework.config import TrainingConfig
 from repro.hw.device import GPU_2080TI
 from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.session import WhatIfSession
-from repro.core.simulate import simulate
 from repro.framework.config import TrainingConfig
 from repro.framework.paramserver import run_ps_baseline, run_ps_p3
 from repro.hw.device import GPU_P4000
@@ -16,7 +15,7 @@ from repro.optimizations.p3 import (
     ServerCostModel,
 )
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 def make_cluster(bw=2.0):

@@ -17,7 +17,7 @@ from repro.core import transform
 from repro.core.construction import build_graph
 from repro.core.simulate import simulate
 from repro.framework.engine import profile_iteration
-from repro.models.base import LayerSpec, ModelSpec
+from repro.models.base import ModelSpec
 from repro.models.blocks import (
     batchnorm_layer,
     conv_layer,

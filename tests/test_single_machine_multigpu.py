@@ -1,6 +1,5 @@
 """Tests for single-machine multi-GPU training (PCIe ring, no network)."""
 
-import pytest
 
 from repro.analysis.metrics import prediction_error
 from repro.analysis.session import WhatIfSession
@@ -10,7 +9,7 @@ from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec
 from repro.optimizations import DistributedTraining
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 def pcie_cluster(gpus: int) -> ClusterSpec:
