@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Bring your own model: define a workload and analyze it with Daydream.
+"""Bring your own model: register a workload and analyze it declaratively.
 
-The zoo covers the paper's five models, but the public API accepts any
-:class:`~repro.models.base.ModelSpec`.  This example builds a small custom
-MLP-Mixer-style network from the layer blocks, profiles it, inspects the
-trace and the kernel-level dependency graph directly, and runs a what-if.
+The zoo covers the paper's five models, but any
+:class:`~repro.models.base.ModelSpec` works.  This example builds a small
+MLP-Mixer-style network from the layer blocks, registers it under a name,
+and from there treats it exactly like a zoo model: scenarios reference it
+by name, the runner profiles it, and what-if stacks apply unchanged.
 
 Run:  python examples/custom_model.py
 """
 
-from repro import TrainingConfig, WhatIfSession
+from typing import Optional
+
 from repro.core.mapping import mapping_coverage
 from repro.models.base import ModelSpec
 from repro.models.blocks import (
@@ -18,12 +20,15 @@ from repro.models.blocks import (
     loss_layer,
     relu_layer,
 )
-from repro.optimizations import AutomaticMixedPrecision, FusedAdam
+from repro.models.registry import register_model
+from repro.scenarios import Scenario, ScenarioRunner
 from repro.tracing.trace import render_timeline
 
 
-def build_mlp(batch: int = 64, width: int = 4096, depth: int = 6) -> ModelSpec:
+def build_mlp(batch_size: Optional[int] = None, width: int = 4096,
+              depth: int = 6) -> ModelSpec:
     """A deep MLP: big GEMMs + activations, Adam-trained."""
+    batch = batch_size or 64
     layers = []
     in_dim = 1024
     for i in range(depth):
@@ -44,10 +49,13 @@ def build_mlp(batch: int = 64, width: int = 4096, depth: int = 6) -> ModelSpec:
 
 
 def main() -> None:
-    model = build_mlp()
-    print(model.summary())
+    # one registration makes the model addressable from every scenario
+    register_model("custom_mlp", build_mlp)
 
-    session = WhatIfSession.from_model(model, config=TrainingConfig())
+    runner = ScenarioRunner()
+    scenario = Scenario(model="custom_mlp")
+    session = runner.session(scenario)
+    print(session.trace.metadata["model"], "registered and profiled")
     print(f"\nbaseline: {session.baseline_us / 1000:.2f} ms/iteration")
 
     # peek under the hood: the trace and the dependency graph
@@ -57,9 +65,10 @@ def main() -> None:
           f"layer-mapping coverage {mapping_coverage(graph) * 100:.1f}%")
     print("\n" + render_timeline(session.trace, width=80))
 
-    # what-ifs work on custom models exactly like on the zoo
-    for opt in (AutomaticMixedPrecision(), FusedAdam()):
-        print(session.predict(opt))
+    # what-ifs work on registered models exactly like on the zoo
+    for stack in (["amp"], ["fused_adam"]):
+        outcome = runner.run(scenario.with_(optimizations=stack))
+        print(outcome.prediction)
 
 
 if __name__ == "__main__":

@@ -8,34 +8,32 @@ zoo, cross-checks the prediction against the ground-truth (fp16 cost model)
 execution, and prints the runtime breakdown that explains the difference —
 the paper's core argument for kernel-level (not layer-level) modeling.
 
+Every question is a declared scenario (the precision study literally flips
+``precision="fp16"`` on the baseline scenario); one runner executes all of
+them against cached profiles.
+
 Run:  python examples/explore_mixed_precision.py
 """
 
-from repro import TrainingConfig, WhatIfSession, available_models, build_model
+from repro import available_models
 from repro.analysis.metrics import improvement_percent, prediction_error
 from repro.common.texttable import render_table
-from repro.core.breakdown import compute_breakdown
-from repro.core.construction import build_graph
-from repro.core.simulate import simulate
 from repro.framework import groundtruth
-from repro.framework.engine import Engine
-from repro.optimizations import AutomaticMixedPrecision, FusedAdam
+from repro.scenarios import Scenario, ScenarioRunner
 
 
-def amp_study() -> None:
+def amp_study(runner: ScenarioRunner) -> None:
     rows = []
     for name in available_models():
-        model = build_model(name)
-        session = WhatIfSession.from_model(model)
-        pred = session.predict(AutomaticMixedPrecision())
-        truth = groundtruth.run_amp(model)
+        outcome = runner.run(Scenario(model=name, optimizations=["amp"]))
+        truth = groundtruth.run_amp(outcome.model)
         rows.append([
             name,
-            session.baseline_us / 1000.0,
-            pred.predicted_us / 1000.0,
+            outcome.baseline_us / 1000.0,
+            outcome.predicted_us / 1000.0,
             truth.iteration_us / 1000.0,
-            improvement_percent(session.baseline_us, truth.iteration_us),
-            prediction_error(pred.predicted_us, truth.iteration_us) * 100.0,
+            improvement_percent(outcome.baseline_us, truth.iteration_us),
+            prediction_error(outcome.predicted_us, truth.iteration_us) * 100.0,
         ])
     print(render_table(
         ["model", "baseline_ms", "predicted_ms", "ground_truth_ms",
@@ -43,15 +41,17 @@ def amp_study() -> None:
         rows, title="Automatic Mixed Precision across the zoo"))
 
 
-def why_bert_is_different() -> None:
+def why_bert_is_different(runner: ScenarioRunner) -> None:
     """BERT's update phase is launch-bound: AMP can't touch it, FusedAdam
     can.  Compare the two optimizations head-to-head."""
     rows = []
     for name in ("bert_base", "bert_large"):
-        session = WhatIfSession.profile(name)
-        amp = session.predict(AutomaticMixedPrecision())
-        fused = session.predict(FusedAdam())
-        rows.append([name, session.baseline_us / 1000.0,
+        base = Scenario(model=name)
+        amp, fused = runner.run_grid([
+            base.with_(optimizations=["amp"]),
+            base.with_(optimizations=["fused_adam"]),
+        ])
+        rows.append([name, amp.baseline_us / 1000.0,
                      amp.improvement_percent, fused.improvement_percent])
     print()
     print(render_table(
@@ -59,16 +59,13 @@ def why_bert_is_different() -> None:
         rows, title="AMP vs FusedAdam on BERT (pick your optimization)"))
 
 
-def breakdown_study() -> None:
+def breakdown_study(runner: ScenarioRunner) -> None:
     rows = []
     for name in ("resnet50", "bert_large"):
-        model = build_model(name)
         for precision in ("fp32", "fp16"):
-            trace = Engine(model=model,
-                           config=TrainingConfig(precision=precision)
-                           ).run_iteration()
-            graph = build_graph(trace)
-            b = compute_breakdown(graph, simulate(graph))
+            session = runner.session(Scenario(model=name,
+                                              precision=precision))
+            b = session.breakdown()
             rows.append([name, precision, *[f"{v:.1f}" for v in b.as_row()]])
     print()
     print(render_table(
@@ -78,6 +75,7 @@ def breakdown_study() -> None:
 
 
 if __name__ == "__main__":
-    amp_study()
-    why_bert_is_different()
-    breakdown_study()
+    shared_runner = ScenarioRunner()
+    amp_study(shared_runner)
+    why_bert_is_different(shared_runner)
+    breakdown_study(shared_runner)

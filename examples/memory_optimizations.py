@@ -6,27 +6,33 @@ PCIe or encoding them adds work.  Before adopting either (to fit a larger
 mini-batch), a practitioner wants the runtime bill — exactly the what-if
 question the paper models in Section 5.2 (Algorithms 10 and 11).
 
+Each (model, optimization) pair is one declared scenario; the runner
+profiles each model once and answers every question from that profile.
+
 Run:  python examples/memory_optimizations.py
 """
 
-from repro import WhatIfSession
 from repro.common.texttable import render_table
-from repro.optimizations import Gist, VirtualizedDNN
+from repro.scenarios import Scenario, ScenarioRunner
+
+STACKS = (
+    ["vdnn"],
+    ["gist"],
+    [{"name": "gist", "params": {"lossy": True}}],
+)
 
 
 def main() -> None:
+    runner = ScenarioRunner()
     rows = []
     for model in ("resnet50", "vgg19", "densenet121"):
-        session = WhatIfSession.profile(model)
-        vdnn = session.predict(VirtualizedDNN())
-        gist = session.predict(Gist())
-        gist_lossy = session.predict(Gist(lossy=True))
+        base = Scenario(model=model)
+        outcomes = runner.run_grid(
+            [base.with_(optimizations=list(stack)) for stack in STACKS])
         rows.append([
             model,
-            session.baseline_us / 1000.0,
-            f"{-vdnn.improvement_percent:+.1f}%",
-            f"{-gist.improvement_percent:+.1f}%",
-            f"{-gist_lossy.improvement_percent:+.1f}%",
+            outcomes[0].baseline_us / 1000.0,
+            *(f"{-o.improvement_percent:+.1f}%" for o in outcomes),
         ])
     print(render_table(
         ["model", "baseline_ms", "vdnn_overhead", "gist_overhead",

@@ -8,61 +8,60 @@ Answers, from a *single-GPU* profile:
 * "Would gradient compression (DGC) or hierarchical all-reduce
   (BlueConnect) help at my bandwidth?"
 
+The whole study is a list of declared scenarios (bandwidth x cluster shape,
+plus three stacked-optimization questions); the fork-based runner fans the
+predictions across CPU cores.
+
 Run:  python examples/plan_cluster.py [model]
 """
 
 import sys
 
-from repro import ClusterSpec, GPU_2080TI, NetworkSpec, WhatIfSession
 from repro.common.texttable import render_table
-from repro.core.simulate import simulate
-from repro.optimizations import (
-    BlueConnect,
-    DeepGradientCompression,
-    DistributedTraining,
-)
+from repro.scenarios import Scenario, ScenarioRunner
 
 
-def scaling_table(session: WhatIfSession) -> None:
-    configs = ((1, 1), (2, 1), (4, 1), (2, 2), (4, 2), (4, 4))
-    rows = []
+def scaling_table(runner: ScenarioRunner, base: Scenario) -> None:
+    scenarios = []
     for bw in (10.0, 20.0, 40.0):
-        for machines, gpus in configs:
-            cluster = ClusterSpec(machines, gpus, GPU_2080TI, NetworkSpec(bw))
-            if cluster.is_distributed:
-                pred = session.predict(DistributedTraining(), cluster=cluster)
-                iter_ms = pred.predicted_us / 1000.0
-            else:
-                iter_ms = session.baseline_us / 1000.0
-            # throughput relative to one GPU (samples/s, normalized)
-            scale = (cluster.n_workers * session.baseline_us
-                     / (iter_ms * 1000.0))
-            rows.append([f"{bw:g}", cluster.label(), iter_ms,
-                         f"{scale:.2f}x"])
+        for machines, gpus in ((1, 1), (2, 1), (4, 1), (2, 2), (4, 2), (4, 4)):
+            distributed = machines * gpus > 1
+            scenarios.append(base.with_(
+                optimizations=["distributed_training"] if distributed else []
+            ).with_cluster(machines, gpus, bandwidth_gbps=bw))
+
+    rows = []
+    for outcome in runner.run_grid(scenarios):
+        cluster = outcome.cluster
+        iter_ms = outcome.predicted_us / 1000.0
+        # throughput relative to one GPU (samples/s, normalized)
+        scale = (cluster.n_workers * outcome.baseline_us
+                 / (iter_ms * 1000.0))
+        rows.append([f"{cluster.network.bandwidth_gbps:g}", cluster.label(),
+                     iter_ms, f"{scale:.2f}x"])
     print(render_table(
         ["bandwidth_gbps", "config", "iteration_ms", "scaling_efficiency"],
         rows, title="Predicted data-parallel scaling from one profile"))
 
 
-def communication_fixes(session: WhatIfSession, bandwidth: float) -> None:
+def communication_fixes(runner: ScenarioRunner, base: Scenario,
+                        bandwidth: float) -> None:
     """Stack communication optimizations on the distributed prediction."""
-    cluster = ClusterSpec(4, 2, GPU_2080TI, NetworkSpec(bandwidth))
-    context = session.context(cluster)
-    rows = []
+    target = base.with_cluster(4, 2, bandwidth_gbps=bandwidth)
+    plain = runner.run(target.with_(optimizations=["distributed_training"]))
 
-    base_graph = session.graph.copy()
-    DistributedTraining().apply(base_graph, context)
-    base = simulate(base_graph).makespan_us
-    rows.append(["plain NCCL ring", base / 1000.0, "-"])
-
-    for label, opt in (("BlueConnect decomposition", BlueConnect()),
-                       ("DGC 100x compression",
-                        DeepGradientCompression(compression_ratio=0.01))):
-        graph = session.graph.copy()
-        DistributedTraining().apply(graph, context)
-        outcome = opt.apply(graph, context)
-        t = simulate(outcome.graph, outcome.scheduler).makespan_us
-        rows.append([label, t / 1000.0, f"{(base - t) / base * 100:+.1f}%"])
+    rows = [["plain NCCL ring", plain.predicted_us / 1000.0, "-"]]
+    for label, stack in (
+        ("BlueConnect decomposition",
+         ["distributed_training", "blueconnect"]),
+        ("DGC 100x compression",
+         ["distributed_training",
+          {"name": "dgc", "params": {"compression_ratio": 0.01}}]),
+    ):
+        outcome = runner.run(target.with_(optimizations=stack))
+        delta = ((plain.predicted_us - outcome.predicted_us)
+                 / plain.predicted_us * 100.0)
+        rows.append([label, outcome.predicted_us / 1000.0, f"{delta:+.1f}%"])
 
     print()
     print(render_table(
@@ -72,11 +71,13 @@ def communication_fixes(session: WhatIfSession, bandwidth: float) -> None:
 
 def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "gnmt"
-    session = WhatIfSession.profile(model)
+    runner = ScenarioRunner()
+    base = Scenario(model=model)
+    session = runner.session(base)
     print(f"profiled {model}: {session.baseline_us / 1000:.1f} ms/iteration "
           "on one GPU\n")
-    scaling_table(session)
-    communication_fixes(session, bandwidth=10.0)
+    scaling_table(runner, base)
+    communication_fixes(runner, base, bandwidth=10.0)
 
 
 if __name__ == "__main__":

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Quickstart: profile once, ask what-if questions.
+"""Quickstart: declare scenarios, ask what-if questions.
 
 Profiles one ResNet-50 training iteration on the simulated RTX 2080Ti
-substrate, then uses Daydream's dependency-graph machinery to answer:
+substrate, then uses Daydream's declarative scenario layer to answer:
 
 * "Will mixed precision help my model?"
 * "What does one iteration actually spend its time on?"
@@ -11,13 +11,14 @@ substrate, then uses Daydream's dependency-graph machinery to answer:
 Run:  python examples/quickstart.py
 """
 
-from repro import ClusterSpec, GPU_2080TI, NetworkSpec, WhatIfSession
-from repro.optimizations import AutomaticMixedPrecision, DistributedTraining
+from repro.scenarios import Scenario, ScenarioRunner
 
 
 def main() -> None:
-    # one profiled iteration = one trace = many questions
-    session = WhatIfSession.profile("resnet50")
+    # one profiled iteration = one cached session = many questions
+    runner = ScenarioRunner()
+    base = Scenario(model="resnet50")
+    session = runner.session(base)
     print(f"baseline iteration: {session.baseline_us / 1000:.1f} ms")
 
     # Where does the time go? (paper Figure 6 machinery)
@@ -27,18 +28,21 @@ def main() -> None:
     print(f"  parallel  {breakdown.parallel_us / 1000:7.1f} ms")
 
     # What if we trained with mixed precision? (paper Algorithm 3)
-    amp = session.predict(AutomaticMixedPrecision())
+    amp = runner.run(base.with_(optimizations=["amp"])).prediction
     print(f"\nAMP: {amp.predicted_us / 1000:.1f} ms "
           f"({amp.improvement_percent:+.1f}%, {amp.speedup:.2f}x)")
 
     # How would this scale out? (paper Algorithm 6, Figure 8)
     print("\ndata-parallel scaling @ 10 Gbps:")
-    for machines, gpus in ((2, 1), (4, 1), (4, 2)):
-        cluster = ClusterSpec(machines, gpus, GPU_2080TI,
-                              NetworkSpec(bandwidth_gbps=10.0))
-        pred = session.predict(DistributedTraining(), cluster=cluster)
-        print(f"  {cluster.label()}: {pred.predicted_us / 1000:7.1f} ms/iter "
-              f"({cluster.n_workers}x batch throughput)")
+    scenarios = [
+        base.with_(optimizations=["distributed_training"]).with_cluster(
+            machines, gpus, bandwidth_gbps=10.0)
+        for machines, gpus in ((2, 1), (4, 1), (4, 2))
+    ]
+    for outcome in runner.run_grid(scenarios):
+        cluster = outcome.cluster
+        print(f"  {cluster.label()}: {outcome.predicted_us / 1000:7.1f} "
+              f"ms/iter ({cluster.n_workers}x batch throughput)")
 
 
 if __name__ == "__main__":

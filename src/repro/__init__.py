@@ -22,7 +22,13 @@ The package layers:
   task-to-layer mapping, Algorithm-1 simulator, transformation primitives;
 * ``repro.optimizations`` — the ten what-if models;
 * ``repro.analysis`` — the :class:`WhatIfSession` front-end and metrics;
-* ``repro.experiments`` — one runner per paper table/figure.
+* ``repro.scenarios`` — the declarative layer: optimization registry,
+  composable pipelines, JSON scenarios/grids, and the
+  :class:`~repro.scenarios.runner.ScenarioRunner`;
+* ``repro.experiments`` — one runner per paper table/figure (all declared
+  as scenarios).
+
+See ``docs/architecture.md`` for the full layer stack.
 """
 
 from repro.analysis.session import Prediction, WhatIfSession
@@ -34,7 +40,13 @@ from repro.framework.engine import Engine, profile_iteration
 from repro.hw.device import GPU_2080TI, GPU_P4000, GPU_V100, get_gpu
 from repro.hw.network import NetworkSpec
 from repro.hw.topology import ClusterSpec
-from repro.models.registry import available_models, build_model
+from repro.models.registry import available_models, build_model, register_model
+from repro.scenarios import (
+    Scenario,
+    ScenarioGrid,
+    ScenarioRunner,
+    default_registry,
+)
 from repro.tracing.trace import Trace
 
 __version__ = "1.0.0"
@@ -56,6 +68,11 @@ __all__ = [
     "ClusterSpec",
     "available_models",
     "build_model",
+    "register_model",
+    "Scenario",
+    "ScenarioGrid",
+    "ScenarioRunner",
+    "default_registry",
     "Trace",
     "__version__",
 ]

@@ -4,25 +4,31 @@ Commands:
 
 * ``profile MODEL``      — profile one iteration, print summary (optionally
                            save the trace or a Chrome-trace JSON);
-* ``whatif MODEL``       — run the standard what-if report for a model;
+* ``whatif MODEL``       — what-if report; ``--opt`` picks optimizations
+                           from the registry (repeatable), default is every
+                           applicable one;
+* ``run SCENARIO.json``  — execute a declared scenario or scenario grid;
 * ``experiment NAME``    — regenerate one paper table/figure
                            (fig1, table1, fig5, fig6, fig7, fig8, fig9,
                            fig9b, fig10-resnet50, fig10-vgg19, sec52,
                            sec64, sec75);
-* ``models``             — list available models.
+* ``models``             — list available models;
+* ``optimizations``      — list the optimization registry.
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis.report import quick_report
 from repro.analysis.session import WhatIfSession
+from repro.common.errors import DaydreamError
 from repro.models.registry import available_models
-from repro.optimizations import (
-    AutomaticMixedPrecision,
-    FusedAdam,
-    Gist,
-    VirtualizedDNN,
+from repro.scenarios import (
+    ClusterShape,
+    OptimizationPipeline,
+    ScenarioRunner,
+    default_registry,
 )
 from repro.tracing.export import trace_to_chrome
 from repro.tracing.trace import render_timeline
@@ -31,6 +37,16 @@ from repro.tracing.trace import render_timeline
 def cmd_models(_args) -> int:
     for name in available_models():
         print(name)
+    return 0
+
+
+def cmd_optimizations(_args) -> int:
+    registry = default_registry()
+    for spec in registry.specs():
+        print(f"{spec.key:24s} {spec.summary}")
+        for param in spec.params:
+            print(f"{'':24s}   --opt '{spec.key}={{\"{param.name}\": ...}}'"
+                  f"  ({param.kind}, default {param.default!r}: {param.doc})")
     return 0
 
 
@@ -55,13 +71,58 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _parse_opt_flag(value: str):
+    """Parse one ``--opt`` value: a registry key or ``key={json params}``."""
+    if "=" not in value:
+        return value
+    key, _, params = value.partition("=")
+    try:
+        parsed = json.loads(params)
+    except json.JSONDecodeError as exc:
+        raise DaydreamError(f"--opt {key}: bad params JSON: {exc}") from None
+    if not isinstance(parsed, dict):
+        raise DaydreamError(f"--opt {key}: params must be a JSON object")
+    return {"name": key, "params": parsed}
+
+
+def _parse_cluster_flag(shape: str, bandwidth: float) -> ClusterShape:
+    """Parse ``--cluster MxG`` plus ``--bandwidth`` into a ClusterShape."""
+    try:
+        machines, _, gpus = shape.partition("x")
+        return ClusterShape(machines=int(machines),
+                            gpus_per_machine=int(gpus or "1"),
+                            bandwidth_gbps=bandwidth)
+    except ValueError:
+        raise DaydreamError(
+            f"--cluster wants the paper's MxG notation (e.g. 4x2), "
+            f"got {shape!r}") from None
+
+
 def cmd_whatif(args) -> int:
+    registry = default_registry()
     session = WhatIfSession.profile(args.model, batch_size=args.batch_size)
-    optimizations = [AutomaticMixedPrecision(), VirtualizedDNN(), Gist()]
-    if session.trace.metadata.get("optimizer") == "adam":
-        optimizations.append(FusedAdam())
-    report = quick_report(session, optimizations)
+    cluster = None
+    if args.cluster:
+        shape = _parse_cluster_flag(args.cluster, args.bandwidth)
+        cluster = shape.build(default_gpu=session.config.gpu)
+    if args.opt:
+        # --opt flags compose one validated stack (a single flag is a
+        # one-member stack: same path, same prerequisite diagnostics)
+        entries = [_parse_opt_flag(v) for v in args.opt]
+        optimizations = [OptimizationPipeline(entries, registry=registry)]
+    else:
+        optimizations = registry.whatif_defaults(session.trace.metadata)
+    report = quick_report(session, optimizations, cluster=cluster)
     print(report.render())
+    return 0
+
+
+def cmd_run(args) -> int:
+    runner = ScenarioRunner()
+    outcomes = runner.run_file(args.scenario, processes=args.processes)
+    result = runner.to_result(outcomes, experiment="scenario",
+                              title=f"Scenarios from {args.scenario}")
+    print(result.render())
     return 0
 
 
@@ -102,6 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list available models")
+    sub.add_parser("optimizations",
+                   help="list the optimization registry (keys + parameters)")
 
     profile = sub.add_parser("profile", help="profile one training iteration")
     profile.add_argument("model")
@@ -109,9 +172,26 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--save", help="write the trace JSON here")
     profile.add_argument("--chrome", help="write a chrome://tracing JSON here")
 
-    whatif = sub.add_parser("whatif", help="standard what-if report")
+    whatif = sub.add_parser("whatif", help="what-if report from the registry")
     whatif.add_argument("model")
     whatif.add_argument("--batch-size", type=int, default=None)
+    whatif.add_argument(
+        "--opt", action="append", default=None, metavar="NAME[=PARAMS]",
+        help="registry optimization to evaluate; PARAMS is a JSON object, "
+             "e.g. --opt 'gist={\"lossy\": true}'.  Repeated flags compose "
+             "one ordered stack.  Default: every applicable registered "
+             "optimization, compared individually")
+    whatif.add_argument("--cluster", default=None, metavar="MxG",
+                        help="target cluster for communication what-ifs, "
+                             "e.g. 4x2")
+    whatif.add_argument("--bandwidth", type=float, default=10.0,
+                        help="network bandwidth in Gbps (with --cluster)")
+
+    run = sub.add_parser("run", help="execute a scenario JSON file "
+                                     "(single scenario or grid)")
+    run.add_argument("scenario", help="path to the scenario/grid JSON")
+    run.add_argument("--processes", type=int, default=None,
+                     help="worker processes for grid fan-out")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -123,11 +203,17 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "models": cmd_models,
+        "optimizations": cmd_optimizations,
         "profile": cmd_profile,
         "whatif": cmd_whatif,
+        "run": cmd_run,
         "experiment": cmd_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except DaydreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -26,7 +26,11 @@ from repro.framework.engine import Engine
 from repro.hw.topology import ClusterSpec
 from repro.models.base import ModelSpec
 from repro.models.registry import build_model
-from repro.optimizations.base import OptimizationModel, WhatIfContext
+from repro.optimizations.base import (
+    OptimizationModel,
+    WhatIfContext,
+    device_specs_from_trace,
+)
 from repro.tracing.trace import Trace
 
 
@@ -96,7 +100,24 @@ class WhatIfSession:
     def from_trace(
         cls, trace: Trace, config: Optional[TrainingConfig] = None
     ) -> "WhatIfSession":
-        """Wrap an existing trace (e.g. loaded from disk)."""
+        """Wrap an existing trace (e.g. loaded from disk).
+
+        Without an explicit ``config``, the GPU/CPU specs recorded in the
+        trace metadata (when present) are adopted, so a trace profiled on a
+        Quadro P4000 is not silently analyzed as an RTX 2080Ti.
+        """
+        if config is None:
+            gpu, cpu = device_specs_from_trace(trace)
+            kwargs = {}
+            if gpu is not None:
+                kwargs["gpu"] = gpu
+            if cpu is not None:
+                kwargs["cpu"] = cpu
+            for key in ("framework", "precision", "optimizer"):
+                value = trace.metadata.get(key)
+                if isinstance(value, str):
+                    kwargs[key] = value
+            config = TrainingConfig(**kwargs)
         return cls(trace, config)
 
     # ----------------------------------------------------------------- queries

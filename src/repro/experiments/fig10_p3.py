@@ -18,15 +18,9 @@ becomes bottlenecked by non-network resources.
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import prediction_error
-from repro.analysis.session import WhatIfSession
 from repro.experiments.common import ExperimentResult
-from repro.framework.config import TrainingConfig
 from repro.framework.paramserver import run_ps_baseline, run_ps_p3
-from repro.hw.device import GPU_P4000
-from repro.hw.network import NetworkSpec
-from repro.hw.topology import ClusterSpec
-from repro.models.registry import build_model
-from repro.optimizations import PriorityParameterPropagation
+from repro.scenarios import Scenario, ScenarioRunner
 
 RESNET_BANDWIDTHS = (1.0, 2.0, 4.0, 6.0, 8.0)
 VGG_BANDWIDTHS = (5.0, 10.0, 15.0, 20.0, 25.0)
@@ -48,20 +42,21 @@ def run(model_name: str = "resnet50",
         notes=("Paper: error at most 16.2%; speedup over-estimated at high "
                "bandwidth (server CPU becomes the bottleneck)."),
     )
-    model = build_model(model_name, batch_size=batch_size)
-    config = TrainingConfig(framework="mxnet", gpu=GPU_P4000)
-    session = WhatIfSession.from_model(model, config=config)
+    runner = ScenarioRunner()
+    base = Scenario(model=model_name, batch_size=batch_size,
+                    framework="mxnet", gpu="p4000", optimizations=["p3"])
     for bw in bandwidths:
-        cluster = ClusterSpec(MACHINES, 1, GPU_P4000,
-                              NetworkSpec(bandwidth_gbps=bw))
-        baseline = run_ps_baseline(model, cluster, config, trace=session.trace)
-        truth = run_ps_p3(model, cluster, config, trace=session.trace)
-        pred = session.predict(PriorityParameterPropagation(), cluster=cluster)
+        outcome = runner.run(
+            base.with_cluster(MACHINES, 1, bandwidth_gbps=bw))
+        baseline = run_ps_baseline(outcome.model, outcome.cluster,
+                                   outcome.config, trace=outcome.session.trace)
+        truth = run_ps_p3(outcome.model, outcome.cluster, outcome.config,
+                          trace=outcome.session.trace)
         result.add_row(
             bw,
             baseline.iteration_us / 1000.0,
             truth.iteration_us / 1000.0,
-            pred.predicted_us / 1000.0,
-            prediction_error(pred.predicted_us, truth.iteration_us) * 100.0,
+            outcome.predicted_us / 1000.0,
+            prediction_error(outcome.predicted_us, truth.iteration_us) * 100.0,
         )
     return result

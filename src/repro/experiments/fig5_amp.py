@@ -8,12 +8,9 @@ far below the 3x per-kernel ideal, because CPU time is untouched.
 from typing import List, Optional
 
 from repro.analysis.metrics import improvement_percent, prediction_error
-from repro.analysis.session import WhatIfSession
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
-from repro.framework.config import TrainingConfig
-from repro.models.registry import build_model
-from repro.optimizations import AutomaticMixedPrecision
+from repro.scenarios import Scenario, ScenarioRunner
 
 MODELS = ("bert_base", "bert_large", "gnmt", "resnet50")
 
@@ -28,18 +25,16 @@ def run(models: Optional[List[str]] = None) -> ExperimentResult:
         notes=("Paper: <13% error on all four models; e.g. BERT_large "
                "improves 17.2% with <3% error."),
     )
-    config = TrainingConfig()
+    runner = ScenarioRunner()
     for name in models or MODELS:
-        model = build_model(name)
-        session = WhatIfSession.from_model(model, config=config)
-        prediction = session.predict(AutomaticMixedPrecision())
-        truth = groundtruth.run_amp(model, config)
+        outcome = runner.run(Scenario(model=name, optimizations=["amp"]))
+        truth = groundtruth.run_amp(outcome.model, outcome.config)
         result.add_row(
             name,
-            session.baseline_us / 1000.0,
+            outcome.baseline_us / 1000.0,
             truth.iteration_us / 1000.0,
-            prediction.predicted_us / 1000.0,
-            improvement_percent(session.baseline_us, truth.iteration_us),
-            prediction_error(prediction.predicted_us, truth.iteration_us) * 100.0,
+            outcome.predicted_us / 1000.0,
+            improvement_percent(outcome.baseline_us, truth.iteration_us),
+            prediction_error(outcome.predicted_us, truth.iteration_us) * 100.0,
         )
     return result

@@ -9,12 +9,9 @@ phase is under 10% of the iteration).
 from typing import List, Optional
 
 from repro.analysis.metrics import improvement_percent, prediction_error
-from repro.analysis.session import WhatIfSession
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
-from repro.framework.config import TrainingConfig
-from repro.models.registry import build_model
-from repro.optimizations import FusedAdam
+from repro.scenarios import Scenario, ScenarioRunner
 
 MODELS = ("bert_base", "bert_large", "gnmt")
 
@@ -29,23 +26,22 @@ def run(models: Optional[List[str]] = None) -> ExperimentResult:
         notes=("Paper: BERT_large improves 38.7% with <7% error; the unfused "
                "update launches 2,633 (base) / 5,164 (large) kernels."),
     )
-    config = TrainingConfig()
+    runner = ScenarioRunner()
     for name in models or MODELS:
-        model = build_model(name)
-        session = WhatIfSession.from_model(model, config=config)
+        outcome = runner.run(Scenario(model=name,
+                                      optimizations=["fused_adam"]))
         wu_kernels = sum(
-            1 for t in session.graph.tasks()
+            1 for t in outcome.session.graph.tasks()
             if t.is_gpu and t.phase == "weight_update"
         )
-        prediction = session.predict(FusedAdam())
-        truth = groundtruth.run_fused_adam(model, config)
+        truth = groundtruth.run_fused_adam(outcome.model, outcome.config)
         result.add_row(
             name,
-            session.baseline_us / 1000.0,
+            outcome.baseline_us / 1000.0,
             truth.iteration_us / 1000.0,
-            prediction.predicted_us / 1000.0,
-            improvement_percent(session.baseline_us, truth.iteration_us),
-            prediction_error(prediction.predicted_us, truth.iteration_us) * 100.0,
+            outcome.predicted_us / 1000.0,
+            improvement_percent(outcome.baseline_us, truth.iteration_us),
+            prediction_error(outcome.predicted_us, truth.iteration_us) * 100.0,
             wu_kernels,
         )
     return result

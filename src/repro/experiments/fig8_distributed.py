@@ -13,15 +13,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import prediction_error
 from repro.analysis.parallel import fork_map
-from repro.analysis.session import WhatIfSession
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
-from repro.framework.config import TrainingConfig
-from repro.hw.device import GPU_2080TI
-from repro.hw.network import NetworkSpec
-from repro.hw.topology import ClusterSpec
-from repro.models.registry import build_model
-from repro.optimizations import DistributedTraining
+from repro.scenarios import Scenario, ScenarioRunner
 
 MODELS = ("resnet50", "gnmt", "bert_base", "bert_large")
 CONFIGS: Sequence[Tuple[int, int]] = ((1, 1), (2, 1), (3, 1), (4, 1),
@@ -35,10 +29,11 @@ def run(models: Optional[List[str]] = None,
         processes: Optional[int] = None) -> ExperimentResult:
     """Reproduce Figure 8 (all four sub-figures).
 
-    The (bandwidth, machines, gpus) cells of each model are independent —
-    one ground-truth engine run plus one copy-on-write prediction each — so
-    they fan out across cores via :func:`fork_map` (deterministic: the
-    parallel rows are identical to a serial run).
+    Every (bandwidth, machines, gpus) cell of a model is one scenario over
+    the same single-GPU profile; the grid's predictions fan out across
+    cores through the runner (fork-based ``sweep``), and the ground-truth
+    engine runs fan out the same way (deterministic: the parallel rows are
+    identical to a serial run).
     """
     result = ExperimentResult(
         experiment="fig8",
@@ -47,32 +42,37 @@ def run(models: Optional[List[str]] = None,
                  "predicted_ms", "prediction_error_%"],
         notes="Paper: at most ~10% error in most configurations.",
     )
-    config = TrainingConfig()
+    runner = ScenarioRunner()
     for name in models or MODELS:
-        model = build_model(name)
-        session = WhatIfSession.from_model(model, config=config)
-        session.baseline_result  # materialize before the workers fork
-        cells = [(bw, machines, gpus)
-                 for bw in (bandwidths or BANDWIDTHS_GBPS)
-                 for machines, gpus in (configs or CONFIGS)]
+        base = Scenario(model=name)
+        scenarios = [
+            base.with_cluster(machines, gpus, bandwidth_gbps=bw).with_(
+                optimizations=(["distributed_training"]
+                               if machines * gpus > 1 else []))
+            for bw in (bandwidths or BANDWIDTHS_GBPS)
+            for machines, gpus in (configs or CONFIGS)
+        ]
+        outcomes = runner.run_grid(scenarios, processes=processes)
 
-        def evaluate(cell: Tuple[float, int, int]) -> Tuple:
-            bw, machines, gpus = cell
-            network = NetworkSpec(bandwidth_gbps=bw)
-            cluster = ClusterSpec(machines, gpus, GPU_2080TI, network)
-            if not cluster.is_distributed:
-                return (name, cluster.label(), bw,
-                        session.baseline_us / 1000.0,
-                        session.baseline_us / 1000.0, 0.0)
+        def measure(outcome) -> Optional[float]:
+            if not outcome.cluster.is_distributed:
+                return None
             truth = groundtruth.run_distributed(
-                model, cluster, config, sync_before_allreduce=True)
-            pred = session.predict(DistributedTraining(), cluster=cluster)
-            return (name, cluster.label(), bw,
-                    truth.iteration_us / 1000.0,
-                    pred.predicted_us / 1000.0,
-                    prediction_error(pred.predicted_us,
-                                     truth.iteration_us) * 100.0)
+                outcome.model, outcome.cluster, outcome.config,
+                sync_before_allreduce=True)
+            return truth.iteration_us
 
-        for row in fork_map(evaluate, cells, processes=processes):
-            result.add_row(*row)
+        truths = fork_map(measure, outcomes, processes=processes)
+        for outcome, truth_us in zip(outcomes, truths):
+            bw = outcome.scenario.cluster.bandwidth_gbps
+            if truth_us is None:  # single-worker cell: nothing to predict
+                result.add_row(name, outcome.cluster.label(), bw,
+                               outcome.baseline_us / 1000.0,
+                               outcome.baseline_us / 1000.0, 0.0)
+            else:
+                result.add_row(name, outcome.cluster.label(), bw,
+                               truth_us / 1000.0,
+                               outcome.predicted_us / 1000.0,
+                               prediction_error(outcome.predicted_us,
+                                                truth_us) * 100.0)
     return result

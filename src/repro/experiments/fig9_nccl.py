@@ -18,11 +18,7 @@ from typing import Sequence, Tuple
 from repro.common.prng import biased_factor
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
-from repro.framework.config import TrainingConfig
-from repro.hw.device import GPU_2080TI
-from repro.hw.network import NetworkSpec
-from repro.hw.topology import ClusterSpec
-from repro.models.registry import build_model
+from repro.scenarios import Scenario
 from repro.tracing.records import EventCategory
 
 DEFAULT_CLUSTER = (4, 1)
@@ -41,10 +37,11 @@ def run(model_name: str = "gnmt",
         notes=("Paper: ground truths average ~34% above theoretical; "
                "synchronization improves primitives by ~22.8% on average."),
     )
-    model = build_model(model_name)
-    config = TrainingConfig()
-    cluster = ClusterSpec(cluster_shape[0], cluster_shape[1], GPU_2080TI,
-                          NetworkSpec(bandwidth_gbps=bandwidth_gbps))
+    scenario = Scenario(model=model_name).with_cluster(
+        cluster_shape[0], cluster_shape[1], bandwidth_gbps=bandwidth_gbps)
+    model = scenario.build_model()
+    config = scenario.build_config()
+    cluster = scenario.build_cluster()
 
     plain = groundtruth.run_distributed(model, cluster, config,
                                         sync_before_allreduce=False)
@@ -83,12 +80,13 @@ def run_sync_impact(
                  "improvement_%"],
         notes="Paper: no configuration degrades; improvements reach ~22%.",
     )
-    model = build_model(model_name)
-    config = TrainingConfig()
+    base = Scenario(model=model_name)
+    model = base.build_model()
+    config = base.build_config()
     for bw in bandwidths:
         for machines, gpus in configs:
-            cluster = ClusterSpec(machines, gpus, GPU_2080TI,
-                                  NetworkSpec(bandwidth_gbps=bw))
+            cluster = base.with_cluster(
+                machines, gpus, bandwidth_gbps=bw).build_cluster()
             plain = groundtruth.run_distributed(
                 model, cluster, config, sync_before_allreduce=False)
             synced = groundtruth.run_distributed(

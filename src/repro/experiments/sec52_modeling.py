@@ -2,26 +2,13 @@
 
 The paper demonstrates (without ground-truth comparison) that BlueConnect,
 MetaFlow, vDNN, Gist and DGC are expressible with the transformation
-primitives.  This runner applies each model to an appropriate workload and
+primitives.  This runner declares each model as a scenario stack and
 reports the predicted effect — verifying the transformations compose and
 produce sane graphs.
 """
 
-from repro.analysis.session import WhatIfSession
-from repro.core.simulate import simulate
 from repro.experiments.common import ExperimentResult
-from repro.hw.device import GPU_2080TI
-from repro.hw.network import NetworkSpec
-from repro.hw.topology import ClusterSpec
-from repro.optimizations import (
-    BlueConnect,
-    DeepGradientCompression,
-    DistributedTraining,
-    Gist,
-    MetaFlowSubstitution,
-    VirtualizedDNN,
-)
-from repro.optimizations.metaflow import fuse_conv_bn_relu_policy
+from repro.scenarios import Scenario, ScenarioRunner
 
 
 def run(bandwidth_gbps: float = 5.0) -> ExperimentResult:
@@ -34,31 +21,28 @@ def run(bandwidth_gbps: float = 5.0) -> ExperimentResult:
         notes=("No ground truth exists for these in the paper either; the "
                "point is that each is expressible with the primitives."),
     )
-    cluster = ClusterSpec(4, 2, GPU_2080TI, NetworkSpec(bandwidth_gbps))
+    runner = ScenarioRunner()
+    base = Scenario(model="resnet50")
+    distributed = base.with_cluster(4, 2, bandwidth_gbps=bandwidth_gbps)
 
-    # BlueConnect and DGC stack on top of the distributed transform
-    session = WhatIfSession.profile("resnet50")
-    dist_pred = session.predict(DistributedTraining(), cluster=cluster)
-    for name, opt in (("blueconnect", BlueConnect()),
-                      ("dgc", DeepGradientCompression())):
-        graph = session.graph.copy()
-        DistributedTraining().apply(graph, session.context(cluster))
-        outcome = opt.apply(graph, session.context(cluster))
-        predicted = simulate(outcome.graph, outcome.scheduler).makespan_us
+    # BlueConnect and DGC stack on top of the distributed transform; their
+    # baseline is the plain-NCCL-ring distributed prediction
+    dist = runner.run(distributed.with_(
+        optimizations=["distributed_training"]))
+    for name in ("blueconnect", "dgc"):
+        outcome = runner.run(distributed.with_(
+            optimizations=["distributed_training", name]))
         result.add_row(name, "resnet50 4x2",
-                       dist_pred.predicted_us / 1000.0,
-                       predicted / 1000.0,
-                       (predicted - dist_pred.predicted_us)
-                       / dist_pred.predicted_us * 100.0)
+                       dist.predicted_us / 1000.0,
+                       outcome.predicted_us / 1000.0,
+                       (outcome.predicted_us - dist.predicted_us)
+                       / dist.predicted_us * 100.0)
 
     # MetaFlow, vDNN and Gist are single-GPU transformations
-    metaflow_policy = fuse_conv_bn_relu_policy(session.context())
-    for name, opt in (("metaflow", MetaFlowSubstitution(metaflow_policy)),
-                      ("vdnn", VirtualizedDNN()),
-                      ("gist", Gist())):
-        pred = session.predict(opt)
+    for name in ("metaflow", "vdnn", "gist"):
+        outcome = runner.run(base.with_(optimizations=[name]))
         result.add_row(name, "resnet50 1x1",
-                       session.baseline_us / 1000.0,
-                       pred.predicted_us / 1000.0,
-                       -pred.improvement_percent)
+                       outcome.baseline_us / 1000.0,
+                       outcome.predicted_us / 1000.0,
+                       -outcome.improvement_percent)
     return result

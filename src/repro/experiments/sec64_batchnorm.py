@@ -7,16 +7,11 @@ kernels are slower than the idealized 2x estimate and it introduces extra
 CUDA memory copies/allocations.
 """
 
-import dataclasses
-
 from repro.analysis.metrics import improvement_percent, prediction_error
-from repro.analysis.session import WhatIfSession
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
 from repro.framework.config import TrainingConfig
-from repro.hw.device import GPU_2080TI
-from repro.models.registry import build_model
-from repro.optimizations import ReconstructBatchnorm
+from repro.scenarios import Scenario, ScenarioRunner
 
 #: Caffe's convolution path on DenseNet's many narrow layers achieves far
 #: lower arithmetic efficiency than tuned cuDNN kernels; this calibration
@@ -24,11 +19,19 @@ from repro.optimizations import ReconstructBatchnorm
 CAFFE_CONV_EFFICIENCY = 0.22
 
 
+def caffe_scenario(model_name: str = "densenet121") -> Scenario:
+    """The Caffe/DenseNet what-if of Section 6.4, as a declared scenario."""
+    return Scenario(
+        model=model_name,
+        framework="caffe",
+        gpu={"preset": "2080ti", "compute_efficiency": CAFFE_CONV_EFFICIENCY},
+        optimizations=["reconstruct_batchnorm"],
+    )
+
+
 def caffe_config() -> TrainingConfig:
-    """The Caffe/DenseNet configuration of Section 6.4."""
-    gpu = dataclasses.replace(GPU_2080TI,
-                              compute_efficiency=CAFFE_CONV_EFFICIENCY)
-    return TrainingConfig(framework="caffe", gpu=gpu)
+    """The Caffe/DenseNet training configuration of Section 6.4."""
+    return caffe_scenario().build_config()
 
 
 def run(model_name: str = "densenet121") -> ExperimentResult:
@@ -41,20 +44,19 @@ def run(model_name: str = "densenet121") -> ExperimentResult:
                "Prediction correctly flags the optimization as less "
                "promising than claimed."),
     )
-    config = caffe_config()
-    model = build_model(model_name)
-    session = WhatIfSession.from_model(model, config=config)
-    prediction = session.predict(ReconstructBatchnorm())
-    truth = groundtruth.run_reconstructed_batchnorm(model, config)
+    outcome = ScenarioRunner().run(caffe_scenario(model_name))
+    truth = groundtruth.run_reconstructed_batchnorm(outcome.model,
+                                                    outcome.config)
 
-    gt_improvement = improvement_percent(session.baseline_us, truth.iteration_us)
-    result.add_row("baseline_ms", session.baseline_us / 1000.0)
-    result.add_row("predicted_ms", prediction.predicted_us / 1000.0)
+    gt_improvement = improvement_percent(outcome.baseline_us,
+                                         truth.iteration_us)
+    result.add_row("baseline_ms", outcome.baseline_us / 1000.0)
+    result.add_row("predicted_ms", outcome.predicted_us / 1000.0)
     result.add_row("ground_truth_ms", truth.iteration_us / 1000.0)
-    result.add_row("predicted_improvement_%", prediction.improvement_percent)
+    result.add_row("predicted_improvement_%", outcome.improvement_percent)
     result.add_row("ground_truth_improvement_%", gt_improvement)
     result.add_row("prediction_error_%", prediction_error(
-        prediction.predicted_us, truth.iteration_us) * 100.0)
+        outcome.predicted_us, truth.iteration_us) * 100.0)
     result.add_row("paper_predicted_improvement_%", 12.7)
     result.add_row("paper_ground_truth_improvement_%", 7.0)
     return result

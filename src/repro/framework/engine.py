@@ -20,6 +20,7 @@ role of 'the hardware'.  Daydream never reuses these internals: it only sees
 the emitted trace.
 """
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -369,6 +370,9 @@ class Engine:
             "model": self.model.name,
             "batch_size": self.model.batch_size,
             "gpu": self.config.gpu.name,
+            "cpu": self.config.cpu.name,
+            "gpu_spec": dataclasses.asdict(self.config.gpu),
+            "cpu_spec": dataclasses.asdict(self.config.cpu),
             "framework": self.config.framework,
             "optimizer": self.optimizer,
             "precision": self.config.precision,

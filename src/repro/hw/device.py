@@ -161,16 +161,37 @@ CPU_EPYC_7601 = CPUSpec(name="AMD-EPYC-7601")
 
 _GPU_PRESETS = {
     "2080ti": GPU_2080TI,
+    "rtx2080ti": GPU_2080TI,
     "p4000": GPU_P4000,
+    "quadrop4000": GPU_P4000,
     "v100": GPU_V100,
 }
+
+_CPU_PRESETS = {
+    "epyc7601": CPU_EPYC_7601,
+    "amdepyc7601": CPU_EPYC_7601,
+}
+
+
+def _preset_key(name: str) -> str:
+    return name.lower().replace("-", "").replace("_", "")
 
 
 def get_gpu(name: str) -> GPUSpec:
     """Look up a GPU preset by (case-insensitive) short name."""
     try:
-        return _GPU_PRESETS[name.lower().replace("-", "").replace("_", "")]
+        return _GPU_PRESETS[_preset_key(name)]
     except KeyError:
         raise ConfigError(
             f"unknown GPU {name!r}; known: {sorted(_GPU_PRESETS)}"
+        ) from None
+
+
+def get_cpu(name: str) -> CPUSpec:
+    """Look up a CPU preset by (case-insensitive) short name."""
+    try:
+        return _CPU_PRESETS[_preset_key(name)]
+    except KeyError:
+        raise ConfigError(
+            f"unknown CPU {name!r}; known: {sorted(_CPU_PRESETS)}"
         ) from None

@@ -35,6 +35,23 @@ def available_models() -> List[str]:
     return sorted(_BUILDERS)
 
 
+def register_model(name: str, builder: Callable[..., ModelSpec],
+                   overwrite: bool = False) -> None:
+    """Register a custom model builder under a name.
+
+    The builder must accept an optional ``batch_size`` keyword.  Registered
+    models work everywhere zoo models do — including declarative
+    :class:`~repro.scenarios.scenario.Scenario` files, which reference
+    models by name.
+    """
+    key = name.lower()
+    if not overwrite and (key in _BUILDERS or key in _ALIASES):
+        raise ConfigError(f"model {name!r} is already registered")
+    # an alias would shadow the new builder in build_model's resolution
+    _ALIASES.pop(key, None)
+    _BUILDERS[key] = builder
+
+
 def build_model(name: str, batch_size: Optional[int] = None) -> ModelSpec:
     """Build a model by name.
 

@@ -28,7 +28,7 @@ class GpuUpgrade(OptimizationModel):
 
     name = "gpu_upgrade"
 
-    def __init__(self, factor: float) -> None:
+    def __init__(self, factor: float = 1.5) -> None:
         if factor <= 0:
             raise ConfigError("upgrade factor must be positive")
         self.factor = factor
@@ -48,7 +48,7 @@ class CpuUpgrade(OptimizationModel):
 
     name = "cpu_upgrade"
 
-    def __init__(self, factor: float) -> None:
+    def __init__(self, factor: float = 1.5) -> None:
         if factor <= 0:
             raise ConfigError("upgrade factor must be positive")
         self.factor = factor

@@ -9,8 +9,9 @@ cost model inside MetaFlow's backtracking search.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Union
 
+from repro.common.errors import ConfigError
 from repro.core import transform
 from repro.core.graph import DependencyGraph
 from repro.optimizations.base import OptimizationModel, WhatIfContext, WhatIfOutcome
@@ -31,19 +32,38 @@ class SubstitutionPolicy:
 
 
 class MetaFlowSubstitution(OptimizationModel):
-    """What if MetaFlow applied the given substitution policy?"""
+    """What if MetaFlow applied the given substitution policy?
+
+    ``policy`` is either an explicit :class:`SubstitutionPolicy` or the name
+    of a registered one (see :data:`NAMED_POLICIES`); named policies are
+    resolved lazily from the what-if context, which makes this model
+    declarable in scenario files.
+    """
 
     name = "metaflow"
 
-    def __init__(self, policy: SubstitutionPolicy) -> None:
+    def __init__(self, policy: Union[str, SubstitutionPolicy]) -> None:
         self.policy = policy
 
+    def _resolve(self, context: WhatIfContext) -> SubstitutionPolicy:
+        if isinstance(self.policy, SubstitutionPolicy):
+            return self.policy
+        try:
+            builder = NAMED_POLICIES[self.policy]
+        except KeyError:
+            raise ConfigError(
+                f"unknown MetaFlow policy {self.policy!r}; "
+                f"named policies: {sorted(NAMED_POLICIES)}"
+            ) from None
+        return builder(context)
+
     def apply(self, graph: DependencyGraph, context: WhatIfContext) -> WhatIfOutcome:
-        removed = set(self.policy.remove_layers)
+        policy = self._resolve(context)
+        removed = set(policy.remove_layers)
         for task in [t for t in transform.select_gpu_tasks(graph)
                      if t.layer in removed]:
             transform.remove_gpu_task(graph, task, remove_launch=True)
-        for layer, factor in self.policy.scale_layers.items():
+        for layer, factor in policy.scale_layers.items():
             tasks = transform.select_by_layer(graph, lambda l: l == layer)
             transform.scale_durations([t for t in tasks if t.is_gpu], factor)
         return WhatIfOutcome(graph=graph)
@@ -59,3 +79,9 @@ def fuse_conv_bn_relu_policy(context: WhatIfContext) -> SubstitutionPolicy:
     remove = [name for name, kind in kinds.items() if kind in ("batchnorm", "relu")]
     scale = {name: 1.08 for name, kind in kinds.items() if kind == "conv"}
     return SubstitutionPolicy(remove_layers=remove, scale_layers=scale)
+
+
+#: policies addressable by name from scenario files
+NAMED_POLICIES: Dict[str, Callable[[WhatIfContext], SubstitutionPolicy]] = {
+    "fuse_conv_bn_relu": fuse_conv_bn_relu_policy,
+}

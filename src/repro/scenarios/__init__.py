@@ -1,0 +1,60 @@
+"""Declarative scenario layer: workloads and what-if stacks as data.
+
+This package is the single front door for running what-if analyses:
+
+* :mod:`repro.scenarios.registry` — string-keyed registry of every shipped
+  optimization model with declared parameter schemas;
+* :mod:`repro.scenarios.pipeline` — validated, ordered optimization stacks
+  that run as one graph transformation;
+* :mod:`repro.scenarios.scenario` — the :class:`Scenario` /
+  :class:`ScenarioGrid` dataclasses with dict/JSON round-tripping;
+* :mod:`repro.scenarios.runner` — the :class:`ScenarioRunner` executing
+  single scenarios and fork-parallel grids.
+
+Quickstart::
+
+    from repro.scenarios import Scenario, ScenarioRunner
+
+    runner = ScenarioRunner()
+    outcome = runner.run(Scenario(model="resnet50", optimizations=["amp"]))
+    print(outcome.prediction)
+"""
+
+from repro.scenarios.pipeline import OptimizationPipeline, PipelineError
+from repro.scenarios.registry import (
+    DEFAULT_REGISTRY,
+    OptimizationRegistry,
+    OptimizationSpec,
+    ParamSpec,
+    default_registry,
+    stack_label,
+)
+from repro.scenarios.runner import (
+    SCENARIO_RESULT_HEADERS,
+    ScenarioOutcome,
+    ScenarioRunner,
+)
+from repro.scenarios.scenario import (
+    ClusterShape,
+    Scenario,
+    ScenarioGrid,
+    load_scenario_file,
+)
+
+__all__ = [
+    "OptimizationPipeline",
+    "PipelineError",
+    "DEFAULT_REGISTRY",
+    "OptimizationRegistry",
+    "OptimizationSpec",
+    "ParamSpec",
+    "default_registry",
+    "stack_label",
+    "SCENARIO_RESULT_HEADERS",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ClusterShape",
+    "Scenario",
+    "ScenarioGrid",
+    "load_scenario_file",
+]

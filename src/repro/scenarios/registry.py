@@ -1,0 +1,359 @@
+"""String-keyed registry of optimization what-if models.
+
+The paper's premise is that optimizations are *named, parameterized graph
+transformations*; this module makes that literal.  Every shipped
+:class:`~repro.optimizations.base.OptimizationModel` registers under a
+stable key with a declared parameter schema, so an optimization stack can
+be written as plain data::
+
+    ["amp", "distributed_training", {"name": "dgc", "params": {"compression_ratio": 0.01}}]
+
+and resolved into model instances without importing any optimization class.
+The registry also records the composition metadata the pipeline layer needs:
+which *category* a transformation belongs to (compute / memory /
+communication), which exclusive *slot* it occupies (two gradient-sync
+strategies cannot coexist), whether it supplies a custom scheduler, and what
+it requires from the stack or the context.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigError
+from repro.optimizations import (
+    AutomaticMixedPrecision,
+    BlueConnect,
+    DeepGradientCompression,
+    DistributedTraining,
+    FusedAdam,
+    Gist,
+    MetaFlowSubstitution,
+    PriorityParameterPropagation,
+    ReconstructBatchnorm,
+    VirtualizedDNN,
+)
+from repro.optimizations.amp import COMPUTE_SHRINK, MEMORY_SHRINK
+from repro.optimizations.base import OptimizationModel
+from repro.optimizations.hardware import CpuUpgrade, GpuUpgrade
+from repro.optimizations.p3 import DEFAULT_SLICE_BYTES, ParameterServerTransfer
+
+#: a stack entry as written in a scenario: a bare key or a keyed dict
+StackEntry = Union[str, Dict[str, object]]
+
+#: transformation categories, in mandatory application order: compute
+#: reshaping first, then memory-footprint transforms, then transforms that
+#: *insert* communication, then transforms that *rewrite* it
+CATEGORY_ORDER = ("compute", "memory", "comm_insert", "comm_rewrite")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declarable constructor parameter of an optimization model."""
+
+    name: str
+    kind: str                      # "float" | "int" | "bool" | "str"
+    default: object = None
+    doc: str = ""
+
+    _KINDS = {"float": float, "int": int, "bool": bool, "str": str}
+
+    def coerce(self, value: object) -> object:
+        """Validate (and numerically widen) a declared parameter value."""
+        if value is None:
+            return None  # "use the constructor default" is always declarable
+        expected = self._KINDS[self.kind]
+        if self.kind == "float" and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, expected) or (
+                expected is not bool and isinstance(value, bool)):
+            raise ConfigError(
+                f"parameter {self.name!r} expects {self.kind}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class OptimizationSpec:
+    """Registry entry: how to build one optimization and how it composes.
+
+    Attributes:
+        key: stable string key (``"amp"``, ``"dgc"``, ...).
+        factory: callable building the model from keyword parameters.
+        summary: one-line description for ``python -m repro optimizations``.
+        params: declarable constructor parameters.
+        category: composition category (see :data:`CATEGORY_ORDER`).
+        slot: exclusive-slot name; two stack members sharing a slot is a
+            conflict (e.g. all-reduce DDP vs parameter-server gradient sync).
+        provides_scheduler: the model returns a custom scheduler — at most
+            one per stack.
+        requires_cluster: needs ``context.cluster`` (a distributed target).
+        requires_category: a member of this category must appear earlier in
+            the (normalized) stack, e.g. BlueConnect rewrites the all-reduce
+            tasks that ``comm_insert`` transforms create.
+        whatif_default: include in the CLI's default what-if report when
+            :meth:`applicable`.
+        applicable: predicate on trace metadata gating the default report.
+    """
+
+    key: str
+    factory: Callable[..., OptimizationModel]
+    summary: str
+    params: Tuple[ParamSpec, ...] = ()
+    category: str = "compute"
+    slot: Optional[str] = None
+    provides_scheduler: bool = False
+    requires_cluster: bool = False
+    requires_category: Optional[str] = None
+    whatif_default: bool = False
+    applicable: Optional[Callable[[Dict[str, object]], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORY_ORDER:
+            raise ConfigError(f"unknown category {self.category!r}")
+
+    @property
+    def rank(self) -> int:
+        """Position of this spec's category in the application order."""
+        return CATEGORY_ORDER.index(self.category)
+
+    def create(self, params: Optional[Dict[str, object]] = None) -> OptimizationModel:
+        """Instantiate the model from declared parameters."""
+        params = dict(params or {})
+        known = {p.name: p for p in self.params}
+        unknown = sorted(set(params) - set(known))
+        if unknown:
+            raise ConfigError(
+                f"optimization {self.key!r} has no parameter(s) {unknown}; "
+                f"declarable: {sorted(known) or 'none'}"
+            )
+        # only user-declared values reach the factory: constructors own
+        # their defaults, ParamSpec.default is documentation (the registry
+        # round-trip test pins the two against each other)
+        kwargs = {}
+        for name, value in params.items():
+            coerced = known[name].coerce(value)
+            if coerced is not None:  # declared null = keep the default
+                kwargs[name] = coerced
+        return self.factory(**kwargs)
+
+    def is_applicable(self, trace_metadata: Dict[str, object]) -> bool:
+        """Whether the default what-if report should include this model."""
+        if self.applicable is None:
+            return True
+        return bool(self.applicable(trace_metadata))
+
+
+class OptimizationRegistry:
+    """Mutable mapping of optimization keys to :class:`OptimizationSpec`."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, OptimizationSpec] = {}
+
+    # -------------------------------------------------------------- mutation
+
+    def register(self, spec: OptimizationSpec) -> OptimizationSpec:
+        """Add a spec; re-registering an existing key is an error."""
+        if spec.key in self._specs:
+            raise ConfigError(f"optimization {spec.key!r} already registered")
+        self._specs[spec.key] = spec
+        return spec
+
+    # --------------------------------------------------------------- queries
+
+    def keys(self) -> List[str]:
+        """All registered keys, sorted."""
+        return sorted(self._specs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._specs
+
+    def get(self, key: str) -> OptimizationSpec:
+        """Look up one spec by key."""
+        try:
+            return self._specs[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown optimization {key!r}; available: {self.keys()}"
+            ) from None
+
+    def specs(self) -> List[OptimizationSpec]:
+        """All specs, sorted by key."""
+        return [self._specs[k] for k in self.keys()]
+
+    # ------------------------------------------------------------ resolution
+
+    def parse_entry(self, entry: StackEntry) -> Tuple[OptimizationSpec, Dict[str, object]]:
+        """Split a stack entry into its spec and declared parameters."""
+        if isinstance(entry, str):
+            return self.get(entry), {}
+        if isinstance(entry, dict):
+            extra = sorted(set(entry) - {"name", "params"})
+            if "name" not in entry or extra:
+                raise ConfigError(
+                    f"stack entry {entry!r} must be a name or a "
+                    "{'name': ..., 'params': {...}} dict"
+                )
+            params = entry.get("params") or {}
+            if not isinstance(params, dict):
+                raise ConfigError(f"params of {entry['name']!r} must be a dict")
+            return self.get(str(entry["name"])), dict(params)
+        raise ConfigError(f"invalid stack entry: {entry!r}")
+
+    def create(self, entry: StackEntry) -> OptimizationModel:
+        """Instantiate one stack entry."""
+        spec, params = self.parse_entry(entry)
+        return spec.create(params)
+
+    def whatif_defaults(
+        self, trace_metadata: Dict[str, object]
+    ) -> List[OptimizationModel]:
+        """The default what-if report stack for one profiled trace."""
+        return [spec.create() for spec in self.specs()
+                if spec.whatif_default and spec.is_applicable(trace_metadata)]
+
+
+# --------------------------------------------------------------------------
+# the default registry: every shipped optimization model
+# --------------------------------------------------------------------------
+
+def _has_adam(metadata: Dict[str, object]) -> bool:
+    return metadata.get("optimizer") == "adam"
+
+
+def _has_layer_kind(kind: str) -> Callable[[Dict[str, object]], bool]:
+    def check(metadata: Dict[str, object]) -> bool:
+        kinds = metadata.get("layer_kinds") or {}
+        return kind in set(kinds.values())
+    return check
+
+
+def _metaflow_factory(policy: str = "fuse_conv_bn_relu") -> MetaFlowSubstitution:
+    return MetaFlowSubstitution(policy)
+
+
+DEFAULT_REGISTRY = OptimizationRegistry()
+
+for _spec in (
+    OptimizationSpec(
+        key="amp", factory=AutomaticMixedPrecision,
+        summary="automatic mixed precision (Apex O1/O2 tensor-core what-if)",
+        params=(
+            ParamSpec("compute_shrink", "float", COMPUTE_SHRINK,
+                      "tensor-core speedup of compute-bound kernels"),
+            ParamSpec("memory_shrink", "float", MEMORY_SHRINK,
+                      "fp16 speedup of memory-bound kernels"),
+        ),
+        category="compute", whatif_default=True,
+    ),
+    OptimizationSpec(
+        key="fused_adam", factory=FusedAdam,
+        summary="fuse the unfused Adam step into one multi-tensor kernel",
+        category="compute", whatif_default=True, applicable=_has_adam,
+    ),
+    OptimizationSpec(
+        key="reconstruct_batchnorm", factory=ReconstructBatchnorm,
+        summary="restructure batchnorm layers per Jung et al.",
+        category="compute", whatif_default=True,
+        applicable=_has_layer_kind("batchnorm"),
+    ),
+    OptimizationSpec(
+        key="metaflow", factory=_metaflow_factory,
+        summary="MetaFlow relaxed graph substitution (named policy)",
+        params=(
+            ParamSpec("policy", "str", "fuse_conv_bn_relu",
+                      "named substitution policy"),
+        ),
+        category="compute",
+    ),
+    OptimizationSpec(
+        key="gpu_upgrade", factory=GpuUpgrade,
+        summary="scale every GPU kernel by a hardware-upgrade factor",
+        params=(ParamSpec("factor", "float", 1.5, "GPU speedup factor"),),
+        category="compute",
+    ),
+    OptimizationSpec(
+        key="cpu_upgrade", factory=CpuUpgrade,
+        summary="scale every CPU task by a hardware-upgrade factor",
+        params=(ParamSpec("factor", "float", 1.5, "CPU speedup factor"),),
+        category="compute",
+    ),
+    OptimizationSpec(
+        key="vdnn", factory=VirtualizedDNN,
+        summary="vDNN conv feature-map offload/prefetch over PCIe",
+        category="memory", whatif_default=True,
+        applicable=_has_layer_kind("conv"),
+    ),
+    OptimizationSpec(
+        key="gist", factory=Gist,
+        summary="Gist feature-map encode/decode kernels",
+        params=(
+            ParamSpec("lossy", "bool", False, "include lossy DPR kernels"),
+            ParamSpec("cost_factor", "float", 1.0,
+                      "encode/decode cost vs existing element-wise kernel"),
+        ),
+        category="memory", whatif_default=True,
+        applicable=_has_layer_kind("relu"),
+    ),
+    OptimizationSpec(
+        key="distributed_training", factory=DistributedTraining,
+        summary="DDP-style bucketed ring all-reduce from a 1-GPU profile",
+        category="comm_insert", slot="gradient_sync", requires_cluster=True,
+    ),
+    OptimizationSpec(
+        key="parameter_server", factory=ParameterServerTransfer,
+        summary="MXNet parameter-server push/pull (whole tensors, FIFO)",
+        params=(
+            ParamSpec("slice_bytes", "int", None, "gradient slice size"),
+            ParamSpec("prioritize", "bool", False, "front-layer priority"),
+        ),
+        category="comm_insert", slot="gradient_sync", requires_cluster=True,
+        provides_scheduler=True,
+    ),
+    OptimizationSpec(
+        key="p3", factory=PriorityParameterPropagation,
+        summary="P3 sliced + prioritized parameter-server transfers",
+        params=(
+            ParamSpec("slice_bytes", "int", DEFAULT_SLICE_BYTES,
+                      "gradient slice size"),
+        ),
+        category="comm_insert", slot="gradient_sync", requires_cluster=True,
+        provides_scheduler=True,
+    ),
+    OptimizationSpec(
+        key="blueconnect", factory=BlueConnect,
+        summary="hierarchical all-reduce decomposition (reduce-scatter + "
+                "all-gather pipeline)",
+        category="comm_rewrite", requires_cluster=True,
+        requires_category="comm_insert",
+    ),
+    OptimizationSpec(
+        key="dgc", factory=DeepGradientCompression,
+        summary="deep gradient compression: top-k sparsified transfers",
+        params=(
+            ParamSpec("compression_ratio", "float", 0.01,
+                      "transferred fraction of the gradient payload"),
+            ParamSpec("kernel_passes", "float", 3.0,
+                      "element-wise passes the compression kernels cost"),
+        ),
+        category="comm_rewrite", requires_category="comm_insert",
+    ),
+):
+    DEFAULT_REGISTRY.register(_spec)
+
+
+def default_registry() -> OptimizationRegistry:
+    """The process-wide registry of shipped optimizations."""
+    return DEFAULT_REGISTRY
+
+
+def stack_label(stack: Sequence[StackEntry]) -> str:
+    """Human-readable ``+``-joined label of a declared stack."""
+    names = []
+    for entry in stack:
+        if isinstance(entry, dict):
+            names.append(str(entry.get("name", "?")))
+        else:
+            names.append(str(entry))
+    return "+".join(names) if names else "baseline"

@@ -1,0 +1,213 @@
+"""Execute declarative scenarios: one runner behind every consumer.
+
+The :class:`ScenarioRunner` owns the model → trace → transform → simulate
+pipeline that experiments, examples and the CLI used to wire by hand:
+
+* sessions are profiled once per (model, batch size, training config) and
+  cached, so a bandwidth sweep over one model profiles a single iteration;
+* single scenarios run through :meth:`WhatIfSession.predict`;
+* grids run through the existing fork-based :meth:`WhatIfSession.sweep`,
+  fanning the per-cell predictions across CPU cores with bit-identical
+  results to a serial run.
+
+Outcomes expose the underlying session, model spec, config and cluster so
+experiment modules can add ground-truth columns without re-wiring anything.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.session import Prediction, WhatIfSession
+from repro.common.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+from repro.framework.config import TrainingConfig
+from repro.hw.topology import ClusterSpec
+from repro.models.base import ModelSpec
+from repro.scenarios.pipeline import OptimizationPipeline
+from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
+from repro.scenarios.scenario import Scenario, ScenarioGrid
+
+
+@dataclass
+class ScenarioOutcome:
+    """The result of running one scenario.
+
+    ``prediction`` is ``None`` for baseline-only scenarios (an empty
+    optimization stack asks "how long is one iteration?", nothing more).
+    """
+
+    scenario: Scenario
+    session: WhatIfSession
+    model: ModelSpec
+    config: TrainingConfig
+    cluster: Optional[ClusterSpec]
+    prediction: Optional[Prediction]
+
+    @property
+    def baseline_us(self) -> float:
+        """Simulated baseline iteration time."""
+        return self.session.baseline_us
+
+    @property
+    def predicted_us(self) -> float:
+        """Predicted iteration time (the baseline when nothing is stacked)."""
+        if self.prediction is None:
+            return self.baseline_us
+        return self.prediction.predicted_us
+
+    @property
+    def improvement_percent(self) -> float:
+        """Predicted improvement over the baseline, in percent."""
+        if self.prediction is None:
+            return 0.0
+        return self.prediction.improvement_percent
+
+    def as_row(self) -> List[object]:
+        """The standard ``ExperimentResult`` row for this outcome."""
+        cluster_label = self.cluster.label() if self.cluster else "1x1"
+        bandwidth = (self.scenario.cluster.bandwidth_gbps
+                     if self.scenario.cluster else None)
+        return [
+            self.scenario.model,
+            cluster_label,
+            bandwidth if bandwidth is not None else "-",
+            self.scenario.stack_label(),
+            self.baseline_us / 1000.0,
+            self.predicted_us / 1000.0,
+            self.improvement_percent,
+        ]
+
+
+#: headers matching :meth:`ScenarioOutcome.as_row`
+SCENARIO_RESULT_HEADERS = (
+    "model", "config", "bandwidth_gbps", "optimizations",
+    "baseline_ms", "predicted_ms", "improvement_%",
+)
+
+
+class ScenarioRunner:
+    """Run scenarios and scenario grids against cached profiled sessions."""
+
+    def __init__(self, registry: Optional[OptimizationRegistry] = None,
+                 cache_sessions: bool = True) -> None:
+        self.registry = registry or DEFAULT_REGISTRY
+        self.cache_sessions = cache_sessions
+        self._sessions: Dict[object, Tuple[WhatIfSession, ModelSpec,
+                                           TrainingConfig]] = {}
+
+    # -------------------------------------------------------------- sessions
+
+    @staticmethod
+    def _session_key(scenario: Scenario, config: TrainingConfig) -> object:
+        return (scenario.model, scenario.batch_size, config)
+
+    def session(self, scenario: Scenario) -> WhatIfSession:
+        """The profiled session for a scenario's workload (cached)."""
+        return self._session_entry(scenario)[0]
+
+    def _session_entry(
+        self, scenario: Scenario
+    ) -> Tuple[WhatIfSession, ModelSpec, TrainingConfig]:
+        config = scenario.build_config()
+        key = self._session_key(scenario, config)
+        entry = self._sessions.get(key)
+        if entry is None:
+            model = scenario.build_model()
+            session = WhatIfSession.from_model(model, config=config)
+            entry = (session, model, config)
+            if self.cache_sessions:
+                self._sessions[key] = entry
+        return entry
+
+    # ------------------------------------------------------------- execution
+
+    def _prepare(self, scenario: Scenario) -> Tuple[
+            WhatIfSession, ModelSpec, TrainingConfig,
+            Optional[ClusterSpec], OptimizationPipeline]:
+        """Resolve and validate everything one scenario execution needs."""
+        session, model, config = self._session_entry(scenario)
+        cluster = scenario.build_cluster()
+        pipeline = scenario.build_pipeline(self.registry)
+        if pipeline.requires_cluster and cluster is None:
+            raise ConfigError(
+                f"stack {scenario.stack_label()!r} needs a cluster; "
+                "declare scenario.cluster"
+            )
+        return session, model, config, cluster, pipeline
+
+    def run(self, scenario: Scenario) -> ScenarioOutcome:
+        """Execute one scenario."""
+        session, model, config, cluster, pipeline = self._prepare(scenario)
+        prediction = (session.predict(pipeline, cluster=cluster)
+                      if len(pipeline) else None)
+        return ScenarioOutcome(scenario=scenario, session=session,
+                               model=model, config=config, cluster=cluster,
+                               prediction=prediction)
+
+    def run_grid(self, scenarios: Sequence[Scenario],
+                 processes: Optional[int] = None) -> List[ScenarioOutcome]:
+        """Execute many scenarios, fanning predictions across CPU cores.
+
+        Scenarios sharing a workload (model, batch size, config) share one
+        profiled session; each shared group's predictions go through the
+        session's fork-based :meth:`~WhatIfSession.sweep`.  Results come
+        back in input order and are bit-identical to serial :meth:`run`
+        calls.
+        """
+        prepared: List[Tuple[Scenario, WhatIfSession, ModelSpec,
+                             TrainingConfig, Optional[ClusterSpec],
+                             OptimizationPipeline]] = []
+        groups: Dict[int, List[int]] = {}
+        for index, scenario in enumerate(scenarios):
+            session, model, config, cluster, pipeline = \
+                self._prepare(scenario)
+            prepared.append((scenario, session, model, config, cluster,
+                             pipeline))
+            groups.setdefault(id(session), []).append(index)
+
+        predictions: Dict[int, Optional[Prediction]] = {}
+        for indices in groups.values():
+            session = prepared[indices[0]][1]
+            question_indices = [i for i in indices if len(prepared[i][5])]
+            for i in indices:
+                predictions[i] = None
+            if not question_indices:
+                continue
+            answers = session.sweep(
+                [(prepared[i][5], prepared[i][4]) for i in question_indices],
+                processes=processes,
+            )
+            for i, answer in zip(question_indices, answers):
+                predictions[i] = answer
+
+        return [
+            ScenarioOutcome(scenario=scenario, session=session, model=model,
+                            config=config, cluster=cluster,
+                            prediction=predictions[index])
+            for index, (scenario, session, model, config, cluster, _pipeline)
+            in enumerate(prepared)
+        ]
+
+    def run_file(self, path: str,
+                 processes: Optional[int] = None) -> List[ScenarioOutcome]:
+        """Execute a scenario JSON file (single scenario or grid)."""
+        from repro.scenarios.scenario import load_scenario_file
+        loaded = load_scenario_file(path)
+        if isinstance(loaded, ScenarioGrid):
+            return self.run_grid(loaded.expand(), processes=processes)
+        return [self.run(loaded)]
+
+    # --------------------------------------------------------------- results
+
+    @staticmethod
+    def to_result(outcomes: Sequence[ScenarioOutcome],
+                  experiment: str = "scenario",
+                  title: str = "Declared scenarios",
+                  notes: str = "") -> ExperimentResult:
+        """Collect outcomes into a renderable :class:`ExperimentResult`."""
+        result = ExperimentResult(experiment=experiment, title=title,
+                                  headers=list(SCENARIO_RESULT_HEADERS),
+                                  notes=notes)
+        for outcome in outcomes:
+            result.add_row(*outcome.as_row())
+        return result

@@ -1,0 +1,92 @@
+"""Golden equivalence: ScenarioRunner rows == legacy hand-wired rows.
+
+The experiment modules were ported from hand-wired model → session →
+predict pipelines onto the declarative scenario layer.  These tests pin the
+port: for fig5, fig7 and fig8 (reduced grids for speed) the rows produced
+through :class:`ScenarioRunner` must be *bit-identical* — float for float —
+to rows produced by the legacy wiring, reconstructed inline here exactly as
+the pre-port modules wrote it.
+"""
+
+from repro.analysis.metrics import improvement_percent, prediction_error
+from repro.analysis.session import WhatIfSession
+from repro.experiments import fig5_amp, fig7_fusedadam, fig8_distributed
+from repro.framework import groundtruth
+from repro.framework.config import TrainingConfig
+from repro.hw.device import GPU_2080TI
+from repro.hw.network import NetworkSpec
+from repro.hw.topology import ClusterSpec
+from repro.models.registry import build_model
+from repro.optimizations import (
+    AutomaticMixedPrecision,
+    DistributedTraining,
+    FusedAdam,
+)
+
+
+def test_fig5_rows_match_legacy_wiring():
+    ported = fig5_amp.run(models=["resnet50"]).rows
+
+    config = TrainingConfig()
+    model = build_model("resnet50")
+    session = WhatIfSession.from_model(model, config=config)
+    prediction = session.predict(AutomaticMixedPrecision())
+    truth = groundtruth.run_amp(model, config)
+    legacy = [[
+        "resnet50",
+        session.baseline_us / 1000.0,
+        truth.iteration_us / 1000.0,
+        prediction.predicted_us / 1000.0,
+        improvement_percent(session.baseline_us, truth.iteration_us),
+        prediction_error(prediction.predicted_us, truth.iteration_us) * 100.0,
+    ]]
+    assert ported == legacy
+
+
+def test_fig7_rows_match_legacy_wiring():
+    ported = fig7_fusedadam.run(models=["bert_base"]).rows
+
+    config = TrainingConfig()
+    model = build_model("bert_base")
+    session = WhatIfSession.from_model(model, config=config)
+    wu_kernels = sum(1 for t in session.graph.tasks()
+                     if t.is_gpu and t.phase == "weight_update")
+    prediction = session.predict(FusedAdam())
+    truth = groundtruth.run_fused_adam(model, config)
+    legacy = [[
+        "bert_base",
+        session.baseline_us / 1000.0,
+        truth.iteration_us / 1000.0,
+        prediction.predicted_us / 1000.0,
+        improvement_percent(session.baseline_us, truth.iteration_us),
+        prediction_error(prediction.predicted_us, truth.iteration_us) * 100.0,
+        wu_kernels,
+    ]]
+    assert ported == legacy
+
+
+def test_fig8_rows_match_legacy_wiring():
+    ported = fig8_distributed.run(models=["resnet50"], bandwidths=[10],
+                                  configs=[(1, 1), (2, 1), (2, 2)]).rows
+
+    config = TrainingConfig()
+    model = build_model("resnet50")
+    session = WhatIfSession.from_model(model, config=config)
+    legacy = []
+    for machines, gpus in ((1, 1), (2, 1), (2, 2)):
+        cluster = ClusterSpec(machines, gpus, GPU_2080TI,
+                              NetworkSpec(bandwidth_gbps=10))
+        if not cluster.is_distributed:
+            legacy.append(["resnet50", cluster.label(), 10,
+                           session.baseline_us / 1000.0,
+                           session.baseline_us / 1000.0, 0.0])
+            continue
+        truth = groundtruth.run_distributed(model, cluster, config,
+                                            sync_before_allreduce=True)
+        pred = session.predict(DistributedTraining(), cluster=cluster)
+        legacy.append(["resnet50", cluster.label(), 10,
+                       truth.iteration_us / 1000.0,
+                       pred.predicted_us / 1000.0,
+                       prediction_error(pred.predicted_us,
+                                        truth.iteration_us) * 100.0])
+    assert ported == legacy
