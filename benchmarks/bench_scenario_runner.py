@@ -11,12 +11,24 @@ properties of that refactor:
   prediction (the simulate call dominates).
 """
 
+import json
+import os
+import shutil
+import tempfile
 import time
 
 from conftest import run_once
 from repro.analysis.session import WhatIfSession
 from repro.optimizations import AutomaticMixedPrecision
-from repro.scenarios import Scenario, ScenarioRunner
+from repro.scenarios import Scenario, ScenarioGrid, ScenarioRunner, SweepStore
+
+#: quick mode (CI smoke): a reduced grid, and only a >1x warm-cache gate
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: quick runs must not clobber the committed full-mode record
+BENCH_SWEEP_JSON = os.path.join(
+    os.path.dirname(__file__), os.pardir,
+    "BENCH_sweep_quick.json" if QUICK else "BENCH_sweep.json")
 
 
 def test_scenario_runner_identity_and_overhead(benchmark):
@@ -63,3 +75,72 @@ def test_scenario_grid_matches_serial(benchmark):
     parallel, serial = run_once(benchmark, run)
     assert [o.predicted_us for o in parallel] == \
         [o.predicted_us for o in serial]
+
+
+def _sweep_grid() -> ScenarioGrid:
+    """The pinned fig8-style grid the cold/warm sweep numbers refer to."""
+    base = Scenario(model="resnet50",
+                    optimizations=["distributed_training"]).with_cluster(
+                        2, 1, bandwidth_gbps=10.0)
+    axes = {
+        "model": ["resnet50"] if QUICK else ["resnet50", "gnmt"],
+        "cluster.bandwidth_gbps": [10.0, 20.0] if QUICK
+        else [10.0, 20.0, 40.0],
+        "cluster.gpus_per_machine": [1] if QUICK else [1, 2],
+        "cluster.machines": [2, 4],
+    }
+    return ScenarioGrid(base=base, axes=axes)
+
+
+def test_sweep_store_cold_vs_warm(benchmark):
+    """Cold vs warm wall-clock of the store-backed batch executor.
+
+    Cold profiles every workload and simulates every cell through the
+    process pool; warm serves every cell from the store.  Rows must be
+    bit-identical across the serial, pool and cached paths, and the warm
+    re-run must be the promised multiple faster (≥5x full mode, >1x in
+    the reduced CI smoke grid).
+    """
+    scenarios = _sweep_grid().expand()
+    tmp = tempfile.mkdtemp(prefix="bench-sweep-")
+    try:
+        def run():
+            store = SweepStore(os.path.join(tmp, "store"))
+            t0 = time.perf_counter()
+            cold = ScenarioRunner().run_grid(scenarios, parallel=4,
+                                             store=store)
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = ScenarioRunner().run_grid(scenarios, parallel=4,
+                                             store=store)
+            warm_s = time.perf_counter() - t0
+            serial = ScenarioRunner().run_grid(scenarios, processes=1)
+            return cold, warm, serial, cold_s, warm_s
+
+        cold, warm, serial, cold_s, warm_s = run_once(benchmark, run)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    serial_rows = [o.as_row() for o in serial]
+    assert [o.as_row() for o in cold] == serial_rows
+    assert [o.as_row() for o in warm] == serial_rows
+    assert all(not o.cached for o in cold)
+    assert all(o.cached for o in warm)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "grid": "fig8-style: model x bandwidth x (machines x gpus), "
+                "distributed_training stack",
+        "mode": "quick" if QUICK else "full",
+        "cells": len(scenarios),
+        "jobs": 4,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(speedup, 1),
+        "protocol": "single cold run (profile+simulate, pool of 4) vs "
+                    "warm store re-run of the identical grid",
+    }
+    with open(BENCH_SWEEP_JSON, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    assert speedup > (1.0 if QUICK else 5.0), payload

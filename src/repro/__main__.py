@@ -8,6 +8,10 @@ Commands:
                            from the registry (repeatable), default is every
                            applicable one;
 * ``run SCENARIO.json``  — execute a declared scenario or scenario grid;
+* ``sweep GRID.json``    — batch-execute a grid over the multiprocess
+                           executor and a persistent result store
+                           (``--jobs``, ``--store``, ``--resume``,
+                           ``--force``);
 * ``experiment NAME``    — regenerate one paper table/figure
                            (fig1, table1, fig5, fig6, fig7, fig8, fig9,
                            fig9b, fig10-resnet50, fig10-vgg19, sec52,
@@ -28,6 +32,7 @@ from repro.scenarios import (
     ClusterShape,
     OptimizationPipeline,
     ScenarioRunner,
+    SweepStore,
     default_registry,
 )
 from repro.tracing.export import trace_to_chrome
@@ -126,6 +131,38 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    import time
+
+    store = SweepStore(args.store) if args.store else None
+    # --no-resume and --force both mean "do not trust prior entries";
+    # either way fresh rows are written back to the store
+    force = args.force or not args.resume
+    runner = ScenarioRunner()
+
+    def progress(done, total, cell):
+        tag = "cached" if cell.cached else "computed"
+        print(f"  [{done}/{total}] {tag} {cell.scenario.label()}",
+              file=sys.stderr)
+
+    from repro.analysis.parallel import default_processes
+    jobs = args.jobs or default_processes()
+    t0 = time.perf_counter()
+    outcomes = runner.run_file(args.scenario, parallel=jobs,
+                               store=store, force=force, progress=progress)
+    elapsed = time.perf_counter() - t0
+    result = runner.to_result(outcomes, experiment="sweep",
+                              title=f"Sweep of {args.scenario}")
+    print(result.render())
+    hits = sum(1 for o in outcomes if o.cached)
+    summary = (f"{len(outcomes)} cell(s) in {elapsed:.2f}s — "
+               f"{hits} from store, {len(outcomes) - hits} computed")
+    if store is not None:
+        summary += f" (store: {store.root}, {len(store)} entries)"
+    print(summary, file=sys.stderr)
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import (
         fig1_timeline, fig5_amp, fig6_breakdown, fig7_fusedadam,
@@ -193,6 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--processes", type=int, default=None,
                      help="worker processes for grid fan-out")
 
+    sweep = sub.add_parser(
+        "sweep", help="batch-execute a scenario grid over the process-pool "
+                      "executor and a persistent result store")
+    sweep.add_argument("scenario", help="path to the scenario/grid JSON")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: one per CPU)")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent result store directory; cells "
+                            "already stored are served without simulation")
+    sweep.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="reuse results already in the store (default; "
+                            "--no-resume recomputes but still writes back)")
+    sweep.add_argument("--force", action="store_true",
+                       help="recompute every cell, overwriting store entries")
+
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
     experiment.add_argument("name")
@@ -207,6 +260,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "whatif": cmd_whatif,
         "run": cmd_run,
+        "sweep": cmd_sweep,
         "experiment": cmd_experiment,
     }
     try:

@@ -7,6 +7,12 @@ synchronization before each all-reduce (the paper's measurement baseline).
 
 Paper result: at most ~10% error in most configurations, with a few
 exceptions at 20/40 Gbps.
+
+With ``jobs=``/``store=`` the grid runs on the scenario batch substrate:
+predictions fan out over the process-pool executor and both the prediction
+and ground-truth rows persist in a :class:`~repro.scenarios.store.SweepStore`
+(ground truth under the ``groundtruth:ddp-sync`` kind), so a re-run — after
+a crash, or with more bandwidth points — only simulates the new cells.
 """
 
 from typing import List, Optional, Sequence, Tuple
@@ -22,18 +28,51 @@ CONFIGS: Sequence[Tuple[int, int]] = ((1, 1), (2, 1), (3, 1), (4, 1),
                                       (2, 2), (3, 2), (4, 2))
 BANDWIDTHS_GBPS = (10, 20, 40)
 
+#: store kind for the measured (engine) side of each cell
+GROUNDTRUTH_KIND = "groundtruth:ddp-sync"
+
+
+def measure_groundtruth(outcome, store=None, force: bool = False
+                        ) -> Optional[float]:
+    """Measured iteration time of one grid cell (store-cached).
+
+    Returns ``None`` for single-worker cells (nothing to synchronize).
+    """
+    if not outcome.cluster.is_distributed:
+        return None
+    # the engine measurement depends only on (model, cluster, config) —
+    # key it on the stack-stripped scenario so every experiment sharing a
+    # deployment (e.g. fig9b's sync cells) shares one entry
+    keyed = outcome.scenario.with_(optimizations=[], schedule_policy=None)
+    if store is not None and not force:
+        values = store.get(keyed, kind=GROUNDTRUTH_KIND)
+        if values is not None \
+                and isinstance(values.get("iteration_us"), float):
+            return values["iteration_us"]
+    truth = groundtruth.run_distributed(
+        outcome.model, outcome.cluster, outcome.config,
+        sync_before_allreduce=True)
+    if store is not None:
+        store.put(keyed, {"iteration_us": truth.iteration_us},
+                  kind=GROUNDTRUTH_KIND)
+    return truth.iteration_us
+
 
 def run(models: Optional[List[str]] = None,
         bandwidths: Optional[Sequence[float]] = None,
         configs: Optional[Sequence[Tuple[int, int]]] = None,
-        processes: Optional[int] = None) -> ExperimentResult:
+        processes: Optional[int] = None,
+        jobs: Optional[int] = None,
+        store=None, force: bool = False) -> ExperimentResult:
     """Reproduce Figure 8 (all four sub-figures).
 
     Every (bandwidth, machines, gpus) cell of a model is one scenario over
-    the same single-GPU profile; the grid's predictions fan out across
-    cores through the runner (fork-based ``sweep``), and the ground-truth
-    engine runs fan out the same way (deterministic: the parallel rows are
-    identical to a serial run).
+    the same single-GPU profile.  By default the grid's predictions fan out
+    across cores through the runner (fork-based ``sweep``) and the
+    ground-truth engine runs fan out the same way; with ``jobs=`` or
+    ``store=`` the predictions run on the process-pool batch executor and
+    results persist/resume through the store.  All paths are deterministic:
+    parallel rows are identical to a serial run.
     """
     result = ExperimentResult(
         experiment="fig8",
@@ -52,17 +91,14 @@ def run(models: Optional[List[str]] = None,
             for bw in (bandwidths or BANDWIDTHS_GBPS)
             for machines, gpus in (configs or CONFIGS)
         ]
-        outcomes = runner.run_grid(scenarios, processes=processes)
+        outcomes = runner.run_grid(scenarios, processes=processes,
+                                   parallel=jobs, store=store, force=force)
 
         def measure(outcome) -> Optional[float]:
-            if not outcome.cluster.is_distributed:
-                return None
-            truth = groundtruth.run_distributed(
-                outcome.model, outcome.cluster, outcome.config,
-                sync_before_allreduce=True)
-            return truth.iteration_us
+            return measure_groundtruth(outcome, store=store, force=force)
 
-        truths = fork_map(measure, outcomes, processes=processes)
+        truths = fork_map(measure, outcomes,
+                          processes=jobs if jobs is not None else processes)
         for outcome, truth_us in zip(outcomes, truths):
             bw = outcome.scenario.cluster.bandwidth_gbps
             if truth_us is None:  # single-worker cell: nothing to predict

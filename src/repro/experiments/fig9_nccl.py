@@ -13,8 +13,9 @@ synchronizations improves the primitives by ~22.8% on average, and never
 degrades end-to-end iteration time (it can improve it by up to 22%).
 """
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.analysis.parallel import fork_map
 from repro.common.prng import biased_factor
 from repro.experiments.common import ExperimentResult
 from repro.framework import groundtruth
@@ -23,6 +24,34 @@ from repro.tracing.records import EventCategory
 
 DEFAULT_CLUSTER = (4, 1)
 DEFAULT_BANDWIDTH_GBPS = 10.0
+
+#: store kinds for the two measured sides of each Section-6.5 cell
+SYNC_KIND = "groundtruth:ddp-sync"
+NOSYNC_KIND = "groundtruth:ddp-nosync"
+
+
+def _measure_iteration(scenario: Scenario, model, cluster, config,
+                       sync: bool, store=None,
+                       force: bool = False) -> float:
+    """Measured end-to-end iteration time of one cell (store-cached).
+
+    ``model``/``cluster``/``config`` are the scenario's prebuilt specs
+    (callers resolve them once per grid/cell); the scenario itself is
+    only used — stack-stripped — for store keying, so experiments
+    sharing a deployment share one entry.
+    """
+    kind = SYNC_KIND if sync else NOSYNC_KIND
+    keyed = scenario.with_(optimizations=[], schedule_policy=None)
+    if store is not None and not force:
+        values = store.get(keyed, kind=kind)
+        if values is not None \
+                and isinstance(values.get("iteration_us"), float):
+            return values["iteration_us"]
+    run = groundtruth.run_distributed(model, cluster, config,
+                                      sync_before_allreduce=sync)
+    if store is not None:
+        store.put(keyed, {"iteration_us": run.iteration_us}, kind=kind)
+    return run.iteration_us
 
 
 def run(model_name: str = "gnmt",
@@ -71,8 +100,18 @@ def run_sync_impact(
     model_name: str = "gnmt",
     bandwidths: Sequence[float] = (10.0, 20.0, 40.0),
     configs: Sequence[Tuple[int, int]] = ((2, 1), (4, 1), (2, 2), (4, 2)),
+    jobs: Optional[int] = None,
+    store=None, force: bool = False,
 ) -> ExperimentResult:
-    """Section 6.5's follow-up: adding syncs never hurts end-to-end time."""
+    """Section 6.5's follow-up: adding syncs never hurts end-to-end time.
+
+    Each (bandwidth, machines, gpus) cell is a declarative scenario; with
+    ``store=`` the two engine measurements per cell persist in a
+    :class:`~repro.scenarios.store.SweepStore` (``groundtruth:ddp-sync`` /
+    ``-nosync`` kinds) and re-runs skip straight to the missing cells,
+    while ``jobs=`` fans the cells across fork workers — rows stay
+    bit-identical to a serial, uncached run.
+    """
     result = ExperimentResult(
         experiment="fig9b",
         title="End-to-end impact of synchronizing before NCCL primitives",
@@ -83,18 +122,23 @@ def run_sync_impact(
     base = Scenario(model=model_name)
     model = base.build_model()
     config = base.build_config()
+    cells = []
     for bw in bandwidths:
         for machines, gpus in configs:
-            cluster = base.with_cluster(
-                machines, gpus, bandwidth_gbps=bw).build_cluster()
-            plain = groundtruth.run_distributed(
-                model, cluster, config, sync_before_allreduce=False)
-            synced = groundtruth.run_distributed(
-                model, cluster, config, sync_before_allreduce=True)
-            improvement = (plain.iteration_us - synced.iteration_us) \
-                / plain.iteration_us * 100.0
-            result.add_row(cluster.label(), bw,
-                           plain.iteration_us / 1000.0,
-                           synced.iteration_us / 1000.0,
-                           improvement)
+            scenario = base.with_cluster(machines, gpus, bandwidth_gbps=bw)
+            cells.append((bw, scenario, scenario.build_cluster()))
+
+    def measure(cell):
+        _bw, scenario, cluster = cell
+        plain_us = _measure_iteration(scenario, model, cluster, config,
+                                      sync=False, store=store, force=force)
+        synced_us = _measure_iteration(scenario, model, cluster, config,
+                                       sync=True, store=store, force=force)
+        return plain_us, synced_us
+
+    for (bw, _scenario, cluster), (plain_us, synced_us) in zip(
+            cells, fork_map(measure, cells, processes=jobs or 1)):
+        improvement = (plain_us - synced_us) / plain_us * 100.0
+        result.add_row(cluster.label(), bw,
+                       plain_us / 1000.0, synced_us / 1000.0, improvement)
     return result

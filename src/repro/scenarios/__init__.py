@@ -9,7 +9,12 @@ This package is the single front door for running what-if analyses:
 * :mod:`repro.scenarios.scenario` — the :class:`Scenario` /
   :class:`ScenarioGrid` dataclasses with dict/JSON round-tripping;
 * :mod:`repro.scenarios.runner` — the :class:`ScenarioRunner` executing
-  single scenarios and fork-parallel grids.
+  single scenarios and fork-parallel grids;
+* :mod:`repro.scenarios.store` — the content-addressed on-disk
+  :class:`SweepStore` of sweep results (atomic writes, corruption-safe
+  reads, version-salted keys);
+* :mod:`repro.scenarios.batch` — the multiprocess batch executor fanning
+  grids across a process pool with store-backed resume.
 
 Quickstart::
 
@@ -20,6 +25,7 @@ Quickstart::
     print(outcome.prediction)
 """
 
+from repro.scenarios.batch import BatchReport, SweepCell, run_batch
 from repro.scenarios.pipeline import OptimizationPipeline, PipelineError
 from repro.scenarios.registry import (
     DEFAULT_REGISTRY,
@@ -40,8 +46,21 @@ from repro.scenarios.scenario import (
     ScenarioGrid,
     load_scenario_file,
 )
+from repro.scenarios.store import (
+    RESULT_SCHEMA_VERSION,
+    SweepStore,
+    canonical_scenario_json,
+    scenario_key,
+)
 
 __all__ = [
+    "BatchReport",
+    "SweepCell",
+    "run_batch",
+    "RESULT_SCHEMA_VERSION",
+    "SweepStore",
+    "canonical_scenario_json",
+    "scenario_key",
     "OptimizationPipeline",
     "PipelineError",
     "DEFAULT_REGISTRY",

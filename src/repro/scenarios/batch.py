@@ -1,0 +1,233 @@
+"""Multiprocess batch execution of scenario grids over a result store.
+
+The fork-based :meth:`WhatIfSession.sweep` parallelizes *predictions of one
+workload*; large scenario catalogs also need the *profiling* fanned out and
+finished cells remembered.  :func:`run_batch` is that substrate:
+
+* cells already in the :class:`~repro.scenarios.store.SweepStore` are
+  skipped up front (resume is the default behaviour of handing in a store);
+* the remaining cells are partitioned **by workload** — scenarios sharing a
+  (model, batch size, training config) land in the same chunks, and each
+  worker process keeps one :class:`~repro.scenarios.runner.ScenarioRunner`
+  alive across chunks, so a workload is profiled at most once per worker;
+* chunks run on a ``ProcessPoolExecutor`` (fork context: runners, custom
+  registries and runtime-registered models are inherited, never pickled;
+  platforms without fork fall back to an in-process serial run with
+  identical results);
+* results stream back in completion order — the parent persists each cell
+  to the store the moment its chunk finishes (a killed sweep resumes from
+  the last completed chunk) and reports progress — while the returned rows
+  keep input order.
+
+Because the simulator and the keyed PRNG are deterministic, pool results
+are bit-identical to a serial run; ``tests/test_sweep_determinism.py``
+pins serial / fork-sweep / process-pool / cached rows against each other.
+"""
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.parallel import default_processes
+from repro.common.errors import ConfigError
+from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.store import SweepStore, scenario_key
+
+#: one unit of worker work: (cell index, scenario dict)
+_Cell = Tuple[int, Dict[str, object]]
+
+#: fork-inherited state (set in the parent immediately before the pool
+#: forks, cleared after; never pickled)
+_FORK_REGISTRY: Optional[OptimizationRegistry] = None
+
+#: per-worker-process runner, built lazily and kept across chunks so every
+#: workload is profiled at most once per worker
+_WORKER_RUNNER = None
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One computed (or cache-served) grid cell."""
+
+    scenario: Scenario
+    key: str
+    baseline_us: float
+    predicted_us: float
+    cached: bool
+
+
+@dataclass
+class BatchReport:
+    """What one :func:`run_batch` call did."""
+
+    cells: List[SweepCell]  # input order
+    hits: int = 0
+    computed: int = 0
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def _values_ok(values: Optional[Dict[str, object]]) -> bool:
+    """A stored ``predict`` entry must carry both timings as numbers."""
+    if values is None:
+        return False
+    timings = (values.get("baseline_us"), values.get("predicted_us"))
+    return all(isinstance(v, float) for v in timings)
+
+
+def _run_chunk(runner, chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]:
+    """Execute one chunk of cells on a runner, returning plain numbers."""
+    out = []
+    for index, data in chunk:
+        outcome = runner.run(Scenario.from_dict(data))
+        out.append((index, outcome.baseline_us, outcome.predicted_us))
+    return out
+
+
+def _worker_run_chunk(chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]:
+    """Pool entry point: runs a chunk on this worker's persistent runner."""
+    global _WORKER_RUNNER
+    if _WORKER_RUNNER is None:
+        from repro.scenarios.runner import ScenarioRunner
+        _WORKER_RUNNER = ScenarioRunner(registry=_FORK_REGISTRY)
+    return _run_chunk(_WORKER_RUNNER, chunk)
+
+
+def _partition(scenarios: Sequence[Scenario], pending: Sequence[int],
+               jobs: int) -> List[List[_Cell]]:
+    """Chunk pending cells, grouping cells of one workload together.
+
+    Scenarios sharing a (model, batch size, training config) profile the
+    same session, so they stay adjacent; each workload group is split into
+    at most ``jobs // n_groups`` chunks (always ≥ 1) so a single-workload
+    grid still occupies every worker.
+    """
+    groups: Dict[object, List[int]] = {}
+    for index in pending:
+        scenario = scenarios[index]
+        key = (scenario.model, scenario.batch_size,
+               scenario.build_config())
+        groups.setdefault(key, []).append(index)
+    chunks: List[List[_Cell]] = []
+    splits = max(1, jobs // max(1, len(groups)))
+    for indices in groups.values():
+        size = math.ceil(len(indices) / splits)
+        for start in range(0, len(indices), size):
+            chunks.append([(i, scenarios[i].to_dict())
+                           for i in indices[start:start + size]])
+    return chunks
+
+
+def run_batch(
+    scenarios: Sequence[Scenario],
+    registry: Optional[OptimizationRegistry] = None,
+    store: Optional[SweepStore] = None,
+    jobs: Optional[int] = None,
+    force: bool = False,
+    progress: Optional[Callable[[int, int, SweepCell], None]] = None,
+) -> BatchReport:
+    """Evaluate scenarios through the store + process-pool substrate.
+
+    Args:
+        scenarios: the grid cells, already expanded.
+        registry: optimization registry (also salts store keys).
+        store: persistent result store; cells found there are served
+            without simulation and newly computed cells are written back.
+        jobs: worker processes; ``None`` uses one per CPU, ``1`` runs
+            serially in-process (same rows either way).
+        force: recompute every cell even on a store hit (entries are
+            overwritten with the fresh rows).
+        progress: called as ``progress(done, total, cell)`` after every
+            cell — store hits immediately, computed cells as their chunk
+            completes (completion order, not input order).
+
+    Returns:
+        A :class:`BatchReport` whose ``cells`` are in input order and
+        bit-identical to serial :meth:`ScenarioRunner.run` calls.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    if store is not None and store.registry is not registry:
+        # one fingerprint must govern both resolution and addressing
+        raise ConfigError("sweep store and batch executor must share one "
+                          "optimization registry")
+    scenarios = list(scenarios)
+    total = len(scenarios)
+    cells: List[Optional[SweepCell]] = [None] * total
+    report = BatchReport(cells=[], workers=1)
+    done = 0
+
+    def finish(index: int, cell: SweepCell) -> None:
+        nonlocal done
+        cells[index] = cell
+        done += 1
+        if progress is not None:
+            progress(done, total, cell)
+
+    pending: List[int] = []
+    for index, scenario in enumerate(scenarios):
+        key = scenario_key(scenario, registry)
+        values = store.get(scenario) if store is not None and not force \
+            else None
+        if _values_ok(values):
+            report.hits += 1
+            finish(index, SweepCell(
+                scenario=scenario, key=key, cached=True,
+                baseline_us=values["baseline_us"],
+                predicted_us=values["predicted_us"]))
+        else:
+            pending.append(index)
+
+    if pending:
+        jobs = default_processes() if jobs is None else max(1, jobs)
+        chunks = _partition(scenarios, pending, jobs)
+        workers = min(jobs, len(chunks))
+        report.workers = workers
+        report.computed = len(pending)
+
+        def record(index: int, baseline_us: float, predicted_us: float) -> None:
+            scenario = scenarios[index]
+            key = scenario_key(scenario, registry)
+            if store is not None:
+                store.put(scenario, {"baseline_us": baseline_us,
+                                     "predicted_us": predicted_us})
+            finish(index, SweepCell(scenario=scenario, key=key, cached=False,
+                                    baseline_us=baseline_us,
+                                    predicted_us=predicted_us))
+
+        use_pool = (
+            workers > 1
+            and _WORKER_RUNNER is None  # nested call: stay serial
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if use_pool:
+            global _FORK_REGISTRY
+            _FORK_REGISTRY = registry
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=ctx) as pool:
+                    futures = [pool.submit(_worker_run_chunk, chunk)
+                               for chunk in chunks]
+                    for future in as_completed(futures):
+                        for index, baseline_us, predicted_us in future.result():
+                            record(index, baseline_us, predicted_us)
+            finally:
+                _FORK_REGISTRY = None
+        else:
+            from repro.scenarios.runner import ScenarioRunner
+            report.workers = 1
+            runner = ScenarioRunner(registry=registry)
+            for chunk in chunks:
+                for index, baseline_us, predicted_us in _run_chunk(runner,
+                                                                   chunk):
+                    record(index, baseline_us, predicted_us)
+
+    report.cells = [cell for cell in cells if cell is not None]
+    if len(report.cells) != total:  # pragma: no cover - defensive
+        raise ConfigError("batch executor lost cells; this is a bug")
+    return report

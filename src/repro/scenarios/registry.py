@@ -150,6 +150,7 @@ class OptimizationRegistry:
 
     def __init__(self) -> None:
         self._specs: Dict[str, OptimizationSpec] = {}
+        self._fingerprint: Optional[str] = None
 
     # -------------------------------------------------------------- mutation
 
@@ -158,6 +159,7 @@ class OptimizationRegistry:
         if spec.key in self._specs:
             raise ConfigError(f"optimization {spec.key!r} already registered")
         self._specs[spec.key] = spec
+        self._fingerprint = None
         return spec
 
     # --------------------------------------------------------------- queries
@@ -212,6 +214,44 @@ class OptimizationRegistry:
         """The default what-if report stack for one profiled trace."""
         return [spec.create() for spec in self.specs()
                 if spec.whatif_default and spec.is_applicable(trace_metadata)]
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of every spec's declared semantics.
+
+        Persistent result stores salt their content keys with this, so
+        adding an optimization, renaming a parameter, or changing a
+        default invalidates exactly the cached rows whose meaning could
+        have shifted.  Factory *implementations* are not hashed — code
+        changes that alter predictions must bump
+        :data:`repro.scenarios.store.RESULT_SCHEMA_VERSION`.
+
+        Cached (cleared by :meth:`register`): store keying calls this on
+        every read and write.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        import hashlib
+        import json
+        description = [
+            {
+                "key": spec.key,
+                "category": spec.category,
+                "slot": spec.slot,
+                "provides_scheduler": spec.provides_scheduler,
+                "requires_cluster": spec.requires_cluster,
+                "requires_category": spec.requires_category,
+                "params": [
+                    {"name": p.name, "kind": p.kind, "default": repr(p.default)}
+                    for p in spec.params
+                ],
+            }
+            for spec in self.specs()
+        ]
+        canonical = json.dumps(description, sort_keys=True,
+                               separators=(",", ":"))
+        self._fingerprint = hashlib.blake2b(canonical.encode("utf-8"),
+                                            digest_size=16).hexdigest()
+        return self._fingerprint
 
 
 # --------------------------------------------------------------------------

@@ -6,17 +6,23 @@ pipeline that experiments, examples and the CLI used to wire by hand:
 * sessions are profiled once per (model, batch size, training config) and
   cached, so a bandwidth sweep over one model profiles a single iteration;
 * single scenarios run through :meth:`WhatIfSession.predict`;
-* grids run through the existing fork-based :meth:`WhatIfSession.sweep`,
-  fanning the per-cell predictions across CPU cores with bit-identical
-  results to a serial run.
+* grids run through the existing fork-based :meth:`WhatIfSession.sweep`
+  (``processes=``), or — for durable, multi-workload sweeps — through the
+  :mod:`repro.scenarios.batch` process-pool executor and the
+  :mod:`repro.scenarios.store` result store (``parallel=`` / ``store=``),
+  which skips cells already on disk and resumes interrupted sweeps;
+* all paths produce bit-identical rows.
 
 Outcomes expose the underlying session, model spec, config and cluster so
 experiment modules can add ground-truth columns without re-wiring anything.
+Cache-served outcomes are *detached*: they carry the stored timings and the
+cheap-to-build model/config/cluster specs, but no profiled session.
 """
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.metrics import improvement_percent
 from repro.analysis.session import Prediction, WhatIfSession
 from repro.common.errors import ConfigError
 from repro.experiments.common import ExperimentResult
@@ -33,34 +39,30 @@ class ScenarioOutcome:
     """The result of running one scenario.
 
     ``prediction`` is ``None`` for baseline-only scenarios (an empty
-    optimization stack asks "how long is one iteration?", nothing more).
+    optimization stack asks "how long is one iteration?", nothing more)
+    and for cache-served outcomes, whose timings come from the store.
+    ``session`` is ``None`` for outcomes that never simulated locally
+    (store hits, process-pool cells).
     """
 
     scenario: Scenario
-    session: WhatIfSession
+    baseline_us: float
+    predicted_us: float
     model: ModelSpec
     config: TrainingConfig
     cluster: Optional[ClusterSpec]
-    prediction: Optional[Prediction]
-
-    @property
-    def baseline_us(self) -> float:
-        """Simulated baseline iteration time."""
-        return self.session.baseline_us
-
-    @property
-    def predicted_us(self) -> float:
-        """Predicted iteration time (the baseline when nothing is stacked)."""
-        if self.prediction is None:
-            return self.baseline_us
-        return self.prediction.predicted_us
+    session: Optional[WhatIfSession] = None
+    prediction: Optional[Prediction] = None
+    cached: bool = False
 
     @property
     def improvement_percent(self) -> float:
         """Predicted improvement over the baseline, in percent."""
-        if self.prediction is None:
+        if self.prediction is not None:
+            return self.prediction.improvement_percent
+        if self.predicted_us == self.baseline_us:
             return 0.0
-        return self.prediction.improvement_percent
+        return improvement_percent(self.baseline_us, self.predicted_us)
 
     def as_row(self) -> List[object]:
         """The standard ``ExperimentResult`` row for this outcome."""
@@ -140,20 +142,70 @@ class ScenarioRunner:
         session, model, config, cluster, pipeline = self._prepare(scenario)
         prediction = (session.predict(pipeline, cluster=cluster)
                       if len(pipeline) else None)
+        predicted_us = (prediction.predicted_us if prediction is not None
+                        else session.baseline_us)
         return ScenarioOutcome(scenario=scenario, session=session,
                                model=model, config=config, cluster=cluster,
+                               baseline_us=session.baseline_us,
+                               predicted_us=predicted_us,
                                prediction=prediction)
 
-    def run_grid(self, scenarios: Sequence[Scenario],
-                 processes: Optional[int] = None) -> List[ScenarioOutcome]:
-        """Execute many scenarios, fanning predictions across CPU cores.
+    def detached_outcome(self, scenario: Scenario, baseline_us: float,
+                         predicted_us: float,
+                         cached: bool = False) -> ScenarioOutcome:
+        """An outcome carrying externally computed timings.
 
-        Scenarios sharing a workload (model, batch size, config) share one
-        profiled session; each shared group's predictions go through the
-        session's fork-based :meth:`~WhatIfSession.sweep`.  Results come
-        back in input order and are bit-identical to serial :meth:`run`
-        calls.
+        Validates the scenario exactly like :meth:`run` (pipeline rules,
+        cluster requirements) and builds the cheap model/config/cluster
+        specs, but profiles nothing — this is how store hits and
+        process-pool cells come back.
         """
+        config = scenario.build_config()
+        cluster = scenario.build_cluster()
+        pipeline = scenario.build_pipeline(self.registry)
+        if pipeline.requires_cluster and cluster is None:
+            raise ConfigError(
+                f"stack {scenario.stack_label()!r} needs a cluster; "
+                "declare scenario.cluster"
+            )
+        return ScenarioOutcome(scenario=scenario, session=None,
+                               model=scenario.build_model(), config=config,
+                               cluster=cluster, baseline_us=baseline_us,
+                               predicted_us=predicted_us, cached=cached)
+
+    def run_grid(self, scenarios: Sequence[Scenario],
+                 processes: Optional[int] = None,
+                 parallel: Optional[int] = None,
+                 store=None, force: bool = False,
+                 progress=None) -> List[ScenarioOutcome]:
+        """Execute many scenarios, fanning work across CPU cores.
+
+        Two fan-out substrates share this entry point:
+
+        * default (``processes=``): scenarios sharing a workload (model,
+          batch size, config) share one profiled session in *this*
+          process; each shared group's predictions go through the
+          session's fork-based :meth:`~WhatIfSession.sweep`;
+        * batch (``parallel=`` and/or ``store=``): cells run on the
+          :func:`repro.scenarios.batch.run_batch` process-pool executor,
+          skipping cells the :class:`~repro.scenarios.store.SweepStore`
+          already holds (resume) and persisting new ones; ``force=True``
+          recomputes hits, ``progress(done, total, cell)`` streams
+          completion.
+
+        Results come back in input order and are bit-identical across
+        both substrates and serial :meth:`run` calls.
+        """
+        if parallel is not None or store is not None:
+            from repro.scenarios.batch import run_batch
+            report = run_batch(scenarios, registry=self.registry,
+                               store=store, jobs=parallel, force=force,
+                               progress=progress)
+            return [self.detached_outcome(cell.scenario, cell.baseline_us,
+                                          cell.predicted_us,
+                                          cached=cell.cached)
+                    for cell in report.cells]
+
         prepared: List[Tuple[Scenario, WhatIfSession, ModelSpec,
                              TrainingConfig, Optional[ClusterSpec],
                              OptimizationPipeline]] = []
@@ -180,21 +232,34 @@ class ScenarioRunner:
             for i, answer in zip(question_indices, answers):
                 predictions[i] = answer
 
-        return [
-            ScenarioOutcome(scenario=scenario, session=session, model=model,
-                            config=config, cluster=cluster,
-                            prediction=predictions[index])
-            for index, (scenario, session, model, config, cluster, _pipeline)
-            in enumerate(prepared)
-        ]
+        outcomes = []
+        for index, (scenario, session, model, config, cluster, _pipeline) \
+                in enumerate(prepared):
+            prediction = predictions[index]
+            predicted_us = (prediction.predicted_us if prediction is not None
+                            else session.baseline_us)
+            outcomes.append(ScenarioOutcome(
+                scenario=scenario, session=session, model=model,
+                config=config, cluster=cluster,
+                baseline_us=session.baseline_us, predicted_us=predicted_us,
+                prediction=prediction))
+        return outcomes
 
     def run_file(self, path: str,
-                 processes: Optional[int] = None) -> List[ScenarioOutcome]:
+                 processes: Optional[int] = None,
+                 parallel: Optional[int] = None,
+                 store=None, force: bool = False,
+                 progress=None) -> List[ScenarioOutcome]:
         """Execute a scenario JSON file (single scenario or grid)."""
         from repro.scenarios.scenario import load_scenario_file
         loaded = load_scenario_file(path)
         if isinstance(loaded, ScenarioGrid):
-            return self.run_grid(loaded.expand(), processes=processes)
+            return self.run_grid(loaded.expand(), processes=processes,
+                                 parallel=parallel, store=store,
+                                 force=force, progress=progress)
+        if parallel is not None or store is not None:
+            return self.run_grid([loaded], parallel=parallel, store=store,
+                                 force=force, progress=progress)
         return [self.run(loaded)]
 
     # --------------------------------------------------------------- results

@@ -1,0 +1,258 @@
+"""Content-addressed, on-disk store of scenario sweep results.
+
+The paper's pitch only compounds when predictions are *reusable*: a
+thousand-cell scenario catalog should pay for each cell once, ever, and a
+re-run after a crash (or next week, or on a colleague's checkout) should
+skip straight to the unexplored cells.  :class:`SweepStore` makes that
+durable:
+
+* **content-addressed** — an entry is keyed by a stable hash of the
+  *canonical* scenario JSON (sorted keys, default fields omitted, numeric
+  widening), so two declarations that mean the same thing share one entry
+  no matter how they were formatted, and any semantic change misses;
+* **salted** — the key folds in :data:`RESULT_SCHEMA_VERSION` and the
+  :meth:`~repro.scenarios.registry.OptimizationRegistry.fingerprint`, so
+  registry or result-format evolution invalidates stale rows instead of
+  silently serving them;
+* **atomic** — entries are written to a temp file and ``os.replace``-d
+  into place; a crashed writer can never leave a half-entry where a
+  reader would trust it;
+* **corruption-safe** — reads verify the JSON parses, the embedded key
+  and salt match, and a payload checksum holds; anything off is treated
+  as a miss (and re-simulated), never trusted.
+
+Entries carry a free-form ``values`` dict rather than a fixed row shape,
+so prediction results (``kind="predict"``) and ground-truth engine
+measurements (e.g. ``kind="groundtruth:sync"``) share one substrate.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.common.errors import ConfigError
+from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
+from repro.scenarios.scenario import Scenario
+
+#: bump when the meaning of stored values changes (simulator semantics,
+#: row derivation, entry layout) — every older entry then misses
+RESULT_SCHEMA_VERSION = 1
+
+
+def _canonicalize(obj: object) -> object:
+    """Normalize a scenario dict for hashing.
+
+    Dict keys sort at dump time; here we widen non-bool ints to floats so
+    ``"bandwidth_gbps": 10`` and ``10.0`` — equal in Python, different in
+    JSON text — hash identically.
+    """
+    if isinstance(obj, dict):
+        return {str(k): _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, int):
+        return float(obj)
+    return obj
+
+
+def canonical_scenario_json(scenario: Scenario) -> str:
+    """The canonical JSON text of a scenario (the content that is hashed).
+
+    ``Scenario.to_dict`` already omits fields left at their defaults, so
+    declaring a default explicitly does not change the canonical form.
+    """
+    return json.dumps(_canonicalize(scenario.to_dict()), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def store_salt(registry: Optional[OptimizationRegistry] = None) -> str:
+    """The version salt folded into every content key."""
+    registry = registry or DEFAULT_REGISTRY
+    return f"v{RESULT_SCHEMA_VERSION}:{registry.fingerprint()}"
+
+
+def scenario_key(scenario: Scenario,
+                 registry: Optional[OptimizationRegistry] = None,
+                 kind: str = "predict") -> str:
+    """Content address of one (scenario, result kind) pair: 32 hex chars."""
+    material = "\n".join([store_salt(registry), kind,
+                          canonical_scenario_json(scenario)])
+    return hashlib.blake2b(material.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def _entry_checksum(payload: Dict[str, object]) -> str:
+    """Checksum over the trusted portion of an entry."""
+    material = json.dumps(
+        {k: payload.get(k) for k in ("key", "kind", "salt", "scenario",
+                                     "values")},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(material.encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Running hit/miss/write counters of one :class:`SweepStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    rejected: int = 0  # present on disk but unreadable/corrupt/stale
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "rejected": self.rejected}
+
+
+@dataclass
+class SweepStore:
+    """A directory of content-addressed scenario results.
+
+    Layout: ``<root>/objects/<key[:2]>/<key>.json``, one entry per file.
+    Safe for concurrent readers plus any number of writers producing the
+    same deterministic content (writes are atomic replaces).
+    """
+
+    root: str
+    registry: OptimizationRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = os.fspath(self.root)
+        if os.path.exists(self.root) and not os.path.isdir(self.root):
+            raise ConfigError(f"sweep store path {self.root!r} is not a "
+                              "directory")
+
+    # ----------------------------------------------------------------- paths
+
+    @property
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def path_for(self, key: str) -> str:
+        """The entry file backing one content key."""
+        return os.path.join(self._objects_dir, key[:2], f"{key}.json")
+
+    def key(self, scenario: Scenario, kind: str = "predict") -> str:
+        return scenario_key(scenario, self.registry, kind=kind)
+
+    # ----------------------------------------------------------------- reads
+
+    def get(self, scenario: Scenario,
+            kind: str = "predict") -> Optional[Dict[str, object]]:
+        """The stored ``values`` dict, or ``None`` on any doubt.
+
+        A present-but-unreadable entry (truncated write, bit rot, stale
+        salt smuggled in by hand) counts as a miss: the caller re-simulates
+        and :meth:`put` atomically replaces the bad file.
+        """
+        key = self.key(scenario, kind=kind)
+        payload = self._load(self.path_for(key), count=True)
+        if payload is not None and self._trustworthy(payload, key, kind,
+                                                     count=True):
+            self.stats.hits += 1
+            return dict(payload["values"])
+        self.stats.misses += 1
+        return None
+
+    def contains(self, scenario: Scenario, kind: str = "predict") -> bool:
+        """Whether a *trustworthy* entry exists (stats are untouched).
+
+        Mere file existence is not membership: an entry with a stale
+        salt, a failed checksum, or unparseable bytes would miss on
+        :meth:`get`, so it must not count here either.
+        """
+        key = self.key(scenario, kind=kind)
+        payload = self._load(self.path_for(key), count=False)
+        return payload is not None and self._trustworthy(payload, key, kind,
+                                                         count=False)
+
+    def _load(self, path: str, count: bool) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                payload = json.load(f)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            if count:
+                self.stats.rejected += 1  # exists, but cannot be parsed
+            return None
+        if not isinstance(payload, dict):
+            if count:
+                self.stats.rejected += 1
+            return None
+        return payload
+
+    def _trustworthy(self, payload: Dict[str, object], key: str,
+                     kind: str, count: bool) -> bool:
+        ok = (
+            payload.get("format") == RESULT_SCHEMA_VERSION
+            and payload.get("key") == key
+            and payload.get("kind") == kind
+            and payload.get("salt") == store_salt(self.registry)
+            and isinstance(payload.get("values"), dict)
+            and payload.get("checksum") == _entry_checksum(payload)
+        )
+        if not ok and count:
+            self.stats.rejected += 1
+        return ok
+
+    # ---------------------------------------------------------------- writes
+
+    def put(self, scenario: Scenario, values: Dict[str, object],
+            kind: str = "predict") -> str:
+        """Persist one result atomically; returns its content key."""
+        key = self.key(scenario, kind=kind)
+        payload: Dict[str, object] = {
+            "format": RESULT_SCHEMA_VERSION,
+            "key": key,
+            "kind": kind,
+            "salt": store_salt(self.registry),
+            "scenario": scenario.to_dict(),
+            "values": dict(values),
+        }
+        payload["checksum"] = _entry_checksum(payload)
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(payload, f, indent=1, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return key
+
+    # --------------------------------------------------------------- queries
+
+    def keys(self) -> Iterator[str]:
+        """Every content key currently on disk (unvalidated)."""
+        objects = self._objects_dir
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return self.contains(scenario)

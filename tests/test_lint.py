@@ -1,9 +1,13 @@
-"""Mechanical lint gate (ruff).
+"""Mechanical lint gates.
 
 Runs the ruff rules configured in ``pyproject.toml`` over the source tree —
 this is what keeps trivial defect classes (pointless f-strings, unused
 imports, undefined names) from reappearing.  Skips cleanly on machines
 without a ruff binary; CI images that carry ruff enforce it.
+
+Also guards the *repository contents*: 145 ``__pycache__`` bytecode files
+were once committed by accident, so ``test_no_tracked_bytecode`` fails the
+suite if any generated artifact is ever tracked again.
 """
 
 import shutil
@@ -27,3 +31,33 @@ def test_ruff_clean():
         timeout=300,
     )
     assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
+
+
+def test_no_tracked_bytecode():
+    """No generated artifact may ever be committed again.
+
+    ``.gitignore`` keeps honest contributors out; this gate catches a
+    ``git add -f``, a broken ignore file, or tooling that bypasses both.
+    """
+    git = shutil.which("git")
+    if git is None:
+        pytest.skip("git not installed in this environment")
+    proc = subprocess.run(
+        [git, "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if proc.returncode != 0:
+        pytest.skip("not running from a git checkout")
+    banned = ("__pycache__", ".pyc", ".pyo", ".pytest_cache",
+              ".sweep-store")
+    offenders = [
+        line for line in proc.stdout.splitlines()
+        if any(marker in line for marker in banned)
+    ]
+    assert not offenders, (
+        "generated artifacts are tracked by git (remove with "
+        f"'git rm --cached'): {offenders[:10]}"
+    )

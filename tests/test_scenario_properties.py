@@ -1,0 +1,206 @@
+"""Property-based round-trips for Scenario/ScenarioGrid and content keys.
+
+Scenarios are the repository's durable interchange format — files on disk,
+store keys, process-pool payloads all flow through ``to_dict``/``to_json``.
+These tests fuzz that surface with the repository's own keyed PRNG
+(:mod:`repro.common.prng`), so every "random" scenario is a pure function
+of its seed: failures reproduce exactly, everywhere, with no external
+fuzzing dependency.
+
+Pinned properties, for every seed:
+
+* ``Scenario.from_dict(s.to_dict()) == s`` and the JSON round trip too;
+* the content key (:func:`repro.scenarios.store.scenario_key`) is stable
+  under round-tripping, dict key order, JSON formatting, int-vs-float
+  spelling, and explicitly declaring default values;
+* grids round-trip, expand deterministically, and every expanded cell
+  round-trips and hashes to a distinct key along changed axes.
+"""
+
+import json
+
+from repro.common.prng import stable_uniform
+from repro.scenarios import Scenario, ScenarioGrid, scenario_key
+from repro.scenarios.scenario import ClusterShape
+
+N_SEEDS = 60
+
+MODELS = ("resnet50", "vgg19", "gnmt", "bert_base", "densenet121")
+FRAMEWORKS = ("pytorch", "mxnet", "caffe")
+PRECISIONS = ("fp32", "fp16")
+OPTIMIZERS = ("sgd", "adam")
+GPU_DECLS = (
+    "2080ti",
+    "p4000",
+    {"preset": "2080ti", "compute_efficiency": 0.25},
+    {"preset": "p4000", "memory_bandwidth_gbps": 180.0},
+)
+STACK_POOL = (
+    "amp",
+    "fused_adam",
+    {"name": "gist", "params": {"lossy": True}},
+    {"name": "gpu_upgrade", "params": {"factor": 2.0}},
+    "distributed_training",
+    {"name": "dgc", "params": {"compression_ratio": 0.05}},
+)
+
+
+class Fuzz:
+    """Deterministic value source: a pure function of (seed, draw index)."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.draws = 0
+
+    def unit(self) -> float:
+        self.draws += 1
+        return stable_uniform(f"scenario-fuzz/{self.seed}/{self.draws}")
+
+    def maybe(self, p: float = 0.5) -> bool:
+        return self.unit() < p
+
+    def choice(self, seq):
+        return seq[int(self.unit() * len(seq)) % len(seq)]
+
+    def int_between(self, lo: int, hi: int) -> int:
+        return lo + int(self.unit() * (hi - lo + 1)) % (hi - lo + 1)
+
+
+def fuzz_scenario(seed: int) -> Scenario:
+    f = Fuzz(seed)
+    kwargs = {"model": f.choice(MODELS)}
+    if f.maybe():
+        kwargs["batch_size"] = f.int_between(1, 64)
+    if f.maybe(0.3):
+        kwargs["framework"] = f.choice(FRAMEWORKS)
+    if f.maybe(0.3):
+        kwargs["precision"] = f.choice(PRECISIONS)
+    if f.maybe(0.3):
+        kwargs["optimizer"] = f.choice(OPTIMIZERS)
+    if f.maybe(0.4):
+        kwargs["gpu"] = f.choice(GPU_DECLS)
+    if f.maybe(0.2):
+        kwargs["bucket_cap_mb"] = round(1.0 + 49.0 * f.unit(), 3)
+    if f.maybe(0.2):
+        kwargs["data_loading_us"] = round(5000.0 * f.unit(), 1)
+    stack = [entry for entry in STACK_POOL if f.maybe(0.25)]
+    needs_cluster = any(
+        (e if isinstance(e, str) else e["name"]) in
+        ("distributed_training", "dgc") for e in stack)
+    if needs_cluster or f.maybe(0.4):
+        kwargs["cluster"] = ClusterShape(
+            machines=f.int_between(1, 4),
+            gpus_per_machine=f.int_between(1, 2),
+            bandwidth_gbps=f.choice((10, 10.0, 20.0, 25.0, 40.0)),
+            latency_us=f.choice((25.0, 50.0)),
+            gpu=f.choice(GPU_DECLS) if f.maybe(0.3) else None,
+        )
+    kwargs["optimizations"] = stack
+    if f.maybe(0.2):
+        kwargs["schedule_policy"] = "comm_priority"
+    return Scenario(**kwargs)
+
+
+def fuzz_grid(seed: int) -> ScenarioGrid:
+    f = Fuzz(seed * 7919 + 13)
+    base = fuzz_scenario(seed + 100_000)
+    axes = {}
+    if f.maybe(0.8):
+        axes["batch_size"] = sorted({f.int_between(1, 64)
+                                     for _ in range(f.int_between(1, 3))})
+    if base.cluster is not None and f.maybe(0.8):
+        axes["cluster.bandwidth_gbps"] = sorted(
+            {f.choice((10.0, 20.0, 25.0, 40.0))
+             for _ in range(f.int_between(1, 3))})
+    if f.maybe(0.5):
+        axes["precision"] = list(PRECISIONS)
+    return ScenarioGrid(base=base, axes=axes)
+
+
+# --------------------------------------------------------------- scenarios
+
+def test_scenario_dict_and_json_round_trip():
+    for seed in range(N_SEEDS):
+        s = fuzz_scenario(seed)
+        assert Scenario.from_dict(s.to_dict()) == s, f"seed {seed}"
+        assert Scenario.from_json(s.to_json()) == s, f"seed {seed}"
+        # round-tripping twice is a fixed point
+        twice = Scenario.from_json(Scenario.from_json(s.to_json()).to_json())
+        assert twice == s, f"seed {seed}"
+
+
+def test_content_key_stable_under_round_trip():
+    for seed in range(N_SEEDS):
+        s = fuzz_scenario(seed)
+        key = scenario_key(s)
+        assert scenario_key(Scenario.from_json(s.to_json())) == key, \
+            f"seed {seed}"
+
+
+def test_content_key_ignores_key_order_and_formatting():
+    for seed in range(N_SEEDS):
+        s = fuzz_scenario(seed)
+        data = s.to_dict()
+        # reversed key order, nested dicts included, plus dense formatting
+        def reorder(obj):
+            if isinstance(obj, dict):
+                return {k: reorder(obj[k]) for k in reversed(list(obj))}
+            if isinstance(obj, list):
+                return [reorder(v) for v in obj]
+            return obj
+        shuffled = json.dumps(reorder(data), separators=(",", ":"))
+        pretty = json.dumps(data, indent=4)
+        key = scenario_key(s)
+        assert scenario_key(Scenario.from_json(shuffled)) == key, f"seed {seed}"
+        assert scenario_key(Scenario.from_json(pretty)) == key, f"seed {seed}"
+
+
+def test_content_key_ignores_numeric_spelling_and_explicit_defaults():
+    a = Scenario(model="resnet50", batch_size=32).with_cluster(
+        2, 1, bandwidth_gbps=10)
+    b = Scenario(model="resnet50", batch_size=32).with_cluster(
+        2, 1, bandwidth_gbps=10.0)
+    assert scenario_key(a) == scenario_key(b)
+    # declaring a default explicitly does not change the content
+    explicit = Scenario.from_dict({"model": "resnet50", "batch_size": 32,
+                                   "framework": "pytorch",
+                                   "precision": "fp32",
+                                   "optimizations": [],
+                                   "cluster": {"machines": 2,
+                                               "gpus_per_machine": 1,
+                                               "bandwidth_gbps": 10.0}})
+    assert scenario_key(explicit) == scenario_key(a)
+
+
+def test_content_key_changes_with_semantics():
+    for seed in range(0, N_SEEDS, 3):
+        s = fuzz_scenario(seed)
+        key = scenario_key(s)
+        assert scenario_key(s.with_(batch_size=(s.batch_size or 0) + 1)) \
+            != key, f"seed {seed}"
+        assert scenario_key(s.with_(model=s.model + "x")) != key, \
+            f"seed {seed}"
+
+
+# ------------------------------------------------------------------- grids
+
+def test_grid_round_trip_and_deterministic_expansion():
+    for seed in range(N_SEEDS):
+        g = fuzz_grid(seed)
+        assert ScenarioGrid.from_json(g.to_json()) == g, f"seed {seed}"
+        first = [s.to_dict() for s in g.expand()]
+        second = [s.to_dict() for s in g.expand()]
+        assert first == second, f"seed {seed}"
+        assert len(first) == len(g), f"seed {seed}"
+
+
+def test_grid_cells_round_trip_and_key_distinct():
+    for seed in range(0, N_SEEDS, 2):
+        g = fuzz_grid(seed)
+        cells = g.expand()
+        keys = []
+        for cell in cells:
+            assert Scenario.from_json(cell.to_json()) == cell, f"seed {seed}"
+            keys.append(scenario_key(cell))
+        # distinct axis values mean distinct content, so distinct keys
+        assert len(set(keys)) == len(keys), f"seed {seed}"

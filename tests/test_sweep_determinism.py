@@ -1,0 +1,100 @@
+"""Every sweep substrate must produce bit-identical rows.
+
+A pinned grid runs through all four execution paths —
+
+* serial ``run_grid`` (``processes=1``: plain in-process loop),
+* the fork-based ``WhatIfSession.sweep`` fan-out (``processes=2``),
+* the process-pool batch executor (``parallel=2`` + a fresh store),
+* a warm re-run served entirely from the store —
+
+and the resulting ``ExperimentResult`` rows are compared with ``==``,
+float for float.  This is the contract that makes the persistent store
+trustworthy: a cached number *is* the number a cold run would produce.
+"""
+
+import pytest
+
+from helpers import make_tiny_model
+from repro.common.errors import ConfigError
+from repro.models.registry import register_model
+from repro.scenarios import Scenario, ScenarioGrid, ScenarioRunner, SweepStore
+
+MODEL = "tinysweep"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def register_tiny_model():
+    def build(batch_size=None):
+        return make_tiny_model(batch=batch_size or 4)
+    try:
+        register_model(MODEL, build)
+    except ConfigError:
+        pass  # already registered by an earlier module in this process
+
+
+@pytest.fixture(scope="module")
+def pinned_scenarios():
+    grid = ScenarioGrid(
+        base=Scenario(model=MODEL,
+                      optimizations=["distributed_training"]).with_cluster(
+                          2, 1, bandwidth_gbps=10.0),
+        axes={
+            "cluster.bandwidth_gbps": [10.0, 25.0],
+            "cluster.machines": [2, 4],
+        },
+    )
+    # one baseline-only cell exercises the no-prediction path everywhere
+    return grid.expand() + [Scenario(model=MODEL)]
+
+
+def rows_of(outcomes):
+    return [o.as_row() for o in outcomes]
+
+
+def test_serial_fork_pool_and_cache_rows_identical(pinned_scenarios,
+                                                   tmp_path):
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    forked = ScenarioRunner().run_grid(pinned_scenarios, processes=2)
+
+    store = SweepStore(str(tmp_path / "store"))
+    pooled = ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                                       store=store)
+    cached = ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                                       store=store)
+
+    reference = rows_of(serial)
+    assert rows_of(forked) == reference
+    assert rows_of(pooled) == reference
+    assert rows_of(cached) == reference
+
+    assert all(not o.cached for o in pooled)
+    assert all(o.cached for o in cached)
+    # detached outcomes still resolve model/config/cluster for consumers
+    assert all(o.model.name for o in pooled)
+    assert cached[0].cluster is not None and cached[-1].cluster is None
+
+    # the full ExperimentResult (headers + rows) is identical too
+    serial_result = ScenarioRunner.to_result(serial)
+    cached_result = ScenarioRunner.to_result(cached)
+    assert serial_result.headers == cached_result.headers
+    assert serial_result.rows == cached_result.rows
+
+
+def test_pool_without_store_matches_serial(pinned_scenarios):
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    pooled = ScenarioRunner().run_grid(pinned_scenarios, parallel=2)
+    assert rows_of(pooled) == rows_of(serial)
+
+
+def test_force_recomputes_but_keeps_rows(pinned_scenarios, tmp_path):
+    store = SweepStore(str(tmp_path / "store"))
+    runner = ScenarioRunner()
+    first = runner.run_grid(pinned_scenarios, parallel=2, store=store)
+    forced = runner.run_grid(pinned_scenarios, parallel=2, store=store,
+                             force=True)
+    assert all(not o.cached for o in forced)
+    assert rows_of(forced) == rows_of(first)
+    # and the overwritten entries still serve the same rows
+    warm = runner.run_grid(pinned_scenarios, store=store)
+    assert all(o.cached for o in warm)
+    assert rows_of(warm) == rows_of(first)
