@@ -77,6 +77,45 @@ def test_scenario_grid_matches_serial(benchmark):
         [o.predicted_us for o in serial]
 
 
+def test_spawn_sweep_rows_match_serial(benchmark):
+    """Portability smoke: the spawn start method is a drop-in substrate.
+
+    Runs a reduced grid on the batch executor under the spawn context
+    (fresh worker interpreters rebuilding state from the WorkerManifest)
+    and requires the rows to be bit-identical to a serial run, plus a
+    warm store re-run to serve every cell.  CI runs this in the
+    bench-sweep job so the macOS/Windows execution path cannot rot on
+    Linux-only development.
+    """
+    base = Scenario(model="resnet50",
+                    optimizations=["distributed_training"]).with_cluster(
+                        2, 1, bandwidth_gbps=10.0)
+    scenarios = ScenarioGrid(base=base, axes={
+        "cluster.bandwidth_gbps": [10.0, 20.0],
+        "cluster.machines": [2, 4],
+    }).expand()
+    tmp = tempfile.mkdtemp(prefix="bench-spawn-")
+    try:
+        def run():
+            store = SweepStore(os.path.join(tmp, "store"))
+            spawned = ScenarioRunner().run_grid(scenarios, parallel=2,
+                                                store=store,
+                                                start_method="spawn")
+            warm = ScenarioRunner().run_grid(scenarios, store=store)
+            serial = ScenarioRunner().run_grid(scenarios, processes=1)
+            return spawned, warm, serial
+
+        spawned, warm, serial = run_once(benchmark, run)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    serial_rows = [o.as_row() for o in serial]
+    assert [o.as_row() for o in spawned] == serial_rows
+    assert [o.as_row() for o in warm] == serial_rows
+    assert all(not o.cached for o in spawned)
+    assert all(o.cached for o in warm)
+
+
 def _sweep_grid() -> ScenarioGrid:
     """The pinned fig8-style grid the cold/warm sweep numbers refer to."""
     base = Scenario(model="resnet50",

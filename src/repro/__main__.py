@@ -11,16 +11,21 @@ Commands:
 * ``sweep GRID.json``    — batch-execute a grid over the multiprocess
                            executor and a persistent result store
                            (``--jobs``, ``--store``, ``--resume``,
-                           ``--force``);
+                           ``--force``, ``--start-method``);
 * ``experiment NAME``    — regenerate one paper table/figure
                            (fig1, table1, fig5, fig6, fig7, fig8, fig9,
                            fig9b, fig10-resnet50, fig10-vgg19, sec52,
-                           sec64, sec75);
+                           sec64, sec75); ``--store``/``--jobs``/
+                           ``--force`` cache engine ground truth in a
+                           sweep store;
+* ``store ACTION DIR``   — manage a sweep store (``stats``, ``gc``,
+                           ``prune``, ``verify``);
 * ``models``             — list available models;
 * ``optimizations``      — list the optimization registry.
 """
 
 import argparse
+import inspect
 import json
 import sys
 
@@ -29,11 +34,13 @@ from repro.analysis.session import WhatIfSession
 from repro.common.errors import DaydreamError
 from repro.models.registry import available_models
 from repro.scenarios import (
+    START_METHODS,
     ClusterShape,
     OptimizationPipeline,
     ScenarioRunner,
     SweepStore,
     default_registry,
+    store_salt,
 )
 from repro.tracing.export import trace_to_chrome
 from repro.tracing.trace import render_timeline
@@ -149,7 +156,8 @@ def cmd_sweep(args) -> int:
     jobs = args.jobs or default_processes()
     t0 = time.perf_counter()
     outcomes = runner.run_file(args.scenario, parallel=jobs,
-                               store=store, force=force, progress=progress)
+                               store=store, force=force, progress=progress,
+                               start_method=args.start_method)
     elapsed = time.perf_counter() - t0
     result = runner.to_result(outcomes, experiment="sweep",
                               title=f"Sweep of {args.scenario}")
@@ -164,6 +172,8 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from functools import partial
+
     from repro.experiments import (
         fig1_timeline, fig5_amp, fig6_breakdown, fig7_fusedadam,
         fig8_distributed, fig9_nccl, fig10_p3, sec52_modeling,
@@ -178,8 +188,8 @@ def cmd_experiment(args) -> int:
         "fig8": fig8_distributed.run,
         "fig9": fig9_nccl.run,
         "fig9b": fig9_nccl.run_sync_impact,
-        "fig10-resnet50": lambda: fig10_p3.run("resnet50"),
-        "fig10-vgg19": lambda: fig10_p3.run("vgg19"),
+        "fig10-resnet50": partial(fig10_p3.run, "resnet50"),
+        "fig10-vgg19": partial(fig10_p3.run, "vgg19"),
         "sec52": sec52_modeling.run,
         "sec64": sec64_batchnorm.run,
         "sec75": sec75_concurrency.run,
@@ -188,8 +198,68 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {args.name!r}; "
               f"choose from {sorted(runners)}", file=sys.stderr)
         return 2
-    print(runners[args.name]().render())
+    runner = runners[args.name]
+    # hand each experiment only the flags its runner understands, and say
+    # so when a requested flag would be silently ignored
+    offered = {
+        "store": SweepStore(args.store) if args.store else None,
+        "jobs": args.jobs,
+        "force": args.force or None,
+        "models": ([m.strip() for m in args.models.split(",") if m.strip()]
+                   if args.models else None),
+    }
+    params = inspect.signature(runner).parameters
+    kwargs = {}
+    for name, value in offered.items():
+        if value is None:
+            continue
+        if name in params:
+            kwargs[name] = value
+        else:
+            print(f"note: experiment {args.name!r} does not take "
+                  f"--{name.replace('_', '-')}; ignoring it",
+                  file=sys.stderr)
+    print(runner(**kwargs).render())
+    if "store" in kwargs:
+        store = kwargs["store"]
+        print(f"store: {store.root} — {len(store)} entries, "
+              f"{store.stats.hits} hit(s), {store.stats.writes} write(s) "
+              "this run", file=sys.stderr)
     return 0
+
+
+def cmd_store(args) -> int:
+    store = SweepStore(args.dir)
+    if args.action == "stats":
+        verify = store.verify()
+        payload = {
+            "root": store.root,
+            "entries": len(store),
+            "bytes": store.total_bytes(),
+            "salt": store_salt(store.registry),
+            "live": len(verify.live),
+            "stale": len(verify.stale),
+            "corrupt": len(verify.corrupt),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.action == "gc":
+        report = store.gc(max_bytes=args.max_bytes)
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    if args.action == "prune":
+        report = store.prune(keep_salt=args.salt)
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(json.dumps(report.as_dict(), indent=2))
+        if not report.ok:
+            print("store has untrustworthy entries; run "
+                  "'repro store gc' to remove them", file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError(f"unhandled store action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,10 +315,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "--no-resume recomputes but still writes back)")
     sweep.add_argument("--force", action="store_true",
                        help="recompute every cell, overwriting store entries")
+    sweep.add_argument("--start-method", default=None,
+                       choices=list(START_METHODS),
+                       help="worker start method: fork inherits runtime "
+                            "state, spawn rebuilds it from a pickled "
+                            "manifest (macOS/Windows), serial disables "
+                            "the pool; default picks automatically")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
     experiment.add_argument("name")
+    experiment.add_argument("--store", nargs="?", const=".sweep-store",
+                            default=None, metavar="DIR",
+                            help="cache engine ground truth (and, where "
+                                 "supported, predictions) in this sweep "
+                                 "store; bare --store uses ./.sweep-store")
+    experiment.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="fan measurements/predictions across N "
+                                 "processes (experiments that support it)")
+    experiment.add_argument("--force", action="store_true",
+                            help="recompute cached measurements, "
+                                 "overwriting store entries")
+    experiment.add_argument("--models", default=None, metavar="A,B",
+                            help="comma-separated model subset "
+                                 "(experiments that take a model list)")
+
+    store = sub.add_parser(
+        "store", help="manage a persistent sweep-result store")
+    store_sub = store.add_subparsers(dest="action", required=True)
+    stats = store_sub.add_parser(
+        "stats", help="entry counts, byte totals and the active salt")
+    gc = store_sub.add_parser(
+        "gc", help="delete corrupt/stale entries, then evict "
+                   "least-recently-served entries to a byte budget")
+    gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="evict LRU entries until the store fits in N "
+                         "bytes (default: only remove dead entries)")
+    prune = store_sub.add_parser(
+        "prune", help="drop every entry outside one salt generation")
+    prune.add_argument("--salt", default=None, metavar="SALT",
+                       help="generation to keep (default: the current "
+                            "registry salt)")
+    verify = store_sub.add_parser(
+        "verify", help="audit every entry without mutating anything "
+                       "(exit 1 if any entry is stale or corrupt)")
+    for action in (stats, gc, prune, verify):
+        action.add_argument("dir", help="sweep-store directory")
     return parser
 
 
@@ -262,6 +374,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "experiment": cmd_experiment,
+        "store": cmd_store,
     }
     try:
         return handlers[args.command](args)

@@ -1,9 +1,102 @@
-"""Shared experiment-result container."""
+"""Shared experiment plumbing: the result container and ground-truth caching.
+
+Every experiment module renders its figure/table through
+:class:`ExperimentResult`, and every experiment that compares against an
+*engine measurement* (the paper's ground truth) caches that measurement
+through :func:`cached_measurement` — one namespaced ``groundtruth:*`` kind
+per measurement family in the shared
+:class:`~repro.scenarios.store.SweepStore`, so re-runs (and other
+experiments sharing a deployment) skip the engine entirely.
+"""
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.common.texttable import render_table
+
+
+def cached_measurements(requests: Sequence[tuple], store=None,
+                        force: bool = False, jobs: Optional[int] = None,
+                        field_name: str = "iteration_us") -> List[float]:
+    """A batch of engine ground-truth numbers, served from the sweep store.
+
+    Each request is a ``(scenario, kind, compute)`` triple.  Entries are
+    keyed on the *stack-stripped* scenario (optimizations and schedule
+    policy removed) plus ``kind``: an engine measurement depends on the
+    workload and deployment, not on what Daydream predicts on top, so
+    every experiment sharing a deployment shares one entry — the ``kind``
+    namespace (``"groundtruth:amp"``, ``"groundtruth:ddp-sync"``, ...)
+    must therefore encode everything the measurement depends on beyond
+    the stripped scenario.
+
+    All store reads and writes happen in the *parent* process; only the
+    cache-missing ``compute`` callables fan out across fork workers
+    (``jobs``).  That keeps ``store.stats`` honest, lets a ``max_bytes``
+    cap see every write, and still persists each measurement.
+
+    Args:
+        requests: ``(scenario, kind, compute)`` triples; ``compute`` is a
+            zero-argument callable producing the measurement in
+            microseconds, only called on a miss (or with ``force``).
+        store: a :class:`~repro.scenarios.store.SweepStore`, or ``None``
+            to always compute.
+        force: recompute and overwrite even on hits.
+        jobs: fork workers for the missing computes (``None``/1 = serial).
+        field_name: the key each number is stored under.
+
+    Returns:
+        The measured (or cache-served) values, in request order.
+    """
+    def keyed(scenario):
+        return scenario.with_(optimizations=[], schedule_policy=None)
+
+    results: List[Optional[float]] = [None] * len(requests)
+    pending: List[int] = []
+    for index, (scenario, kind, _compute) in enumerate(requests):
+        if store is not None and not force:
+            values = store.get(keyed(scenario), kind=kind)
+            if values is not None \
+                    and isinstance(values.get(field_name), float):
+                results[index] = values[field_name]
+                continue
+        pending.append(index)
+
+    if pending:
+        from repro.analysis.parallel import fork_map
+        computed = fork_map(lambda i: float(requests[i][2]()), pending,
+                            processes=jobs or 1)
+        for index, value in zip(pending, computed):
+            scenario, kind, _compute = requests[index]
+            if store is not None:
+                store.put(keyed(scenario), {field_name: value}, kind=kind)
+            results[index] = value
+    return results
+
+
+def cached_measurement(scenario, kind: str, compute: Callable[[], float],
+                       store=None, force: bool = False,
+                       field_name: str = "iteration_us") -> float:
+    """One engine ground-truth number, served from the sweep store.
+
+    The single-request form of :func:`cached_measurements` (same keying
+    and caching contract).
+    """
+    return cached_measurements([(scenario, kind, compute)], store=store,
+                               force=force, field_name=field_name)[0]
+
+
+def experiment_store(store) -> Optional[object]:
+    """Normalize an experiment's ``store=`` argument.
+
+    Experiments accept either an opened
+    :class:`~repro.scenarios.store.SweepStore` or a directory path (the
+    CLI hands through ``--store``); ``None`` stays ``None``.
+    """
+    import os
+    if store is None or not isinstance(store, (str, bytes, os.PathLike)):
+        return store
+    from repro.scenarios.store import SweepStore
+    return SweepStore(os.fspath(store))
 
 
 @dataclass

@@ -13,12 +13,22 @@ MXNet parameter server.  Three series per bandwidth:
 Paper result: prediction faithfully tracks the trend; error at most 16.2%,
 over-estimating P3's speedup at higher bandwidths because communication
 becomes bottlenecked by non-network resources.
+
+Both measured series persist in a
+:class:`~repro.scenarios.store.SweepStore` when ``store=`` is given
+(``kind="groundtruth:ps-baseline"`` / ``"groundtruth:ps-p3"``), one entry
+per (model, cluster, bandwidth) cell; a re-run with more bandwidth points
+only measures the new cells.
 """
 
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import prediction_error
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_measurements,
+    experiment_store,
+)
 from repro.framework.paramserver import run_ps_baseline, run_ps_p3
 from repro.scenarios import Scenario, ScenarioRunner
 
@@ -26,11 +36,27 @@ RESNET_BANDWIDTHS = (1.0, 2.0, 4.0, 6.0, 8.0)
 VGG_BANDWIDTHS = (5.0, 10.0, 15.0, 20.0, 25.0)
 MACHINES = 4
 
+#: store kinds for the two measured parameter-server series
+BASELINE_KIND = "groundtruth:ps-baseline"
+P3_KIND = "groundtruth:ps-p3"
+
 
 def run(model_name: str = "resnet50",
         bandwidths: Optional[Sequence[float]] = None,
-        batch_size: Optional[int] = 32) -> ExperimentResult:
-    """Reproduce one sub-figure of Figure 10."""
+        batch_size: Optional[int] = 32,
+        jobs: Optional[int] = None,
+        store=None, force: bool = False) -> ExperimentResult:
+    """Reproduce one sub-figure of Figure 10.
+
+    Args:
+        model_name: ``"resnet50"`` or ``"vgg19"`` (the paper's two).
+        bandwidths: network bandwidth points in Gbps.
+        batch_size: per-GPU mini-batch size.
+        jobs: fan the per-bandwidth engine measurements across workers.
+        store: a :class:`~repro.scenarios.store.SweepStore` (or its
+            directory path) caching both measured series.
+        force: recompute measurements even on store hits.
+    """
     if bandwidths is None:
         bandwidths = (RESNET_BANDWIDTHS if model_name == "resnet50"
                       else VGG_BANDWIDTHS)
@@ -42,21 +68,33 @@ def run(model_name: str = "resnet50",
         notes=("Paper: error at most 16.2%; speedup over-estimated at high "
                "bandwidth (server CPU becomes the bottleneck)."),
     )
+    store = experiment_store(store)
     runner = ScenarioRunner()
     base = Scenario(model=model_name, batch_size=batch_size,
                     framework="mxnet", gpu="p4000", optimizations=["p3"])
-    for bw in bandwidths:
-        outcome = runner.run(
-            base.with_cluster(MACHINES, 1, bandwidth_gbps=bw))
-        baseline = run_ps_baseline(outcome.model, outcome.cluster,
-                                   outcome.config, trace=outcome.session.trace)
-        truth = run_ps_p3(outcome.model, outcome.cluster, outcome.config,
-                          trace=outcome.session.trace)
+    outcomes = [runner.run(base.with_cluster(MACHINES, 1, bandwidth_gbps=bw))
+                for bw in bandwidths]
+
+    requests = []
+    for outcome in outcomes:
+        requests.append((outcome.scenario, BASELINE_KIND,
+                         lambda o=outcome: run_ps_baseline(
+                             o.model, o.cluster, o.config,
+                             trace=o.session.trace).iteration_us))
+        requests.append((outcome.scenario, P3_KIND,
+                         lambda o=outcome: run_ps_p3(
+                             o.model, o.cluster, o.config,
+                             trace=o.session.trace).iteration_us))
+    measured = cached_measurements(requests, store=store, force=force,
+                                   jobs=jobs)
+    for bw, outcome, baseline_us, truth_us in zip(bandwidths, outcomes,
+                                                  measured[0::2],
+                                                  measured[1::2]):
         result.add_row(
             bw,
-            baseline.iteration_us / 1000.0,
-            truth.iteration_us / 1000.0,
+            baseline_us / 1000.0,
+            truth_us / 1000.0,
             outcome.predicted_us / 1000.0,
-            prediction_error(outcome.predicted_us, truth.iteration_us) * 100.0,
+            prediction_error(outcome.predicted_us, truth_us) * 100.0,
         )
     return result

@@ -18,8 +18,12 @@ a crash, or with more bandwidth points — only simulates the new cells.
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import prediction_error
-from repro.analysis.parallel import fork_map
-from repro.experiments.common import ExperimentResult
+from repro.analysis.parallel import default_processes
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_measurements,
+    experiment_store,
+)
 from repro.framework import groundtruth
 from repro.scenarios import Scenario, ScenarioRunner
 
@@ -28,34 +32,11 @@ CONFIGS: Sequence[Tuple[int, int]] = ((1, 1), (2, 1), (3, 1), (4, 1),
                                       (2, 2), (3, 2), (4, 2))
 BANDWIDTHS_GBPS = (10, 20, 40)
 
-#: store kind for the measured (engine) side of each cell
+#: store kind for the measured (engine) side of each cell — the
+#: measurement depends only on (model, cluster, config), so it is keyed
+#: on the stack-stripped scenario and every experiment sharing a
+#: deployment (e.g. fig9b's sync cells) shares one entry
 GROUNDTRUTH_KIND = "groundtruth:ddp-sync"
-
-
-def measure_groundtruth(outcome, store=None, force: bool = False
-                        ) -> Optional[float]:
-    """Measured iteration time of one grid cell (store-cached).
-
-    Returns ``None`` for single-worker cells (nothing to synchronize).
-    """
-    if not outcome.cluster.is_distributed:
-        return None
-    # the engine measurement depends only on (model, cluster, config) —
-    # key it on the stack-stripped scenario so every experiment sharing a
-    # deployment (e.g. fig9b's sync cells) shares one entry
-    keyed = outcome.scenario.with_(optimizations=[], schedule_policy=None)
-    if store is not None and not force:
-        values = store.get(keyed, kind=GROUNDTRUTH_KIND)
-        if values is not None \
-                and isinstance(values.get("iteration_us"), float):
-            return values["iteration_us"]
-    truth = groundtruth.run_distributed(
-        outcome.model, outcome.cluster, outcome.config,
-        sync_before_allreduce=True)
-    if store is not None:
-        store.put(keyed, {"iteration_us": truth.iteration_us},
-                  kind=GROUNDTRUTH_KIND)
-    return truth.iteration_us
 
 
 def run(models: Optional[List[str]] = None,
@@ -81,6 +62,7 @@ def run(models: Optional[List[str]] = None,
                  "predicted_ms", "prediction_error_%"],
         notes="Paper: at most ~10% error in most configurations.",
     )
+    store = experiment_store(store)
     runner = ScenarioRunner()
     for name in models or MODELS:
         base = Scenario(model=name)
@@ -94,11 +76,22 @@ def run(models: Optional[List[str]] = None,
         outcomes = runner.run_grid(scenarios, processes=processes,
                                    parallel=jobs, store=store, force=force)
 
-        def measure(outcome) -> Optional[float]:
-            return measure_groundtruth(outcome, store=store, force=force)
-
-        truths = fork_map(measure, outcomes,
-                          processes=jobs if jobs is not None else processes)
+        # store reads/writes happen here in the parent; only the missing
+        # engine runs fan out (single-worker cells have nothing to
+        # measure), across one worker per CPU unless told otherwise
+        measure_jobs = jobs if jobs is not None else processes
+        if measure_jobs is None:
+            measure_jobs = default_processes()
+        distributed = [o for o in outcomes if o.cluster.is_distributed]
+        measured = iter(cached_measurements(
+            [(o.scenario, GROUNDTRUTH_KIND,
+              lambda o=o: groundtruth.run_distributed(
+                  o.model, o.cluster, o.config,
+                  sync_before_allreduce=True).iteration_us)
+             for o in distributed],
+            store=store, force=force, jobs=measure_jobs))
+        truths = [next(measured) if o.cluster.is_distributed else None
+                  for o in outcomes]
         for outcome, truth_us in zip(outcomes, truths):
             bw = outcome.scenario.cluster.bandwidth_gbps
             if truth_us is None:  # single-worker cell: nothing to predict

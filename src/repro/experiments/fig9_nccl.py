@@ -15,9 +15,12 @@ degrades end-to-end iteration time (it can improve it by up to 22%).
 
 from typing import Optional, Sequence, Tuple
 
-from repro.analysis.parallel import fork_map
 from repro.common.prng import biased_factor
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_measurements,
+    experiment_store,
+)
 from repro.framework import groundtruth
 from repro.scenarios import Scenario
 from repro.tracing.records import EventCategory
@@ -28,30 +31,6 @@ DEFAULT_BANDWIDTH_GBPS = 10.0
 #: store kinds for the two measured sides of each Section-6.5 cell
 SYNC_KIND = "groundtruth:ddp-sync"
 NOSYNC_KIND = "groundtruth:ddp-nosync"
-
-
-def _measure_iteration(scenario: Scenario, model, cluster, config,
-                       sync: bool, store=None,
-                       force: bool = False) -> float:
-    """Measured end-to-end iteration time of one cell (store-cached).
-
-    ``model``/``cluster``/``config`` are the scenario's prebuilt specs
-    (callers resolve them once per grid/cell); the scenario itself is
-    only used — stack-stripped — for store keying, so experiments
-    sharing a deployment share one entry.
-    """
-    kind = SYNC_KIND if sync else NOSYNC_KIND
-    keyed = scenario.with_(optimizations=[], schedule_policy=None)
-    if store is not None and not force:
-        values = store.get(keyed, kind=kind)
-        if values is not None \
-                and isinstance(values.get("iteration_us"), float):
-            return values["iteration_us"]
-    run = groundtruth.run_distributed(model, cluster, config,
-                                      sync_before_allreduce=sync)
-    if store is not None:
-        store.put(keyed, {"iteration_us": run.iteration_us}, kind=kind)
-    return run.iteration_us
 
 
 def run(model_name: str = "gnmt",
@@ -119,25 +98,28 @@ def run_sync_impact(
                  "improvement_%"],
         notes="Paper: no configuration degrades; improvements reach ~22%.",
     )
+    store = experiment_store(store)
     base = Scenario(model=model_name)
     model = base.build_model()
     config = base.build_config()
     cells = []
+    requests = []
     for bw in bandwidths:
         for machines, gpus in configs:
             scenario = base.with_cluster(machines, gpus, bandwidth_gbps=bw)
-            cells.append((bw, scenario, scenario.build_cluster()))
+            cluster = scenario.build_cluster()
+            cells.append((bw, cluster))
+            for sync, kind in ((False, NOSYNC_KIND), (True, SYNC_KIND)):
+                requests.append((scenario, kind,
+                                 lambda c=cluster, s=sync:
+                                 groundtruth.run_distributed(
+                                     model, c, config,
+                                     sync_before_allreduce=s).iteration_us))
 
-    def measure(cell):
-        _bw, scenario, cluster = cell
-        plain_us = _measure_iteration(scenario, model, cluster, config,
-                                      sync=False, store=store, force=force)
-        synced_us = _measure_iteration(scenario, model, cluster, config,
-                                       sync=True, store=store, force=force)
-        return plain_us, synced_us
-
-    for (bw, _scenario, cluster), (plain_us, synced_us) in zip(
-            cells, fork_map(measure, cells, processes=jobs or 1)):
+    measured = cached_measurements(requests, store=store, force=force,
+                                   jobs=jobs)
+    for (bw, cluster), plain_us, synced_us in zip(cells, measured[0::2],
+                                                  measured[1::2]):
         improvement = (plain_us - synced_us) / plain_us * 100.0
         result.add_row(cluster.label(), bw,
                        plain_us / 1000.0, synced_us / 1000.0, improvement)

@@ -5,14 +5,32 @@ MetaFlow, vDNN, Gist and DGC are expressible with the transformation
 primitives.  This runner declares each model as a scenario stack and
 reports the predicted effect — verifying the transformations compose and
 produce sane graphs.
+
+There is no engine measurement here, but the predictions themselves ride
+the scenario batch substrate: with ``jobs=``/``store=`` the six cells fan
+out over the process-pool executor and persist under ``kind="predict"``,
+so a re-run is served from the store.
 """
 
-from repro.experiments.common import ExperimentResult
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, experiment_store
 from repro.scenarios import Scenario, ScenarioRunner
 
 
-def run(bandwidth_gbps: float = 5.0) -> ExperimentResult:
-    """Model each Section-5.2 optimization and report predicted impact."""
+def run(bandwidth_gbps: float = 5.0,
+        jobs: Optional[int] = None,
+        store=None, force: bool = False) -> ExperimentResult:
+    """Model each Section-5.2 optimization and report predicted impact.
+
+    Args:
+        bandwidth_gbps: network bandwidth of the 4x2 deployment the
+            communication optimizations target.
+        jobs: fan the cells across the process-pool batch executor.
+        store: a :class:`~repro.scenarios.store.SweepStore` (or its
+            directory path) caching the prediction cells.
+        force: recompute cells even on store hits.
+    """
     result = ExperimentResult(
         experiment="sec52",
         title="Modeling-only optimizations (Section 5.2)",
@@ -21,17 +39,31 @@ def run(bandwidth_gbps: float = 5.0) -> ExperimentResult:
         notes=("No ground truth exists for these in the paper either; the "
                "point is that each is expressible with the primitives."),
     )
+    store = experiment_store(store)
     runner = ScenarioRunner()
     base = Scenario(model="resnet50")
     distributed = base.with_cluster(4, 2, bandwidth_gbps=bandwidth_gbps)
 
+    # cell order: the plain-NCCL-ring distributed prediction first (it is
+    # the baseline the stacked transforms are compared against), then the
+    # two comm_rewrite stacks, then the three single-GPU transformations
+    stacked = ("blueconnect", "dgc")
+    single = ("metaflow", "vdnn", "gist")
+    scenarios = [distributed.with_(optimizations=["distributed_training"])]
+    scenarios += [distributed.with_(
+        optimizations=["distributed_training", name]) for name in stacked]
+    scenarios += [base.with_(optimizations=[name]) for name in single]
+
+    if jobs is not None or store is not None:
+        outcomes = runner.run_grid(scenarios, parallel=jobs, store=store,
+                                   force=force)
+    else:
+        outcomes = [runner.run(s) for s in scenarios]
+
     # BlueConnect and DGC stack on top of the distributed transform; their
     # baseline is the plain-NCCL-ring distributed prediction
-    dist = runner.run(distributed.with_(
-        optimizations=["distributed_training"]))
-    for name in ("blueconnect", "dgc"):
-        outcome = runner.run(distributed.with_(
-            optimizations=["distributed_training", name]))
+    dist = outcomes[0]
+    for name, outcome in zip(stacked, outcomes[1:1 + len(stacked)]):
         result.add_row(name, "resnet50 4x2",
                        dist.predicted_us / 1000.0,
                        outcome.predicted_us / 1000.0,
@@ -39,8 +71,7 @@ def run(bandwidth_gbps: float = 5.0) -> ExperimentResult:
                        / dist.predicted_us * 100.0)
 
     # MetaFlow, vDNN and Gist are single-GPU transformations
-    for name in ("metaflow", "vdnn", "gist"):
-        outcome = runner.run(base.with_(optimizations=[name]))
+    for name, outcome in zip(single, outcomes[1 + len(stacked):]):
         result.add_row(name, "resnet50 1x1",
                        outcome.baseline_us / 1000.0,
                        outcome.predicted_us / 1000.0,

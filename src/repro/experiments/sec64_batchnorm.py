@@ -8,10 +8,17 @@ CUDA memory copies/allocations.
 """
 
 from repro.analysis.metrics import improvement_percent, prediction_error
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_measurement,
+    experiment_store,
+)
 from repro.framework import groundtruth
 from repro.framework.config import TrainingConfig
 from repro.scenarios import Scenario, ScenarioRunner
+
+#: store kind for the measured (engine) restructured-batchnorm iteration
+GROUNDTRUTH_KIND = "groundtruth:reconstruct-batchnorm"
 
 #: Caffe's convolution path on DenseNet's many narrow layers achieves far
 #: lower arithmetic efficiency than tuned cuDNN kernels; this calibration
@@ -34,8 +41,14 @@ def caffe_config() -> TrainingConfig:
     return caffe_scenario().build_config()
 
 
-def run(model_name: str = "densenet121") -> ExperimentResult:
-    """Reproduce the Section 6.4 comparison."""
+def run(model_name: str = "densenet121",
+        store=None, force: bool = False) -> ExperimentResult:
+    """Reproduce the Section 6.4 comparison.
+
+    With ``store=`` the single engine measurement persists in a
+    :class:`~repro.scenarios.store.SweepStore` under
+    ``kind="groundtruth:reconstruct-batchnorm"``.
+    """
     result = ExperimentResult(
         experiment="sec64",
         title="Reconstructing batchnorm on DenseNet-121 (Caffe)",
@@ -44,19 +57,22 @@ def run(model_name: str = "densenet121") -> ExperimentResult:
                "Prediction correctly flags the optimization as less "
                "promising than claimed."),
     )
+    store = experiment_store(store)
     outcome = ScenarioRunner().run(caffe_scenario(model_name))
-    truth = groundtruth.run_reconstructed_batchnorm(outcome.model,
-                                                    outcome.config)
+    truth_us = cached_measurement(
+        outcome.scenario, GROUNDTRUTH_KIND,
+        lambda: groundtruth.run_reconstructed_batchnorm(
+            outcome.model, outcome.config).iteration_us,
+        store=store, force=force)
 
-    gt_improvement = improvement_percent(outcome.baseline_us,
-                                         truth.iteration_us)
+    gt_improvement = improvement_percent(outcome.baseline_us, truth_us)
     result.add_row("baseline_ms", outcome.baseline_us / 1000.0)
     result.add_row("predicted_ms", outcome.predicted_us / 1000.0)
-    result.add_row("ground_truth_ms", truth.iteration_us / 1000.0)
+    result.add_row("ground_truth_ms", truth_us / 1000.0)
     result.add_row("predicted_improvement_%", outcome.improvement_percent)
     result.add_row("ground_truth_improvement_%", gt_improvement)
     result.add_row("prediction_error_%", prediction_error(
-        outcome.predicted_us, truth.iteration_us) * 100.0)
+        outcome.predicted_us, truth_us) * 100.0)
     result.add_row("paper_predicted_improvement_%", 12.7)
     result.add_row("paper_ground_truth_improvement_%", 7.0)
     return result

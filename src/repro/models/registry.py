@@ -19,6 +19,10 @@ _BUILDERS: Dict[str, Callable[..., ModelSpec]] = {
     "bert_large": build_bert_large,
 }
 
+#: names registered after import (spawn workers rebuild these from a
+#: manifest; a fresh interpreter only has the shipped zoo above)
+_RUNTIME_NAMES: set = set()
+
 # paper aliases
 _ALIASES = {
     "seq2seq": "gnmt",
@@ -50,6 +54,19 @@ def register_model(name: str, builder: Callable[..., ModelSpec],
     # an alias would shadow the new builder in build_model's resolution
     _ALIASES.pop(key, None)
     _BUILDERS[key] = builder
+    _RUNTIME_NAMES.add(key)
+
+
+def runtime_registered_models() -> Dict[str, Callable[..., ModelSpec]]:
+    """Builders added via :func:`register_model` after import.
+
+    A fresh interpreter (a ``spawn`` pool worker, a colleague's shell)
+    only has the shipped zoo; these are the entries a
+    :class:`~repro.scenarios.batch.WorkerManifest` must carry across so
+    scenarios referencing custom models resolve there too.
+    """
+    return {name: _BUILDERS[name] for name in sorted(_RUNTIME_NAMES)
+            if name in _BUILDERS}
 
 
 def build_model(name: str, batch_size: Optional[int] = None) -> ModelSpec:

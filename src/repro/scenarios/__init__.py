@@ -12,9 +12,12 @@ This package is the single front door for running what-if analyses:
   single scenarios and fork-parallel grids;
 * :mod:`repro.scenarios.store` — the content-addressed on-disk
   :class:`SweepStore` of sweep results (atomic writes, corruption-safe
-  reads, version-salted keys);
+  reads, version-salted keys, LRU garbage collection and generation
+  pruning behind the ``repro store`` CLI);
 * :mod:`repro.scenarios.batch` — the multiprocess batch executor fanning
-  grids across a process pool with store-backed resume.
+  grids across a process pool (fork or spawn start methods; spawn workers
+  rebuild runtime registrations from a :class:`WorkerManifest`) with
+  store-backed resume.
 
 Quickstart::
 
@@ -25,7 +28,13 @@ Quickstart::
     print(outcome.prediction)
 """
 
-from repro.scenarios.batch import BatchReport, SweepCell, run_batch
+from repro.scenarios.batch import (
+    START_METHODS,
+    BatchReport,
+    SweepCell,
+    WorkerManifest,
+    run_batch,
+)
 from repro.scenarios.pipeline import OptimizationPipeline, PipelineError
 from repro.scenarios.registry import (
     DEFAULT_REGISTRY,
@@ -48,15 +57,25 @@ from repro.scenarios.scenario import (
 )
 from repro.scenarios.store import (
     RESULT_SCHEMA_VERSION,
+    GCReport,
+    StoreStats,
     SweepStore,
+    VerifyReport,
     canonical_scenario_json,
     scenario_key,
+    store_salt,
 )
 
 __all__ = [
     "BatchReport",
     "SweepCell",
+    "WorkerManifest",
+    "START_METHODS",
     "run_batch",
+    "GCReport",
+    "StoreStats",
+    "VerifyReport",
+    "store_salt",
     "RESULT_SCHEMA_VERSION",
     "SweepStore",
     "canonical_scenario_json",

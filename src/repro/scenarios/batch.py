@@ -10,42 +10,157 @@ finished cells remembered.  :func:`run_batch` is that substrate:
   (model, batch size, training config) land in the same chunks, and each
   worker process keeps one :class:`~repro.scenarios.runner.ScenarioRunner`
   alive across chunks, so a workload is profiled at most once per worker;
-* chunks run on a ``ProcessPoolExecutor`` (fork context: runners, custom
-  registries and runtime-registered models are inherited, never pickled;
-  platforms without fork fall back to an in-process serial run with
-  identical results);
+* chunks run on a ``ProcessPoolExecutor`` under either start method:
+  **fork** (runners, custom registries and runtime-registered models are
+  inherited, never pickled) or **spawn** (each worker rebuilds its runner
+  from a pickled :class:`WorkerManifest` — Windows workers, where fork
+  does not exist, and macOS workers, where forking a threaded parent is
+  unsafe, run the same sweeps);
 * results stream back in completion order — the parent persists each cell
   to the store the moment its chunk finishes (a killed sweep resumes from
   the last completed chunk) and reports progress — while the returned rows
   keep input order.
 
 Because the simulator and the keyed PRNG are deterministic, pool results
-are bit-identical to a serial run; ``tests/test_sweep_determinism.py``
-pins serial / fork-sweep / process-pool / cached rows against each other.
+are bit-identical to a serial run under *either* start method;
+``tests/test_sweep_determinism.py`` pins serial / fork-sweep / process-pool
+/ spawn-pool / cached rows against each other.
 """
 
 import math
 import multiprocessing
+import pickle
+import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.parallel import default_processes
 from repro.common.errors import ConfigError
-from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
+from repro.models.base import ModelSpec
+from repro.models.registry import register_model, runtime_registered_models
+from repro.scenarios.registry import (
+    DEFAULT_REGISTRY,
+    OptimizationRegistry,
+    OptimizationSpec,
+)
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.store import SweepStore, scenario_key
 
 #: one unit of worker work: (cell index, scenario dict)
 _Cell = Tuple[int, Dict[str, object]]
 
+#: start methods run_batch accepts (``None`` = pick automatically)
+START_METHODS = ("fork", "spawn", "serial")
+
 #: fork-inherited state (set in the parent immediately before the pool
 #: forks, cleared after; never pickled)
 _FORK_REGISTRY: Optional[OptimizationRegistry] = None
 
+#: spawn-delivered state (pickled into each worker by the pool initializer)
+_WORKER_MANIFEST: Optional["WorkerManifest"] = None
+
 #: per-worker-process runner, built lazily and kept across chunks so every
 #: workload is profiled at most once per worker
 _WORKER_RUNNER = None
+
+
+@dataclass(frozen=True)
+class WorkerManifest:
+    """Everything a fresh interpreter needs to run this parent's scenarios.
+
+    A ``fork`` worker inherits runtime state — models added through
+    :func:`~repro.models.registry.register_model`, optimization specs
+    registered after import, whole custom registries — for free.  A
+    ``spawn`` worker starts from a clean interpreter, so that state must
+    be captured here, pickled across, and replayed by :meth:`restore`.
+
+    Attributes:
+        fingerprint: the parent registry's
+            :meth:`~repro.scenarios.registry.OptimizationRegistry.fingerprint`;
+            :meth:`restore` verifies the rebuilt registry matches, so a
+            parent/worker version skew fails loudly instead of silently
+            keying results differently.
+        default_registry: whether the parent used the shared
+            :data:`~repro.scenarios.registry.DEFAULT_REGISTRY` (the worker
+            then starts from its own import-time copy) or a custom
+            registry (the worker rebuilds one from ``specs`` alone).
+        specs: optimization specs the worker must register — the runtime
+            additions for the default registry, every spec for a custom one.
+        models: runtime-registered (name, builder) model entries.
+
+    Builders and spec factories must be *importable* module-level
+    callables: pickling carries only their qualified names, and the worker
+    re-imports them.  Closures and lambdas cannot cross a spawn boundary —
+    :func:`run_batch` detects that up front and says so.
+    """
+
+    fingerprint: str
+    default_registry: bool = True
+    specs: Tuple[OptimizationSpec, ...] = ()
+    models: Tuple[Tuple[str, Callable[..., ModelSpec]], ...] = ()
+
+    @classmethod
+    def capture(cls, registry: Optional[OptimizationRegistry] = None,
+                model_names: Optional[Sequence[str]] = None
+                ) -> "WorkerManifest":
+        """Snapshot the current process's runtime registrations.
+
+        ``model_names`` limits the carried model builders to the ones a
+        grid actually references (case-insensitive), so an unrelated —
+        possibly unpicklable — registration elsewhere in the process
+        never blocks a spawn sweep that does not use it.
+        """
+        registry = registry or DEFAULT_REGISTRY
+        models = runtime_registered_models()
+        if model_names is not None:
+            wanted = {str(name).lower() for name in model_names}
+            models = {name: builder for name, builder in models.items()
+                      if name in wanted}
+        return cls(
+            fingerprint=registry.fingerprint(),
+            default_registry=registry is DEFAULT_REGISTRY,
+            specs=tuple(registry.runtime_specs()),
+            models=tuple(sorted(models.items())),
+        )
+
+    def restore(self) -> OptimizationRegistry:
+        """Replay the captured state in this interpreter.
+
+        Registers the carried model builders, rebuilds the optimization
+        registry (on top of the local default registry, or from scratch
+        for a custom one), and verifies its fingerprint against the
+        parent's before anything runs under mismatched keys.
+        """
+        for name, builder in self.models:
+            register_model(name, builder, overwrite=True)
+        if self.default_registry:
+            registry = DEFAULT_REGISTRY
+        else:
+            registry = OptimizationRegistry()
+        for spec in self.specs:
+            if spec.key not in registry:
+                registry.register(spec)
+        if registry.fingerprint() != self.fingerprint:
+            raise ConfigError(
+                "worker registry fingerprint does not match the parent's; "
+                "the worker interpreter resolves optimizations differently "
+                "(version skew between parent and worker environments?)"
+            )
+        return registry
+
+    def dumps(self) -> bytes:
+        """Pickle this manifest, diagnosing unpicklable registrations."""
+        try:
+            return pickle.dumps(self)
+        except Exception as exc:
+            raise ConfigError(
+                "cannot pickle the worker manifest for spawn workers: "
+                f"{exc}.  Model builders and optimization factories must "
+                "be importable module-level callables (not closures or "
+                "lambdas) to cross a spawn boundary; use the fork start "
+                "method for unpicklable registrations."
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -63,10 +178,11 @@ class SweepCell:
 class BatchReport:
     """What one :func:`run_batch` call did."""
 
-    cells: List[SweepCell]  # input order
+    cells: List[SweepCell] = field(default_factory=list)  # input order
     hits: int = 0
     computed: int = 0
     workers: int = 1
+    start_method: str = "serial"
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -89,12 +205,29 @@ def _run_chunk(runner, chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]
     return out
 
 
+def _worker_init(manifest_bytes: bytes) -> None:
+    """Spawn-pool initializer: deliver the manifest to this worker."""
+    global _WORKER_MANIFEST
+    _WORKER_MANIFEST = pickle.loads(manifest_bytes)
+
+
 def _worker_run_chunk(chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]:
-    """Pool entry point: runs a chunk on this worker's persistent runner."""
+    """Pool entry point: runs a chunk on this worker's persistent runner.
+
+    The first chunk builds the runner — from the fork-inherited registry
+    under fork, or from the delivered :class:`WorkerManifest` under spawn —
+    and later chunks reuse it (and its profiled sessions).
+    """
     global _WORKER_RUNNER
     if _WORKER_RUNNER is None:
         from repro.scenarios.runner import ScenarioRunner
-        _WORKER_RUNNER = ScenarioRunner(registry=_FORK_REGISTRY)
+        if _FORK_REGISTRY is not None:
+            registry = _FORK_REGISTRY
+        elif _WORKER_MANIFEST is not None:
+            registry = _WORKER_MANIFEST.restore()
+        else:  # pragma: no cover - defensive
+            raise ConfigError("batch worker started without a registry")
+        _WORKER_RUNNER = ScenarioRunner(registry=registry)
     return _run_chunk(_WORKER_RUNNER, chunk)
 
 
@@ -123,6 +256,48 @@ def _partition(scenarios: Sequence[Scenario], pending: Sequence[int],
     return chunks
 
 
+def _resolve_start_method(start_method: Optional[str], workers: int,
+                          manifest: WorkerManifest) -> str:
+    """Pick how pending chunks execute: ``fork``, ``spawn`` or ``serial``.
+
+    ``None`` prefers fork where it is both available *and safe* (not
+    macOS: Darwin lists fork but forking a threaded parent there is
+    crash-prone, which is why CPython's own default is spawn), then spawn
+    if the runtime state is picklable, then fork as a last resort before
+    degrading to an in-process serial run with identical rows.  An
+    explicit method is honored or rejected loudly.
+    """
+    if start_method is not None and start_method not in START_METHODS:
+        raise ConfigError(
+            f"unknown start method {start_method!r}; "
+            f"choose from {list(START_METHODS)}"
+        )
+    if workers <= 1 or start_method == "serial":
+        return "serial"
+    if _WORKER_RUNNER is not None:  # nested call inside a worker
+        return "serial"
+    available = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        fork_is_safe = "fork" in available and sys.platform != "darwin"
+        if fork_is_safe:
+            return "fork"
+        if "spawn" in available:
+            try:
+                manifest.dumps()
+                return "spawn"
+            except ConfigError:
+                pass  # unpicklable runtime state: fall through
+        if "fork" in available:
+            return "fork"
+        return "serial"
+    if start_method not in available:
+        raise ConfigError(
+            f"start method {start_method!r} is not available on this "
+            f"platform; available: {available}"
+        )
+    return start_method
+
+
 def run_batch(
     scenarios: Sequence[Scenario],
     registry: Optional[OptimizationRegistry] = None,
@@ -130,6 +305,7 @@ def run_batch(
     jobs: Optional[int] = None,
     force: bool = False,
     progress: Optional[Callable[[int, int, SweepCell], None]] = None,
+    start_method: Optional[str] = None,
 ) -> BatchReport:
     """Evaluate scenarios through the store + process-pool substrate.
 
@@ -145,6 +321,11 @@ def run_batch(
         progress: called as ``progress(done, total, cell)`` after every
             cell — store hits immediately, computed cells as their chunk
             completes (completion order, not input order).
+        start_method: ``"fork"`` (inherit runtime state), ``"spawn"``
+            (rebuild it in each worker from a :class:`WorkerManifest`),
+            ``"serial"`` (no pool), or ``None`` to pick automatically
+            (fork where available and safe — not macOS — then spawn,
+            then serial).  Rows are bit-identical regardless.
 
     Returns:
         A :class:`BatchReport` whose ``cells`` are in input order and
@@ -199,18 +380,22 @@ def run_batch(
                                     baseline_us=baseline_us,
                                     predicted_us=predicted_us))
 
-        use_pool = (
-            workers > 1
-            and _WORKER_RUNNER is None  # nested call: stay serial
-            and "fork" in multiprocessing.get_all_start_methods()
-        )
-        if use_pool:
+        manifest = WorkerManifest.capture(
+            registry, model_names=[scenarios[i].model for i in pending])
+        method = _resolve_start_method(start_method, workers, manifest)
+        report.start_method = method
+        if method != "serial":
+            pool_kwargs: Dict[str, object] = {}
+            if method == "spawn":
+                pool_kwargs["initializer"] = _worker_init
+                pool_kwargs["initargs"] = (manifest.dumps(),)
             global _FORK_REGISTRY
-            _FORK_REGISTRY = registry
+            _FORK_REGISTRY = registry if method == "fork" else None
             try:
-                ctx = multiprocessing.get_context("fork")
+                ctx = multiprocessing.get_context(method)
                 with ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=ctx) as pool:
+                                         mp_context=ctx,
+                                         **pool_kwargs) as pool:
                     futures = [pool.submit(_worker_run_chunk, chunk)
                                for chunk in chunks]
                     for future in as_completed(futures):

@@ -151,6 +151,7 @@ class OptimizationRegistry:
     def __init__(self) -> None:
         self._specs: Dict[str, OptimizationSpec] = {}
         self._fingerprint: Optional[str] = None
+        self._builtin_keys: frozenset = frozenset()
 
     # -------------------------------------------------------------- mutation
 
@@ -161,6 +162,28 @@ class OptimizationRegistry:
         self._specs[spec.key] = spec
         self._fingerprint = None
         return spec
+
+    def mark_builtin(self) -> None:
+        """Snapshot the current keys as the import-time baseline.
+
+        Called once on :data:`DEFAULT_REGISTRY` after the shipped specs
+        register.  Everything added later is *runtime* state a fresh
+        interpreter lacks, and must travel in a
+        :class:`~repro.scenarios.batch.WorkerManifest` to reach ``spawn``
+        pool workers.
+        """
+        self._builtin_keys = frozenset(self._specs)
+
+    def runtime_specs(self) -> List[OptimizationSpec]:
+        """Specs registered after :meth:`mark_builtin` (sorted by key).
+
+        For registries that never marked a baseline — any custom
+        :class:`OptimizationRegistry` — this is *every* spec, which is
+        exactly what a spawn worker must replay to rebuild the registry
+        from scratch.
+        """
+        return [spec for spec in self.specs()
+                if spec.key not in self._builtin_keys]
 
     # --------------------------------------------------------------- queries
 
@@ -381,6 +404,8 @@ for _spec in (
     ),
 ):
     DEFAULT_REGISTRY.register(_spec)
+
+DEFAULT_REGISTRY.mark_builtin()
 
 
 def default_registry() -> OptimizationRegistry:

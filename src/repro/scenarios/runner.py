@@ -177,7 +177,8 @@ class ScenarioRunner:
                  processes: Optional[int] = None,
                  parallel: Optional[int] = None,
                  store=None, force: bool = False,
-                 progress=None) -> List[ScenarioOutcome]:
+                 progress=None,
+                 start_method: Optional[str] = None) -> List[ScenarioOutcome]:
         """Execute many scenarios, fanning work across CPU cores.
 
         Two fan-out substrates share this entry point:
@@ -191,16 +192,19 @@ class ScenarioRunner:
           skipping cells the :class:`~repro.scenarios.store.SweepStore`
           already holds (resume) and persisting new ones; ``force=True``
           recomputes hits, ``progress(done, total, cell)`` streams
-          completion.
+          completion, and ``start_method`` picks the worker start method
+          (``"fork"``/``"spawn"``/``"serial"``, default automatic — see
+          :class:`~repro.scenarios.batch.WorkerManifest` for how spawn
+          workers rebuild runtime registrations).
 
         Results come back in input order and are bit-identical across
-        both substrates and serial :meth:`run` calls.
+        both substrates, both start methods, and serial :meth:`run` calls.
         """
         if parallel is not None or store is not None:
             from repro.scenarios.batch import run_batch
             report = run_batch(scenarios, registry=self.registry,
                                store=store, jobs=parallel, force=force,
-                               progress=progress)
+                               progress=progress, start_method=start_method)
             return [self.detached_outcome(cell.scenario, cell.baseline_us,
                                           cell.predicted_us,
                                           cached=cell.cached)
@@ -249,17 +253,20 @@ class ScenarioRunner:
                  processes: Optional[int] = None,
                  parallel: Optional[int] = None,
                  store=None, force: bool = False,
-                 progress=None) -> List[ScenarioOutcome]:
+                 progress=None,
+                 start_method: Optional[str] = None) -> List[ScenarioOutcome]:
         """Execute a scenario JSON file (single scenario or grid)."""
         from repro.scenarios.scenario import load_scenario_file
         loaded = load_scenario_file(path)
         if isinstance(loaded, ScenarioGrid):
             return self.run_grid(loaded.expand(), processes=processes,
                                  parallel=parallel, store=store,
-                                 force=force, progress=progress)
+                                 force=force, progress=progress,
+                                 start_method=start_method)
         if parallel is not None or store is not None:
             return self.run_grid([loaded], parallel=parallel, store=store,
-                                 force=force, progress=progress)
+                                 force=force, progress=progress,
+                                 start_method=start_method)
         return [self.run(loaded)]
 
     # --------------------------------------------------------------- results

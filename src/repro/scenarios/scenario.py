@@ -96,11 +96,13 @@ class ClusterShape:
     gpu: Optional[DeviceDecl] = None
 
     def to_dict(self) -> Dict[str, object]:
+        """Dict form; omits unset (``None``) fields."""
         return {k: v for k, v in dataclasses.asdict(self).items()
                 if v is not None}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ClusterShape":
+        """Parse the dict form (inverse of :meth:`to_dict`)."""
         unknown = sorted(set(data) - {f.name for f in dataclasses.fields(cls)})
         if unknown:
             raise ConfigError(f"unknown cluster field(s) {unknown}")
@@ -275,10 +277,12 @@ class Scenario:
         return cls(**data)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict` (what scenario files hold)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "Scenario":
+        """Parse JSON text (inverse of :meth:`to_json`)."""
         return cls.from_dict(json.loads(text))
 
     # ----------------------------------------------------------------- stack
@@ -363,6 +367,7 @@ class ScenarioGrid:
     # ---------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, object]:
+        """Dict form: the base scenario plus the declared axes."""
         out: Dict[str, object] = {"base": self.base.to_dict()}
         if self.axes:
             out["axes"] = {path: list(values)
@@ -371,6 +376,7 @@ class ScenarioGrid:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioGrid":
+        """Parse the dict form (inverse of :meth:`to_dict`)."""
         unknown = sorted(set(data) - {"base", "axes"})
         if unknown:
             raise ConfigError(f"unknown grid field(s) {unknown}")
@@ -380,10 +386,12 @@ class ScenarioGrid:
                    axes=dict(data.get("axes") or {}))
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict` (what grid files hold)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioGrid":
+        """Parse JSON text (inverse of :meth:`to_json`)."""
         return cls.from_dict(json.loads(text))
 
 

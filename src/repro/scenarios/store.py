@@ -19,19 +19,29 @@ durable:
   reader would trust it;
 * **corruption-safe** — reads verify the JSON parses, the embedded key
   and salt match, and a payload checksum holds; anything off is treated
-  as a miss (and re-simulated), never trusted.
+  as a miss (re-simulated) *and the dead file is deleted* so it never
+  needs a later GC scan to find;
+* **lifecycle-managed** — every served entry touches a ``last_served``
+  sidecar, :meth:`gc` evicts least-recently-served entries down to a byte
+  budget (and removes corrupt entries, stale salt generations, and
+  abandoned temp files), :meth:`prune` drops rotated-out generations
+  wholesale, :meth:`verify` audits without mutating, and a ``max_bytes``
+  cap makes the store self-bounding under large catalogs.  The
+  ``repro store`` CLI fronts all four.
 
 Entries carry a free-form ``values`` dict rather than a fixed row shape,
 so prediction results (``kind="predict"``) and ground-truth engine
-measurements (e.g. ``kind="groundtruth:sync"``) share one substrate.
+measurements (e.g. ``kind="groundtruth:ddp-sync"``) share one substrate.
+The full key/salt/eviction contract is documented in ``docs/sweeps.md``.
 """
 
 import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
@@ -40,6 +50,10 @@ from repro.scenarios.scenario import Scenario
 #: bump when the meaning of stored values changes (simulator semantics,
 #: row derivation, entry layout) — every older entry then misses
 RESULT_SCHEMA_VERSION = 1
+
+#: abandoned ``.tmp`` files younger than this survive :meth:`SweepStore.gc`
+#: (a concurrent writer may still be about to ``os.replace`` them)
+TMP_GRACE_SECONDS = 3600.0
 
 
 def _canonicalize(obj: object) -> object:
@@ -104,30 +118,94 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     rejected: int = 0  # present on disk but unreadable/corrupt/stale
+    evicted: int = 0   # removed by gc/prune (lifecycle, not correctness)
 
     def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON reporting."""
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "rejected": self.rejected}
+                "writes": self.writes, "rejected": self.rejected,
+                "evicted": self.evicted}
+
+
+@dataclass
+class GCReport:
+    """What one :meth:`SweepStore.gc` (or :meth:`prune`) pass did."""
+
+    examined: int = 0         # entries scanned
+    corrupt_removed: int = 0  # unreadable / checksum-failed entries deleted
+    stale_removed: int = 0    # entries from rotated-out salt generations
+    evicted: int = 0          # live entries dropped to meet the byte budget
+    tmp_removed: int = 0      # abandoned writer temp files deleted
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def removed(self) -> int:
+        """Total entries deleted by this pass."""
+        return self.corrupt_removed + self.stale_removed + self.evicted
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON reporting."""
+        return {"examined": self.examined, "removed": self.removed,
+                "corrupt_removed": self.corrupt_removed,
+                "stale_removed": self.stale_removed,
+                "evicted": self.evicted, "tmp_removed": self.tmp_removed,
+                "bytes_before": self.bytes_before,
+                "bytes_after": self.bytes_after}
+
+
+@dataclass
+class VerifyReport:
+    """Audit of every entry currently on disk (read-only by default)."""
+
+    live: List[str] = field(default_factory=list)     # trustworthy keys
+    stale: List[str] = field(default_factory=list)    # other salt generation
+    corrupt: List[str] = field(default_factory=list)  # unreadable/tampered
+
+    @property
+    def ok(self) -> bool:
+        """Whether every entry on disk is live under the current salt."""
+        return not self.stale and not self.corrupt
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reporting (counts plus bad keys)."""
+        return {"live": len(self.live), "stale": len(self.stale),
+                "corrupt": len(self.corrupt),
+                "stale_keys": list(self.stale),
+                "corrupt_keys": list(self.corrupt)}
 
 
 @dataclass
 class SweepStore:
     """A directory of content-addressed scenario results.
 
-    Layout: ``<root>/objects/<key[:2]>/<key>.json``, one entry per file.
-    Safe for concurrent readers plus any number of writers producing the
-    same deterministic content (writes are atomic replaces).
+    Layout: ``<root>/objects/<key[:2]>/<key>.json``, one entry per file,
+    plus a zero-byte ``<key>.last`` sidecar whose mtime records when the
+    entry was last served (the LRU clock for :meth:`gc`).  Safe for
+    concurrent readers plus any number of writers producing the same
+    deterministic content (writes are atomic replaces).
+
+    With ``max_bytes`` set the store is self-bounding: :meth:`put` tracks
+    an approximate on-disk total and triggers :meth:`gc` down to the cap
+    whenever a write pushes past it.
     """
 
     root: str
     registry: OptimizationRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
     stats: StoreStats = field(default_factory=StoreStats)
+    max_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.root = os.fspath(self.root)
         if os.path.exists(self.root) and not os.path.isdir(self.root):
             raise ConfigError(f"sweep store path {self.root!r} is not a "
                               "directory")
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ConfigError("max_bytes must be positive (or None for "
+                              "an unbounded store)")
+        #: lazily initialized running estimate of the on-disk total, kept
+        #: fresh by put/gc so the cap check does not rescan per write
+        self._approx_bytes: Optional[int] = None
 
     # ----------------------------------------------------------------- paths
 
@@ -139,7 +217,16 @@ class SweepStore:
         """The entry file backing one content key."""
         return os.path.join(self._objects_dir, key[:2], f"{key}.json")
 
+    def served_path_for(self, key: str) -> str:
+        """The ``last_served`` sidecar of one content key.
+
+        A zero-byte file whose mtime is the LRU clock: touched on every
+        :meth:`get` hit and every :meth:`put`, never read for content.
+        """
+        return os.path.join(self._objects_dir, key[:2], f"{key}.last")
+
     def key(self, scenario: Scenario, kind: str = "predict") -> str:
+        """Content address of one (scenario, kind) under this registry."""
         return scenario_key(scenario, self.registry, kind=kind)
 
     # ----------------------------------------------------------------- reads
@@ -149,24 +236,32 @@ class SweepStore:
         """The stored ``values`` dict, or ``None`` on any doubt.
 
         A present-but-unreadable entry (truncated write, bit rot, stale
-        salt smuggled in by hand) counts as a miss: the caller re-simulates
-        and :meth:`put` atomically replaces the bad file.
+        salt smuggled in by hand) counts as a miss — and is deleted on
+        the spot, so the dead bytes never wait for a GC scan: the caller
+        re-simulates and :meth:`put` writes a fresh entry.
         """
         key = self.key(scenario, kind=kind)
-        payload = self._load(self.path_for(key), count=True)
+        path = self.path_for(key)
+        payload = self._load(path, count=True)
         if payload is not None and self._trustworthy(payload, key, kind,
                                                      count=True):
             self.stats.hits += 1
+            self._touch_served(key)
             return dict(payload["values"])
+        if os.path.exists(path):
+            # failed verification: remove the corrupt/stale entry now
+            self._delete_entry(key)
         self.stats.misses += 1
         return None
 
     def contains(self, scenario: Scenario, kind: str = "predict") -> bool:
-        """Whether a *trustworthy* entry exists (stats are untouched).
+        """Whether a *trustworthy* entry exists (a pure probe).
 
         Mere file existence is not membership: an entry with a stale
         salt, a failed checksum, or unparseable bytes would miss on
-        :meth:`get`, so it must not count here either.
+        :meth:`get`, so it must not count here either.  Unlike
+        :meth:`get`, this touches nothing — no counters, no sidecar, no
+        corrupt-entry deletion.
         """
         key = self.key(scenario, kind=kind)
         payload = self._load(self.path_for(key), count=False)
@@ -207,7 +302,11 @@ class SweepStore:
 
     def put(self, scenario: Scenario, values: Dict[str, object],
             kind: str = "predict") -> str:
-        """Persist one result atomically; returns its content key."""
+        """Persist one result atomically; returns its content key.
+
+        With ``max_bytes`` set, a write that pushes the (approximate)
+        on-disk total past the cap triggers :meth:`gc` down to it.
+        """
         key = self.key(scenario, kind=kind)
         payload: Dict[str, object] = {
             "format": RESULT_SCHEMA_VERSION,
@@ -219,6 +318,10 @@ class SweepStore:
         }
         payload["checksum"] = _entry_checksum(payload)
         path = self.path_for(key)
+        # overwrites replace bytes rather than add them: snapshot the old
+        # size so the running estimate tracks the true on-disk delta
+        old_bytes = self._entry_bytes(key) if self.max_bytes is not None \
+            else 0
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    prefix=f".{key[:8]}-", suffix=".tmp")
@@ -234,7 +337,38 @@ class SweepStore:
                 pass
             raise
         self.stats.writes += 1
+        self._touch_served(key)
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += self._entry_bytes(key) - old_bytes
+            if self._approx_bytes > self.max_bytes:
+                self.gc(max_bytes=self.max_bytes)
         return key
+
+    def _touch_served(self, key: str) -> None:
+        """Refresh the LRU clock of one entry (best-effort)."""
+        sidecar = self.served_path_for(key)
+        try:
+            with open(sidecar, "a", encoding="utf-8"):
+                pass
+            os.utime(sidecar, None)
+        except OSError:
+            pass  # a read-only or racing store never fails a serve
+
+    def _delete_entry(self, key: str) -> int:
+        """Remove one entry and its sidecar; returns the bytes freed."""
+        freed = 0
+        for path in (self.path_for(key), self.served_path_for(key)):
+            try:
+                freed += os.stat(path).st_size
+                os.unlink(path)
+            except OSError:
+                pass
+        if self._approx_bytes is not None:
+            self._approx_bytes = max(0, self._approx_bytes - freed)
+        return freed
 
     # --------------------------------------------------------------- queries
 
@@ -256,3 +390,172 @@ class SweepStore:
 
     def __contains__(self, scenario: Scenario) -> bool:
         return self.contains(scenario)
+
+    def total_bytes(self) -> int:
+        """Bytes on disk under ``objects/`` (entries, sidecars, temp files)."""
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(self._objects_dir):
+            for name in filenames:
+                try:
+                    total += os.stat(os.path.join(dirpath, name)).st_size
+                except OSError:
+                    pass
+        return total
+
+    def _entry_bytes(self, key: str) -> int:
+        """On-disk size of one entry plus its sidecar."""
+        size = 0
+        for path in (self.path_for(key), self.served_path_for(key)):
+            try:
+                size += os.stat(path).st_size
+            except OSError:
+                pass
+        return size
+
+    def last_served(self, key: str) -> Optional[float]:
+        """When the entry was last served (sidecar mtime, else entry
+        mtime, else ``None`` for a missing entry)."""
+        for path in (self.served_path_for(key), self.path_for(key)):
+            try:
+                return os.stat(path).st_mtime
+            except OSError:
+                continue
+        return None
+
+    def _classify(self, key: str, keep_salt: Optional[str] = None) -> str:
+        """Lifecycle class of one on-disk entry.
+
+        ``"live"`` — trustworthy under the kept salt generation
+        (``keep_salt``, defaulting to the store's current salt, in which
+        case the schema version must match too); ``"stale"`` — internally
+        consistent but from another generation; ``"corrupt"`` —
+        unreadable, tampered, or mislabeled.
+        """
+        payload = self._load(self.path_for(key), count=False)
+        if payload is None:
+            return "corrupt"
+        if (payload.get("key") != key
+                or not isinstance(payload.get("values"), dict)
+                or payload.get("checksum") != _entry_checksum(payload)):
+            return "corrupt"
+        if payload.get("salt") != (keep_salt or store_salt(self.registry)):
+            return "stale"
+        if (keep_salt is None
+                and payload.get("format") != RESULT_SCHEMA_VERSION):
+            return "stale"
+        return "live"
+
+    # -------------------------------------------------------------- lifecycle
+
+    def verify(self) -> VerifyReport:
+        """Audit every entry without mutating anything.
+
+        Classifies each on-disk entry as live (trustworthy under the
+        current salt), stale (another salt generation / schema version),
+        or corrupt (unreadable or tampered).  ``repro store verify``
+        renders this; :meth:`gc` acts on it.
+        """
+        report = VerifyReport()
+        for key in self.keys():
+            getattr(report, self._classify(key)).append(key)
+        return report
+
+    def gc(self, max_bytes: Optional[int] = None) -> GCReport:
+        """Delete dead weight, then evict LRU entries to a byte budget.
+
+        Three passes, in order:
+
+        1. **corrupt** entries and **stale** salt generations are removed
+           unconditionally (they can never be served again);
+        2. abandoned writer temp files older than
+           :data:`TMP_GRACE_SECONDS` are removed;
+        3. if ``max_bytes`` is given (or the store has a ``max_bytes``
+           cap) and the surviving entries still exceed it, live entries
+           are evicted least-recently-served first — the ``last_served``
+           sidecar is the clock — until the total fits.
+
+        Returns a :class:`GCReport`; ``repro store gc`` renders it.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        report = GCReport(bytes_before=self.total_bytes())
+
+        survivors: List[Tuple[float, str, int]] = []  # (served, key, size)
+        live_bytes = 0
+        for key in list(self.keys()):
+            report.examined += 1
+            status = self._classify(key)
+            if status == "corrupt":
+                self._delete_entry(key)
+                report.corrupt_removed += 1
+            elif status == "stale":
+                self._delete_entry(key)
+                report.stale_removed += 1
+            else:
+                size = self._entry_bytes(key)
+                served = self.last_served(key) or 0.0
+                survivors.append((served, key, size))
+                live_bytes += size
+
+        report.tmp_removed = self._remove_abandoned_tmp()
+
+        if max_bytes is not None and live_bytes > max_bytes:
+            survivors.sort()  # oldest served first; key breaks ties stably
+            for served, key, size in survivors:
+                if live_bytes <= max_bytes:
+                    break
+                self._delete_entry(key)
+                live_bytes -= size
+                report.evicted += 1
+
+        self.stats.evicted += report.removed
+        report.bytes_after = self.total_bytes()
+        self._approx_bytes = report.bytes_after
+        return report
+
+    def prune(self, keep_salt: Optional[str] = None) -> GCReport:
+        """Drop every entry outside one salt generation.
+
+        After a registry change or a :data:`RESULT_SCHEMA_VERSION` bump
+        rotates the salt, old-generation entries are unreachable dead
+        bytes; this removes them (corrupt entries go too — their
+        generation cannot even be determined).  ``keep_salt`` defaults to
+        the store's current salt; pass an explicit value to keep a
+        different generation instead (``repro store prune --salt``).
+        """
+        report = GCReport(bytes_before=self.total_bytes())
+        for key in list(self.keys()):
+            report.examined += 1
+            status = self._classify(key, keep_salt=keep_salt)
+            if status == "corrupt":
+                self._delete_entry(key)
+                report.corrupt_removed += 1
+            elif status == "stale":
+                self._delete_entry(key)
+                report.stale_removed += 1
+        report.tmp_removed = self._remove_abandoned_tmp()
+        self.stats.evicted += report.removed
+        report.bytes_after = self.total_bytes()
+        self._approx_bytes = report.bytes_after
+        return report
+
+    def _remove_abandoned_tmp(self, grace_s: float = TMP_GRACE_SECONDS) -> int:
+        """Delete writer temp files older than ``grace_s`` seconds.
+
+        Young temp files are left alone: a concurrent writer may be about
+        to ``os.replace`` one into place.
+        """
+        removed = 0
+        cutoff = time.time() - grace_s
+        for dirpath, _dirnames, filenames in os.walk(self._objects_dir):
+            for name in filenames:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.stat(path).st_mtime < cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,155 @@
+"""The documentation must stay true.
+
+Three gates keep README and ``docs/`` from drifting away from the code:
+
+* **quickstart smoke** — every ``$ python -m repro ...`` command in the
+  README is executed *as written* (from the repo root) and must exit 0;
+* **CLI reference drift** — ``docs/cli.md`` documents one section per
+  subcommand; each section's ``--flags`` are compared as a *set* against
+  the live argparse parsers, so adding/renaming/removing a flag without
+  documenting it fails the suite;
+* **link check** — every relative markdown link in README and ``docs/``
+  must resolve to an existing file (CI runs this as its own job).
+"""
+
+import argparse
+import re
+import shlex
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+DOCS = REPO_ROOT / "docs"
+CLI_MD = DOCS / "cli.md"
+
+
+# ------------------------------------------------------------ README smoke
+
+def readme_commands():
+    """Every ``$ python -m repro ...`` line in the README, in order."""
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"^\$ python -m repro (.+)$", text, flags=re.M)
+
+
+@pytest.fixture
+def repo_cwd(monkeypatch):
+    """Run from the repo root (README paths are relative to it) and drop
+    any ``.sweep-store`` the quickstart creates."""
+    monkeypatch.chdir(REPO_ROOT)
+    yield
+    shutil.rmtree(REPO_ROOT / ".sweep-store", ignore_errors=True)
+
+
+def test_readme_has_a_quickstart():
+    commands = readme_commands()
+    assert len(commands) >= 5, "README quickstart lost its commands"
+    # the walkthrough covers the advertised command surface
+    covered = {cmd.split()[0] for cmd in commands}
+    assert {"profile", "whatif", "run", "sweep", "experiment",
+            "store"} <= covered
+
+
+def test_readme_quickstart_commands_execute_as_written(repo_cwd, capsys):
+    for command in readme_commands():
+        code = main(shlex.split(command))
+        captured = capsys.readouterr()
+        assert code == 0, (
+            f"README command failed: python -m repro {command}\n"
+            f"stdout:\n{captured.out}\nstderr:\n{captured.err}"
+        )
+
+
+# ------------------------------------------------------- CLI reference drift
+
+def _live_subcommands():
+    """Map each subcommand to its full ``--flag`` set (nested included)."""
+    parser = build_parser()
+    (sub_action,) = [a for a in parser._actions
+                     if isinstance(a, argparse._SubParsersAction)]
+
+    def flags_of(sub) -> set:
+        found = set()
+        for action in sub._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for child in action.choices.values():
+                    found |= flags_of(child)
+            else:
+                found.update(o for o in action.option_strings
+                             if o.startswith("--"))
+        found.discard("--help")
+        return found
+
+    return {name: flags_of(sub)
+            for name, sub in sub_action.choices.items()}
+
+
+def _documented_sections():
+    """Map each ``## repro <name>`` section of cli.md to its text."""
+    text = CLI_MD.read_text(encoding="utf-8")
+    sections = {}
+    matches = list(re.finditer(r"^## repro ([\w-]+)$", text, flags=re.M))
+    for i, match in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections[match.group(1)] = text[match.end():end]
+    return sections
+
+
+def test_cli_reference_documents_every_subcommand():
+    live = _live_subcommands()
+    documented = _documented_sections()
+    assert set(documented) == set(live), (
+        "docs/cli.md sections do not match the live subcommands — "
+        f"documented {sorted(documented)}, live {sorted(live)}"
+    )
+    assert len(live) == 8  # the README promises all eight
+
+
+def test_cli_reference_matches_live_parsers():
+    live = _live_subcommands()
+    for name, section in _documented_sections().items():
+        documented = set(re.findall(r"--[a-z][a-z0-9-]*", section))
+        assert documented == live[name], (
+            f"docs/cli.md section 'repro {name}' is out of sync: "
+            f"documented {sorted(documented)}, live {sorted(live[name])}"
+        )
+
+
+def test_cli_reference_documents_store_actions():
+    parser = build_parser()
+    (sub_action,) = [a for a in parser._actions
+                     if isinstance(a, argparse._SubParsersAction)]
+    store = sub_action.choices["store"]
+    (store_sub,) = [a for a in store._actions
+                    if isinstance(a, argparse._SubParsersAction)]
+    section = _documented_sections()["store"]
+    for action_name in store_sub.choices:
+        assert re.search(rf"\b{action_name}\b", section), (
+            f"docs/cli.md 'repro store' section misses the "
+            f"{action_name!r} action"
+        )
+
+
+# ------------------------------------------------------------------ links
+
+def markdown_files():
+    return [README, *sorted(DOCS.glob("*.md"))]
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_markdown_relative_links_resolve():
+    broken = []
+    for md in markdown_files():
+        for target in LINK.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            path = (md.parent / target.split("#", 1)[0]).resolve()
+            if not path.exists():
+                broken.append(f"{md.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, f"broken markdown links: {broken}"

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.scenarios import SweepStore
 from repro.experiments import (
     fig1_timeline,
     fig5_amp,
@@ -129,3 +130,87 @@ class TestSec64:
         # the paper's qualitative conclusion: less promising than the
         # 17.5% the optimization's own paper claims
         assert values["predicted_improvement_%"] < 17.5
+
+
+class TestExperimentsOnTheStore:
+    """Every remaining experiment's engine measurements ride the store.
+
+    First run computes and persists (namespaced ``groundtruth:*`` kinds);
+    second run serves from the store — and the rows are bit-identical,
+    which is what makes the caching invisible to the figures.
+    """
+
+    def test_fig5_second_run_is_served_from_the_store(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        first = fig5_amp.run(models=["resnet50"], store=store)
+        writes = store.stats.writes
+        assert writes >= 2  # the predict cell and the AMP measurement
+        second = fig5_amp.run(models=["resnet50"], store=store)
+        assert second.rows == first.rows
+        assert store.stats.writes == writes  # nothing recomputed
+        assert store.stats.hits >= 2
+
+    def test_fig7_store_and_jobs_hit_the_cache_on_second_run(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        first = fig7_fusedadam.run(models=["bert_base"], jobs=2, store=store)
+        assert any(k for k in store.keys())
+        second = fig7_fusedadam.run(models=["bert_base"], jobs=2, store=store)
+        assert second.rows == first.rows
+        assert store.stats.hits >= 1  # the ground truth came from the store
+
+    def test_fig10_caches_both_measured_series(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        first = fig10_p3.run("resnet50", bandwidths=[2.0], batch_size=32,
+                             store=store)
+        assert len(store) == 2  # ps-baseline + ps-p3 for the one cell
+        second = fig10_p3.run("resnet50", bandwidths=[2.0], batch_size=32,
+                              store=store)
+        (f,), (s,) = first.rows, second.rows
+        # the two measured series are *bit*-stable: served from the store
+        # (re-measuring them in one process wobbles at the last ulp — the
+        # known fig10 allocation-order tie-break; the store removes it)
+        assert s[:3] == f[:3]
+        # the locally re-simulated prediction keeps that pre-existing
+        # last-ulp caveat, so it is pinned to ~1 ulp instead of ==
+        assert s[3] == pytest.approx(f[3], rel=1e-12)
+        assert s[4] == pytest.approx(f[4], rel=1e-9)
+        assert store.stats.hits >= 2
+
+    def test_sec52_predictions_ride_the_batch_substrate(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        first = sec52_modeling.run(store=store)
+        assert len(store) == 6  # one predict entry per cell
+        second = sec52_modeling.run(store=store)
+        assert second.rows == first.rows
+        assert store.stats.hits >= 6
+
+    def test_sec64_caches_the_engine_measurement(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        first = sec64_batchnorm.run(store=store)
+        assert len(store) == 1
+        second = sec64_batchnorm.run(store=store)
+        assert second.rows == first.rows
+        assert store.stats.hits == 1
+
+    def test_store_accepts_a_directory_path(self, tmp_path):
+        root = str(tmp_path / "store")
+        first = sec64_batchnorm.run(store=root)
+        second = sec64_batchnorm.run(store=root)
+        assert second.rows == first.rows
+        assert len(SweepStore(root)) == 1
+
+    def test_force_recomputes_but_keeps_rows(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        first = fig5_amp.run(models=["resnet50"], store=store)
+        forced = fig5_amp.run(models=["resnet50"], store=store, force=True)
+        assert forced.rows == first.rows
+
+    def test_fig8_and_fig9b_share_the_ddp_sync_entries(self, tmp_path):
+        """One deployment, one entry: fig9b's sync cells reuse fig8's."""
+        store = SweepStore(str(tmp_path / "store"))
+        fig8_distributed.run(models=["gnmt"], bandwidths=[10.0],
+                             configs=[(2, 1)], store=store)
+        hits_before = store.stats.hits
+        fig9_nccl.run_sync_impact(bandwidths=[10.0], configs=[(2, 1)],
+                                  store=store)
+        assert store.stats.hits > hits_before  # the sync cell was shared

@@ -77,3 +77,67 @@ class TestCLI:
 
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "fig99"]) == 2
+
+    def test_experiment_fig7_store_jobs_hits_cache_on_second_run(
+            self, capsys, tmp_path):
+        """The acceptance path: ``repro experiment fig7 --store --jobs 2``.
+
+        The first run measures the engine ground truth and persists it;
+        the second run serves it from the store (the stderr store summary
+        reports the hits) and renders the same table.
+        """
+        store_dir = str(tmp_path / "store")
+        argv = ["experiment", "fig7", "--store", store_dir, "--jobs", "2",
+                "--models", "bert_base"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "bert_base" in first.out
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # same rendered table
+        # stderr summary shows the ground truth came from the store
+        assert "1 hit(s)" in second.err
+
+    def test_experiment_unsupported_flag_is_noted_not_fatal(
+            self, capsys, tmp_path):
+        code = main(["experiment", "fig1", "--store",
+                     str(tmp_path / "s"), "--jobs", "2"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "does not take --store" in err
+        assert "does not take --jobs" in err
+
+    def test_sweep_start_method_flag(self, capsys, tmp_path):
+        import json as jsonlib
+        grid = tmp_path / "grid.json"
+        grid.write_text(jsonlib.dumps({
+            "base": {"model": "resnet50", "batch_size": 2,
+                     "optimizations": ["distributed_training"],
+                     "cluster": {"machines": 2, "bandwidth_gbps": 10}},
+            "axes": {"cluster.bandwidth_gbps": [10, 25]},
+        }))
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", str(grid), "--jobs", "2", "--store", store_dir,
+                     "--start-method", "serial"]) == 0
+        first = capsys.readouterr()
+        assert "2 cell(s)" in first.err
+        # warm re-run (default start method) serves both cells
+        assert main(["sweep", str(grid), "--jobs", "2",
+                     "--store", store_dir]) == 0
+        second = capsys.readouterr()
+        assert "2 from store" in second.err
+        assert second.out == first.out
+
+    def test_store_cli_roundtrip(self, capsys, tmp_path):
+        import json as jsonlib
+        root = str(tmp_path / "store")
+        from repro.scenarios import Scenario, SweepStore
+        SweepStore(root).put(Scenario(model="resnet50"),
+                             {"baseline_us": 1.0, "predicted_us": 1.0})
+        assert main(["store", "stats", root]) == 0
+        stats = jsonlib.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1 and stats["live"] == 1
+        assert main(["store", "gc", root, "--max-bytes", "1"]) == 0
+        report = jsonlib.loads(capsys.readouterr().out)
+        assert report["evicted"] == 1
+        assert main(["store", "verify", root]) == 0

@@ -1,0 +1,299 @@
+"""Lifecycle management of the persistent sweep store.
+
+PR 3 made the store durable and trustworthy; these tests pin the layer
+that keeps it *bounded*: LRU eviction to a byte budget (the ``last_served``
+sidecar is the clock), wholesale pruning of rotated-out salt generations,
+corrupt-entry cleanup, the self-bounding ``max_bytes`` cap, and the
+``repro store`` CLI fronting all of it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.optimizations import AutomaticMixedPrecision
+from repro.scenarios import (
+    OptimizationRegistry,
+    OptimizationSpec,
+    Scenario,
+    SweepStore,
+    store_salt,
+)
+
+VALUES = {"baseline_us": 100.0, "predicted_us": 90.0}
+
+
+def scenario(batch_size):
+    return Scenario(model="resnet50", batch_size=batch_size,
+                    optimizations=["amp"])
+
+
+def fill(store, n, start=1):
+    """Write n entries and age their LRU clocks oldest-first."""
+    keys = []
+    for i in range(start, start + n):
+        keys.append(store.put(scenario(i), VALUES))
+    for age, key in enumerate(keys):
+        stamp = 1_000_000 + age  # strictly increasing, far in the past
+        os.utime(store.served_path_for(key), (stamp, stamp))
+    return keys
+
+
+def other_registry():
+    registry = OptimizationRegistry()
+    registry.register(OptimizationSpec(
+        key="amp", factory=AutomaticMixedPrecision,
+        summary="different schema, different salt"))
+    return registry
+
+
+# ------------------------------------------------------------------ accounting
+
+def test_total_bytes_counts_entries_and_sidecars(tmp_path):
+    store = SweepStore(str(tmp_path))
+    assert store.total_bytes() == 0
+    key = store.put(scenario(1), VALUES)
+    expected = os.path.getsize(store.path_for(key)) \
+        + os.path.getsize(store.served_path_for(key))
+    assert store.total_bytes() == expected
+
+
+def test_get_touches_the_last_served_sidecar(tmp_path):
+    store = SweepStore(str(tmp_path))
+    key = store.put(scenario(1), VALUES)
+    sidecar = store.served_path_for(key)
+    os.utime(sidecar, (1_000_000, 1_000_000))
+    before = store.last_served(key)
+    assert store.get(scenario(1)) == VALUES
+    assert store.last_served(key) > before
+
+
+# -------------------------------------------------------------------------- gc
+
+def test_gc_evicts_least_recently_served_first(tmp_path):
+    store = SweepStore(str(tmp_path))
+    keys = fill(store, 4)
+    # serve the oldest entry so it becomes the newest
+    assert store.get(scenario(1)) == VALUES
+    entry_size = store._entry_bytes(keys[0])
+    report = store.gc(max_bytes=2 * entry_size)
+    assert report.evicted == 2
+    # keys[1] and keys[2] were the least recently served
+    survivors = set(store.keys())
+    assert keys[0] in survivors and keys[3] in survivors
+    assert keys[1] not in survivors and keys[2] not in survivors
+    assert report.bytes_after <= 2 * entry_size
+    assert store.stats.evicted == 2
+
+
+def test_gc_without_budget_only_removes_dead_entries(tmp_path):
+    store = SweepStore(str(tmp_path))
+    keys = fill(store, 3)
+    with open(store.path_for(keys[0]), "w") as f:
+        f.write("not json")
+    report = store.gc()
+    assert report.corrupt_removed == 1 and report.evicted == 0
+    assert len(store) == 2
+
+
+def test_gc_removes_stale_salt_generations(tmp_path):
+    old = SweepStore(str(tmp_path), registry=other_registry())
+    old_key = old.put(scenario(1), VALUES)
+    current = SweepStore(str(tmp_path))
+    current_key = current.put(scenario(1), VALUES)
+    assert old_key != current_key
+    report = current.gc()
+    assert report.stale_removed == 1 and report.corrupt_removed == 0
+    assert list(current.keys()) == [current_key]
+
+
+def test_gc_bounds_an_over_cap_store(tmp_path):
+    store = SweepStore(str(tmp_path))
+    fill(store, 6)
+    budget = store.total_bytes() // 2
+    report = store.gc(max_bytes=budget)
+    assert report.evicted >= 3
+    assert store.total_bytes() <= budget
+    # the survivors still serve
+    assert store.get(scenario(6)) == VALUES
+
+
+def test_gc_removes_abandoned_tmp_files_but_spares_young_ones(tmp_path):
+    store = SweepStore(str(tmp_path))
+    key = store.put(scenario(1), VALUES)
+    shard = os.path.dirname(store.path_for(key))
+    old_tmp = os.path.join(shard, ".deadbeef-crashed.tmp")
+    young_tmp = os.path.join(shard, ".cafecafe-racing.tmp")
+    for path in (old_tmp, young_tmp):
+        with open(path, "w") as f:
+            f.write("{")
+    os.utime(old_tmp, (1_000_000, 1_000_000))
+    report = store.gc()
+    assert report.tmp_removed == 1
+    assert not os.path.exists(old_tmp)
+    assert os.path.exists(young_tmp)  # a writer may still replace it
+
+
+# ----------------------------------------------------------------------- prune
+
+def test_prune_keeps_only_the_current_generation(tmp_path):
+    old = SweepStore(str(tmp_path), registry=other_registry())
+    old.put(scenario(1), VALUES)
+    old.put(scenario(2), VALUES)
+    current = SweepStore(str(tmp_path))
+    kept = current.put(scenario(1), VALUES)
+    report = current.prune()
+    assert report.stale_removed == 2
+    assert list(current.keys()) == [kept]
+
+
+def test_prune_with_explicit_salt_keeps_that_generation(tmp_path):
+    old_registry = other_registry()
+    old = SweepStore(str(tmp_path), registry=old_registry)
+    old_key = old.put(scenario(1), VALUES)
+    current = SweepStore(str(tmp_path))
+    current.put(scenario(1), VALUES)
+    report = current.prune(keep_salt=store_salt(old_registry))
+    assert report.stale_removed == 1
+    assert list(current.keys()) == [old_key]
+
+
+def test_prune_drops_format_mismatched_entries(tmp_path):
+    # format is outside the checksum, so a version-skewed entry can be
+    # internally consistent yet unservable; prune must not keep it
+    store = SweepStore(str(tmp_path))
+    key = store.put(scenario(1), VALUES)
+    path = store.path_for(key)
+    with open(path) as f:
+        payload = json.load(f)
+    payload["format"] = 999
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    report = store.prune()
+    assert report.stale_removed == 1
+    assert len(store) == 0
+
+
+def test_prune_drops_corrupt_entries_of_unknown_generation(tmp_path):
+    store = SweepStore(str(tmp_path))
+    keys = fill(store, 2)
+    with open(store.path_for(keys[0]), "wb") as f:
+        f.write(b"\x00garbage")
+    report = store.prune()
+    assert report.corrupt_removed == 1 and report.stale_removed == 0
+    assert list(store.keys()) == [keys[1]]
+
+
+# ---------------------------------------------------------------------- verify
+
+def test_verify_classifies_live_stale_and_corrupt(tmp_path):
+    old = SweepStore(str(tmp_path), registry=other_registry())
+    stale_key = old.put(scenario(1), VALUES)
+    store = SweepStore(str(tmp_path))
+    live_key = store.put(scenario(1), VALUES)
+    corrupt_key = store.put(scenario(2), VALUES)
+    with open(store.path_for(corrupt_key), "w") as f:
+        f.write("} not json {")
+    report = store.verify()
+    assert report.live == [live_key] or set(report.live) == {live_key}
+    assert report.stale == [stale_key]
+    assert report.corrupt == [corrupt_key]
+    assert not report.ok
+    # verify mutated nothing
+    assert len(store) == 3
+
+
+# --------------------------------------------------------------- max_bytes cap
+
+def test_put_auto_gcs_past_the_cap(tmp_path):
+    probe = SweepStore(str(tmp_path / "probe"))
+    entry_size = probe._entry_bytes(probe.put(scenario(1), VALUES))
+
+    store = SweepStore(str(tmp_path / "capped"),
+                       max_bytes=3 * entry_size + entry_size // 2)
+    for i in range(1, 7):
+        store.put(scenario(i), VALUES)
+    assert store.total_bytes() <= store.max_bytes
+    assert len(store) < 6
+    assert store.stats.evicted > 0
+    # the newest write always survives its own cap check
+    assert store.get(scenario(6)) == VALUES
+
+
+def test_overwrites_do_not_inflate_the_cap_estimate(tmp_path):
+    # a force-style re-sweep replaces bytes rather than adding them; the
+    # running estimate must track the true on-disk total, not the write
+    # count (else every put past the phantom cap pays a full gc scan)
+    store = SweepStore(str(tmp_path), max_bytes=100_000)
+    for _ in range(50):
+        store.put(scenario(1), VALUES)
+    assert len(store) == 1
+    assert store.stats.evicted == 0
+    assert store._approx_bytes == store.total_bytes()
+
+
+def test_non_positive_cap_is_rejected(tmp_path):
+    from repro.common.errors import ConfigError
+    with pytest.raises(ConfigError):
+        SweepStore(str(tmp_path), max_bytes=0)
+
+
+# ------------------------------------------------------------------- store CLI
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def test_cli_stats_and_verify(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    store = SweepStore(root)
+    store.put(scenario(1), VALUES)
+    assert run_cli("store", "stats", root) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 1 and payload["live"] == 1
+    assert payload["salt"] == store_salt(store.registry)
+
+    assert run_cli("store", "verify", root) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["live"] == 1 and payload["corrupt"] == 0
+
+
+def test_cli_gc_max_bytes_bounds_the_store(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    store = SweepStore(root)
+    fill(store, 5)
+    budget = store.total_bytes() // 2
+    assert run_cli("store", "gc", root, "--max-bytes", str(budget)) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["evicted"] >= 2
+    assert payload["bytes_after"] <= budget
+    assert SweepStore(root).total_bytes() <= budget
+
+
+def test_cli_verify_exits_nonzero_on_corruption(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    store = SweepStore(root)
+    key = store.put(scenario(1), VALUES)
+    with open(store.path_for(key), "w") as f:
+        f.write("junk")
+    assert run_cli("store", "verify", root) == 1
+    out = capsys.readouterr()
+    assert json.loads(out.out)["corrupt"] == 1
+
+    # gc cleans it; verify is then green
+    assert run_cli("store", "gc", root) == 0
+    capsys.readouterr()
+    assert run_cli("store", "verify", root) == 0
+
+
+def test_cli_prune_drops_other_generations(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    old = SweepStore(root, registry=other_registry())
+    old.put(scenario(1), VALUES)
+    SweepStore(root).put(scenario(1), VALUES)
+    assert run_cli("store", "prune", root) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stale_removed"] == 1
+    assert len(SweepStore(root)) == 1

@@ -1,33 +1,52 @@
 """Every sweep substrate must produce bit-identical rows.
 
-A pinned grid runs through all four execution paths —
+A pinned grid runs through all five execution paths —
 
 * serial ``run_grid`` (``processes=1``: plain in-process loop),
 * the fork-based ``WhatIfSession.sweep`` fan-out (``processes=2``),
 * the process-pool batch executor (``parallel=2`` + a fresh store),
+* the **spawn**-context batch executor (``start_method="spawn"``: fresh
+  interpreters rebuilding the runtime-registered model from a pickled
+  ``WorkerManifest``),
 * a warm re-run served entirely from the store —
 
 and the resulting ``ExperimentResult`` rows are compared with ``==``,
 float for float.  This is the contract that makes the persistent store
-trustworthy: a cached number *is* the number a cold run would produce.
+trustworthy and the executor portable: a cached number *is* the number a
+cold run would produce, on any platform's start method.
 """
+
+import multiprocessing
+import pickle
 
 import pytest
 
 from helpers import make_tiny_model
 from repro.common.errors import ConfigError
 from repro.models.registry import register_model
-from repro.scenarios import Scenario, ScenarioGrid, ScenarioRunner, SweepStore
+from repro.optimizations import AutomaticMixedPrecision
+from repro.scenarios import (
+    OptimizationRegistry,
+    OptimizationSpec,
+    Scenario,
+    ScenarioGrid,
+    ScenarioRunner,
+    SweepStore,
+    WorkerManifest,
+)
 
 MODEL = "tinysweep"
 
 
+def build_tinysweep(batch_size=None):
+    """Module-level builder: spawn workers re-import it by name."""
+    return make_tiny_model(batch=batch_size or 4)
+
+
 @pytest.fixture(scope="module", autouse=True)
 def register_tiny_model():
-    def build(batch_size=None):
-        return make_tiny_model(batch=batch_size or 4)
     try:
-        register_model(MODEL, build)
+        register_model(MODEL, build_tinysweep)
     except ConfigError:
         pass  # already registered by an earlier module in this process
 
@@ -98,3 +117,100 @@ def test_force_recomputes_but_keeps_rows(pinned_scenarios, tmp_path):
     warm = runner.run_grid(pinned_scenarios, store=store)
     assert all(o.cached for o in warm)
     assert rows_of(warm) == rows_of(first)
+
+
+# ------------------------------------------------------------ spawn context
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no spawn start method")
+def test_spawn_rows_identical_with_runtime_registered_model(
+        pinned_scenarios, tmp_path):
+    """Spawn workers rebuild ``tinysweep`` from the WorkerManifest.
+
+    The grid's workload only exists via a runtime ``register_model`` call
+    in *this* process; fresh spawn interpreters know nothing about it.
+    The rows must still be bit-identical to every other path, and a store
+    populated under spawn must serve a warm fork/serial run.
+    """
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    store = SweepStore(str(tmp_path / "store"))
+    spawned = ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                                        store=store, start_method="spawn")
+    assert rows_of(spawned) == rows_of(serial)
+    assert all(not o.cached for o in spawned)
+    # entries written under spawn are served verbatim to any later path
+    warm = ScenarioRunner().run_grid(pinned_scenarios, store=store)
+    assert all(o.cached for o in warm)
+    assert rows_of(warm) == rows_of(serial)
+
+
+def test_explicit_serial_start_method_matches(pinned_scenarios):
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    inproc = ScenarioRunner().run_grid(pinned_scenarios, parallel=4,
+                                       start_method="serial")
+    assert rows_of(inproc) == rows_of(serial)
+
+
+def test_unknown_start_method_is_rejected(pinned_scenarios):
+    with pytest.raises(ConfigError):
+        ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                                  start_method="threads")
+
+
+# ----------------------------------------------------------- WorkerManifest
+
+def test_manifest_round_trips_runtime_model(register_tiny_model):
+    manifest = WorkerManifest.capture(model_names=[MODEL])
+    assert dict(manifest.models)[MODEL] is build_tinysweep
+    clone = pickle.loads(manifest.dumps())
+    registry = clone.restore()
+    assert registry.fingerprint() == manifest.fingerprint
+    # the restored builder is the same importable callable
+    from repro.models.registry import build_model
+    assert build_model(MODEL).name == build_tinysweep().name
+
+
+def test_manifest_scopes_models_to_the_grid():
+    # an unrelated (possibly unpicklable) registration must not ride along
+    try:
+        register_model("tinysweep-unrelated", lambda batch_size=None:
+                       make_tiny_model(batch=batch_size or 2))
+    except ConfigError:
+        pass
+    manifest = WorkerManifest.capture(model_names=[MODEL])
+    assert [name for name, _ in manifest.models] == [MODEL]
+    manifest.dumps()  # picklable because the lambda was scoped out
+
+
+def test_manifest_carries_custom_registry_specs():
+    custom = OptimizationRegistry()
+    custom.register(OptimizationSpec(
+        key="amp", factory=AutomaticMixedPrecision,
+        summary="module-level factory: crosses a spawn boundary"))
+    manifest = WorkerManifest.capture(custom, model_names=[])
+    assert not manifest.default_registry
+    assert [spec.key for spec in manifest.specs] == ["amp"]
+    clone = pickle.loads(manifest.dumps())
+    rebuilt = clone.restore()
+    assert rebuilt.fingerprint() == custom.fingerprint()
+    assert "amp" in rebuilt and len(rebuilt.keys()) == 1
+
+
+def test_manifest_rejects_unpicklable_registrations():
+    custom = OptimizationRegistry()
+    custom.register(OptimizationSpec(
+        key="closure", factory=lambda: AutomaticMixedPrecision(),
+        summary="lambdas cannot cross a spawn boundary"))
+    manifest = WorkerManifest.capture(custom, model_names=[])
+    with pytest.raises(ConfigError, match="module-level"):
+        manifest.dumps()
+
+
+def test_manifest_fingerprint_skew_fails_loudly():
+    manifest = WorkerManifest.capture(model_names=[])
+    skewed = WorkerManifest(fingerprint="not-the-real-fingerprint",
+                            default_registry=manifest.default_registry,
+                            specs=manifest.specs, models=manifest.models)
+    with pytest.raises(ConfigError, match="fingerprint"):
+        skewed.restore()

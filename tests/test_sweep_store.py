@@ -126,23 +126,27 @@ def _entry_path(store, scenario):
     return store.path_for(store.key(scenario))
 
 
-def test_truncated_entry_is_rejected(store):
+def test_truncated_entry_is_rejected_and_deleted(store):
     store.put(BASE, VALUES)
     path = _entry_path(store, BASE)
     raw = open(path, "rb").read()
     with open(path, "wb") as f:
         f.write(raw[:len(raw) // 2])
     # membership is validated existence, and it never skews the counters
+    # (nor deletes anything: contains() is a pure probe)
     assert BASE not in store
     assert store.stats.rejected == 0
+    assert os.path.exists(path)
     assert store.get(BASE) is None
     assert store.stats.rejected == 1
-    # a fresh put atomically replaces the bad file
+    # the failed read removed the dead bytes on the spot
+    assert not os.path.exists(path)
+    # a fresh put writes a clean entry
     store.put(BASE, VALUES)
     assert store.get(BASE) == VALUES
 
 
-def test_tampered_values_fail_the_checksum(store):
+def test_tampered_values_fail_the_checksum_and_are_deleted(store):
     store.put(BASE, VALUES)
     path = _entry_path(store, BASE)
     with open(path) as f:
@@ -152,6 +156,7 @@ def test_tampered_values_fail_the_checksum(store):
         json.dump(payload, f)
     assert store.get(BASE) is None
     assert store.stats.rejected == 1
+    assert not os.path.exists(path)
 
 
 def test_empty_and_garbage_files_are_rejected(store):
@@ -161,6 +166,7 @@ def test_empty_and_garbage_files_are_rejected(store):
         with open(path, "wb") as f:
             f.write(garbage)
         assert store.get(BASE) is None
+        assert not os.path.exists(path)  # each bad file is deleted
     assert store.stats.rejected == 3
 
 
