@@ -11,7 +11,8 @@ Commands:
 * ``sweep GRID.json``    — batch-execute a grid over the multiprocess
                            executor and a persistent result store
                            (``--jobs``, ``--store``, ``--resume``,
-                           ``--force``, ``--start-method``);
+                           ``--force``, ``--start-method``, ``--remote``
+                           for a read-through shared tier);
 * ``experiment NAME``    — regenerate one paper table/figure
                            (fig1, table1, fig5, fig6, fig7, fig8, fig9,
                            fig9b, fig10-resnet50, fig10-vgg19, sec52,
@@ -19,7 +20,8 @@ Commands:
                            ``--force`` cache engine ground truth in a
                            sweep store;
 * ``store ACTION DIR``   — manage a sweep store (``stats``, ``gc``,
-                           ``prune``, ``verify``);
+                           ``prune``, ``verify``, and the shared-tier
+                           actions ``serve``, ``push``, ``pull``);
 * ``models``             — list available models;
 * ``optimizations``      — list the optimization registry.
 """
@@ -38,6 +40,7 @@ from repro.scenarios import (
     ClusterShape,
     OptimizationPipeline,
     ScenarioRunner,
+    StoreServer,
     SweepStore,
     default_registry,
     store_salt,
@@ -141,7 +144,12 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     import time
 
-    store = SweepStore(args.store) if args.store else None
+    if args.remote and not args.store:
+        raise DaydreamError("--remote needs --store: the local store is "
+                            "the write-back cache the remote tier reads "
+                            "through into")
+    store = SweepStore(args.store, remote=args.remote) if args.store \
+        else None
     # --no-resume and --force both mean "do not trust prior entries";
     # either way fresh rows are written back to the store
     force = args.force or not args.resume
@@ -166,7 +174,10 @@ def cmd_sweep(args) -> int:
     summary = (f"{len(outcomes)} cell(s) in {elapsed:.2f}s — "
                f"{hits} from store, {len(outcomes) - hits} computed")
     if store is not None:
-        summary += f" (store: {store.root}, {len(store)} entries)"
+        summary += f" (store: {store.root}, {len(store)} entries"
+        if args.remote:
+            summary += f", {store.stats.remote_hits} via remote"
+        summary += ")"
     print(summary, file=sys.stderr)
     return 0
 
@@ -199,10 +210,15 @@ def cmd_experiment(args) -> int:
               f"choose from {sorted(runners)}", file=sys.stderr)
         return 2
     runner = runners[args.name]
+    if args.remote and not args.store:
+        raise DaydreamError("--remote needs --store: the local store is "
+                            "the write-back cache the remote tier reads "
+                            "through into")
     # hand each experiment only the flags its runner understands, and say
     # so when a requested flag would be silently ignored
     offered = {
-        "store": SweepStore(args.store) if args.store else None,
+        "store": (SweepStore(args.store, remote=args.remote)
+                  if args.store else None),
         "jobs": args.jobs,
         "force": args.force or None,
         "models": ([m.strip() for m in args.models.split(",") if m.strip()]
@@ -258,6 +274,27 @@ def cmd_store(args) -> int:
             print("store has untrustworthy entries; run "
                   "'repro store gc' to remove them", file=sys.stderr)
             return 1
+        return 0
+    if args.action == "serve":
+        server = StoreServer(store.root, host=args.host, port=args.port,
+                             read_only=args.read_only)
+        mode = "read-only" if args.read_only else "read-write"
+        span = (f"for {args.duration:g}s" if args.duration is not None
+                else "until interrupted")
+        print(f"serving {store.root} at {server.url}/ ({mode}) {span}",
+              file=sys.stderr)
+        try:
+            server.serve(duration_s=args.duration)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if args.action == "push":
+        report = store.push(args.remote, force=args.force)
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    if args.action == "pull":
+        report = store.pull(args.remote)
+        print(json.dumps(report.as_dict(), indent=2))
         return 0
     raise AssertionError(f"unhandled store action {args.action!r}")
 
@@ -321,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "state, spawn rebuilds it from a pickled "
                             "manifest (macOS/Windows), serial disables "
                             "the pool; default picks automatically")
+    sweep.add_argument("--remote", default=None, metavar="URL",
+                       help="read-through remote store tier (a 'repro "
+                            "store serve' URL); local misses consult it, "
+                            "verified entries cache locally, and an "
+                            "unreachable or corrupt remote is just a "
+                            "miss.  Needs --store")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -339,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--models", default=None, metavar="A,B",
                             help="comma-separated model subset "
                                  "(experiments that take a model list)")
+    experiment.add_argument("--remote", default=None, metavar="URL",
+                            help="read-through remote tier for the sweep "
+                                 "store: cached ground truth is served "
+                                 "from the shared server when present "
+                                 "(needs --store)")
 
     store = sub.add_parser(
         "store", help="manage a persistent sweep-result store")
@@ -359,7 +407,37 @@ def build_parser() -> argparse.ArgumentParser:
     verify = store_sub.add_parser(
         "verify", help="audit every entry without mutating anything "
                        "(exit 1 if any entry is stale or corrupt)")
-    for action in (stats, gc, prune, verify):
+    serve = store_sub.add_parser(
+        "serve", help="publish this store over HTTP so other hosts can "
+                      "read through it (--remote) and push/pull")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use "
+                            "0.0.0.0 to serve other hosts)")
+    serve.add_argument("--port", type=int, default=8231, metavar="N",
+                       help="bind port (default 8231; 0 picks a free one, "
+                            "printed on stderr)")
+    serve.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="serve for S seconds then exit 0 (default: "
+                            "serve until interrupted)")
+    serve.add_argument("--read-only", action="store_true",
+                       help="refuse PUT/DELETE (clients can read through "
+                            "and pull, but not push)")
+    push = store_sub.add_parser(
+        "push", help="publish every live local entry to a remote store "
+                     "server (only entries that verify under the current "
+                     "salt travel)")
+    push.add_argument("--force", action="store_true",
+                      help="re-upload entries the server already lists "
+                           "(repairs a corrupt remote copy left by an "
+                           "interrupted transfer)")
+    pull = store_sub.add_parser(
+        "pull", help="replicate every trustworthy remote entry into this "
+                     "store (corrupt or version-skewed entries are "
+                     "rejected, never written)")
+    for action in (push, pull):
+        action.add_argument("--remote", required=True, metavar="URL",
+                            help="base URL of a 'repro store serve' server")
+    for action in (stats, gc, prune, verify, serve, push, pull):
         action.add_argument("dir", help="sweep-store directory")
     return parser
 

@@ -32,7 +32,12 @@ def cached_measurements(requests: Sequence[tuple], store=None,
     All store reads and writes happen in the *parent* process; only the
     cache-missing ``compute`` callables fan out across fork workers
     (``jobs``).  That keeps ``store.stats`` honest, lets a ``max_bytes``
-    cap see every write, and still persists each measurement.
+    cap see every write, and still persists each measurement.  Because
+    every read goes through :meth:`SweepStore.get`, a store constructed
+    with a ``remote`` tier serves ground truth read-through from the
+    shared server *transparently* — experiments need no remote-specific
+    code, and a corrupt or unreachable remote is simply a miss that
+    re-measures locally.
 
     Args:
         requests: ``(scenario, kind, compute)`` triples; ``compute`` is a

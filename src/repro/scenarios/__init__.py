@@ -17,7 +17,12 @@ This package is the single front door for running what-if analyses:
 * :mod:`repro.scenarios.batch` — the multiprocess batch executor fanning
   grids across a process pool (fork or spawn start methods; spawn workers
   rebuild runtime registrations from a :class:`WorkerManifest`) with
-  store-backed resume.
+  store-backed resume and per-cell lease dedupe across concurrent sweeps;
+* :mod:`repro.scenarios.backends` — the pluggable storage tiers behind
+  the store: the :class:`StoreBackend` protocol, the on-disk
+  :class:`LocalBackend`, the read-through :class:`HTTPBackend` remote
+  tier with its :class:`StoreServer` (``repro store serve``), and the
+  :class:`FileLease` coordination primitive.
 
 Quickstart::
 
@@ -28,6 +33,16 @@ Quickstart::
     print(outcome.prediction)
 """
 
+from repro.scenarios.backends import (
+    LEASE_STEAL_SECONDS,
+    BackendError,
+    EntryStat,
+    FileLease,
+    HTTPBackend,
+    LocalBackend,
+    StoreBackend,
+    StoreServer,
+)
 from repro.scenarios.batch import (
     START_METHODS,
     BatchReport,
@@ -50,16 +65,20 @@ from repro.scenarios.runner import (
     ScenarioRunner,
 )
 from repro.scenarios.scenario import (
+    NAMED_SCHEDULE_POLICIES,
     ClusterShape,
     Scenario,
     ScenarioGrid,
     load_scenario_file,
+    register_schedule_policy,
+    runtime_schedule_policies,
 )
 from repro.scenarios.store import (
     RESULT_SCHEMA_VERSION,
     GCReport,
     StoreStats,
     SweepStore,
+    SyncReport,
     VerifyReport,
     canonical_scenario_json,
     scenario_key,
@@ -67,6 +86,14 @@ from repro.scenarios.store import (
 )
 
 __all__ = [
+    "BackendError",
+    "EntryStat",
+    "FileLease",
+    "HTTPBackend",
+    "LocalBackend",
+    "StoreBackend",
+    "StoreServer",
+    "LEASE_STEAL_SECONDS",
     "BatchReport",
     "SweepCell",
     "WorkerManifest",
@@ -74,12 +101,16 @@ __all__ = [
     "run_batch",
     "GCReport",
     "StoreStats",
+    "SyncReport",
     "VerifyReport",
     "store_salt",
     "RESULT_SCHEMA_VERSION",
     "SweepStore",
     "canonical_scenario_json",
     "scenario_key",
+    "NAMED_SCHEDULE_POLICIES",
+    "register_schedule_policy",
+    "runtime_schedule_policies",
     "OptimizationPipeline",
     "PipelineError",
     "DEFAULT_REGISTRY",

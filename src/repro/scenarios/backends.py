@@ -1,0 +1,732 @@
+"""Pluggable storage tiers behind the sweep store.
+
+:class:`~repro.scenarios.store.SweepStore` addresses entries by content,
+verifies everything it reads, and never trusts a byte it did not checksum.
+That discipline makes the *medium* interchangeable: any tier that can move
+raw entry bytes by key can back a store, because trust is established by
+the reader, not the transport.  This module defines that seam:
+
+* :class:`StoreBackend` — the five-operation protocol every tier provides
+  (``get`` / ``put`` / ``delete`` / ``iter_keys`` / ``stat``), moving
+  opaque entry bytes by content key;
+* :class:`LocalBackend` — the on-disk directory layout
+  (``objects/<key[:2]>/<key>.json`` plus ``.last`` LRU sidecars), with
+  atomic writes and the per-key / store-wide **lease files** that let
+  concurrent writers, GC passes and cross-grid sweeps coordinate;
+* :class:`HTTPBackend` — a remote tier over stdlib ``urllib``: reads
+  degrade to ``None`` on *any* transport trouble (unreachable host,
+  timeout, mid-body truncation), so a flaky remote can cost a cache miss
+  but never a crash;
+* :class:`StoreServer` — the matching stdlib ``http.server`` front end
+  (``repro store serve``) publishing a local store to other hosts;
+* :class:`FileLease` — an advisory lock file with
+  acquire / steal-after-stale / release semantics.  Theft favours
+  liveness: because entries are content-addressed and recomputable, the
+  worst case of a misjudged steal is duplicated work, never a wrong
+  result.
+
+The written contract — which operations each backend must make atomic,
+the read-through/write-back order, the lease lifecycle — lives in
+``docs/store-backends.md`` and is drift-checked by tests.
+"""
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+from repro.common.errors import DaydreamError
+
+#: a lease file untouched for this long is presumed dead and may be stolen
+LEASE_STEAL_SECONDS = 120.0
+
+#: content keys are 32 lowercase hex chars (blake2b-128); both the server
+#: and the backends refuse anything else before touching the filesystem
+KEY_RE = re.compile(r"^[0-9a-f]{32}$")
+
+
+class BackendError(DaydreamError):
+    """An explicit backend transfer (push, pull, serve) failed.
+
+    Read-through reads never raise this — a failing read is a miss — but
+    commands that *must* move bytes (``repro store push``/``pull``) fail
+    loudly instead of silently publishing nothing.
+    """
+
+
+@dataclass(frozen=True)
+class EntryStat:
+    """What :meth:`StoreBackend.stat` reports about one stored entry."""
+
+    size: int
+    mtime: float
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """The five operations a sweep-store tier must provide.
+
+    Backends move *opaque bytes* by content key; all verification (key,
+    salt, checksum) happens in :class:`~repro.scenarios.store.SweepStore`,
+    so an untrusted or corrupt tier can cost a miss but never serve a
+    wrong value.  ``docs/store-backends.md`` specifies which of these
+    operations each backend must make atomic.
+    """
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Raw entry bytes for ``key``, or ``None`` if absent/unreadable."""
+        ...
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key`` (atomically: all bytes or none)."""
+        ...
+
+    def delete(self, key: str) -> None:
+        """Remove the entry for ``key`` (idempotent; absent is fine)."""
+        ...
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every content key this tier currently holds."""
+        ...
+
+    def stat(self, key: str) -> Optional[EntryStat]:
+        """Size/mtime of the entry for ``key``, or ``None`` if absent."""
+        ...
+
+
+# --------------------------------------------------------------------- leases
+
+
+class FileLease:
+    """An advisory lock file with acquire / steal-after-stale / release.
+
+    The lease file holds an owner token; creation with ``O_EXCL`` is the
+    acquisition.  A lease whose mtime is older than ``steal_after``
+    seconds is presumed abandoned (crashed holder) and may be stolen: the
+    stealer atomically replaces the file with its own token and confirms
+    ownership by reading it back.  Two simultaneous stealers can, in a
+    narrow window, both believe they won — acceptable by design, because
+    every lease in this package guards *recomputable, content-addressed*
+    work: a misjudged steal duplicates effort, it never corrupts state.
+
+    Live holders doing long work should :meth:`refresh` periodically so
+    waiting peers do not steal a lease that is merely slow.
+    """
+
+    def __init__(self, path: str,
+                 steal_after: float = LEASE_STEAL_SECONDS) -> None:
+        self.path = os.fspath(path)
+        self.steal_after = steal_after
+        self.owned = False
+        self._token = f"{os.getpid()}:{time.monotonic_ns()}"
+
+    def try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt (stealing if stale)."""
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return self._steal_if_stale()
+        except OSError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(self._token)
+        self.owned = True
+        return True
+
+    def _steal_if_stale(self) -> bool:
+        """Replace a stale lease with our token; confirm by read-back."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return False  # vanished mid-check; next try_acquire gets it
+        if age <= self.steal_after:
+            return False
+        tmp = None
+        try:
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(self.path),
+                                       suffix=".steal")
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(self._token)
+            os.replace(tmp, self.path)
+            tmp = None  # consumed by the replace
+            with open(self.path, encoding="utf-8") as f:
+                won = f.read() == self._token
+        except OSError:
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        self.owned = won
+        return won
+
+    def acquire(self, timeout: float, poll_s: float = 0.02) -> bool:
+        """Poll :meth:`try_acquire` for up to ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self.try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
+
+    def refresh(self) -> None:
+        """Re-stamp the lease mtime so waiting peers do not steal it."""
+        if self.owned:
+            try:
+                os.utime(self.path, None)
+            except OSError:
+                pass
+
+    def release(self) -> None:
+        """Give the lease up — only if we still own it (not stolen)."""
+        if not self.owned:
+            return
+        self.owned = False
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                if f.read() != self._token:
+                    return  # stolen from us; the new owner keeps the file
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def held_by_other(self) -> bool:
+        """Whether someone else currently holds a *fresh* lease here."""
+        if self.owned:
+            return False
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return False
+        return age <= self.steal_after
+
+    def __enter__(self) -> "FileLease":
+        """Context-manager entry (the caller has already acquired)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Release on context exit."""
+        self.release()
+
+
+# ----------------------------------------------------------------- local tier
+
+
+class LocalBackend:
+    """The on-disk tier: one JSON file per entry, sharded by key prefix.
+
+    Layout under ``<root>/objects/``:
+
+    * ``<key[:2]>/<key>.json`` — the entry (atomic ``os.replace`` writes);
+    * ``<key[:2]>/<key>.last`` — zero-byte LRU sidecar (mtime = last serve);
+    * ``<key[:2]>/<key>.lease`` — per-key write/compute lease;
+    * ``<root>/gc.lease`` — the store-wide GC lease.
+
+    ``put`` is atomic (temp file + ``os.replace``); ``delete`` and
+    sidecar touches are idempotent and best-effort.  Lease and sidecar
+    files are bookkeeping, not content: :meth:`total_bytes` counts
+    entries, sidecars and abandoned temp files, but never lease files, so
+    byte budgets are about results, not coordination overhead.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+
+    @property
+    def objects_dir(self) -> str:
+        """The sharded entry directory under the store root."""
+        return os.path.join(self.root, "objects")
+
+    def path_for(self, key: str) -> str:
+        """The entry file backing one content key."""
+        return os.path.join(self.objects_dir, key[:2], f"{key}.json")
+
+    def served_path_for(self, key: str) -> str:
+        """The ``last_served`` LRU sidecar of one content key."""
+        return os.path.join(self.objects_dir, key[:2], f"{key}.last")
+
+    def lease_path_for(self, key: str) -> str:
+        """The per-key lease file of one content key."""
+        return os.path.join(self.objects_dir, key[:2], f"{key}.lease")
+
+    # ------------------------------------------------------------- protocol
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Raw entry bytes, or ``None`` if absent or unreadable."""
+        try:
+            with open(self.path_for(key), "rb") as f:
+                return f.read()
+        except OSError:
+            return None
+
+    def put(self, key: str, data: bytes) -> None:
+        """Atomically write one entry (temp file + ``os.replace``)."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> int:
+        """Remove one entry and its sidecar; returns the bytes freed."""
+        freed = 0
+        for path in (self.path_for(key), self.served_path_for(key)):
+            try:
+                freed += os.stat(path).st_size
+                os.unlink(path)
+            except OSError:
+                pass
+        return freed
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every content key currently on disk (unvalidated), sorted."""
+        objects = self.objects_dir
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[:-len(".json")]
+
+    def stat(self, key: str) -> Optional[EntryStat]:
+        """Size and mtime of one entry file, or ``None`` if absent."""
+        try:
+            st = os.stat(self.path_for(key))
+        except OSError:
+            return None
+        return EntryStat(size=st.st_size, mtime=st.st_mtime)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def touch_served(self, key: str) -> None:
+        """Refresh the LRU clock of one entry (best-effort)."""
+        sidecar = self.served_path_for(key)
+        try:
+            with open(sidecar, "a", encoding="utf-8"):
+                pass
+            os.utime(sidecar, None)
+        except OSError:
+            pass  # a read-only or racing store never fails a serve
+
+    def last_served(self, key: str) -> Optional[float]:
+        """When the entry was last served (sidecar mtime, else entry
+        mtime, else ``None`` for a missing entry)."""
+        for path in (self.served_path_for(key), self.path_for(key)):
+            try:
+                return os.stat(path).st_mtime
+            except OSError:
+                continue
+        return None
+
+    def entry_bytes(self, key: str) -> int:
+        """On-disk size of one entry plus its sidecar."""
+        size = 0
+        for path in (self.path_for(key), self.served_path_for(key)):
+            try:
+                size += os.stat(path).st_size
+            except OSError:
+                pass
+        return size
+
+    def total_bytes(self) -> int:
+        """Bytes under ``objects/``: entries, sidecars and temp files.
+
+        Lease files are excluded — they are transient coordination state,
+        and byte budgets (``gc --max-bytes``) are contracts about stored
+        *results*, not about locks.
+        """
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            for name in filenames:
+                if name.endswith((".lease", ".steal")):
+                    continue
+                try:
+                    total += os.stat(os.path.join(dirpath, name)).st_size
+                except OSError:
+                    pass
+        return total
+
+    def remove_abandoned(self, grace_s: float) -> int:
+        """Delete temp and lease files untouched for ``grace_s`` seconds.
+
+        Young ones are left alone: a concurrent writer may be about to
+        ``os.replace`` a temp file into place, and a fresh lease has a
+        live holder.
+        """
+        removed = 0
+        cutoff = time.time() - grace_s
+        for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            for name in filenames:
+                if not name.endswith((".tmp", ".lease", ".steal")):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.stat(path).st_mtime < cutoff:
+                        os.unlink(path)
+                        if name.endswith(".tmp"):
+                            removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # --------------------------------------------------------------- leases
+
+    def lease(self, key: str,
+              steal_after: float = LEASE_STEAL_SECONDS) -> FileLease:
+        """The per-key lease of one content key (not yet acquired)."""
+        return FileLease(self.lease_path_for(key), steal_after=steal_after)
+
+    def gc_lease(self,
+                 steal_after: float = LEASE_STEAL_SECONDS) -> FileLease:
+        """The store-wide lease serializing GC/prune passes."""
+        return FileLease(os.path.join(self.root, "gc.lease"),
+                         steal_after=steal_after)
+
+    def lease_held(self, key: str,
+                   steal_after: float = LEASE_STEAL_SECONDS) -> bool:
+        """Whether a fresh per-key lease exists (a live writer/computer)."""
+        try:
+            age = time.time() - os.stat(self.lease_path_for(key)).st_mtime
+        except OSError:
+            return False
+        return age <= steal_after
+
+
+# ---------------------------------------------------------------- remote tier
+
+
+class HTTPBackend:
+    """A remote sweep-store tier spoken over plain HTTP (stdlib only).
+
+    Endpoints (served by :class:`StoreServer`):
+
+    * ``GET /objects/<key>.json`` — entry bytes (404 when absent);
+    * ``HEAD /objects/<key>.json`` — existence/size probe;
+    * ``PUT /objects/<key>.json`` — publish one entry (``repro store
+      push``); the server sanity-checks that the body's embedded key
+      matches the path;
+    * ``DELETE /objects/<key>.json`` — drop one entry;
+    * ``GET /keys`` — JSON list of every key the server holds.
+
+    :meth:`get` and :meth:`stat` are *read-through safe*: any transport
+    trouble — connection refused, DNS failure, timeout, a response body
+    shorter than its ``Content-Length`` — returns ``None``, so the
+    calling store records a miss and re-simulates.  A transport-level
+    failure also marks the remote *down* for ``backoff_s`` seconds,
+    during which reads return ``None`` immediately — an unreachable
+    server costs one timeout per backoff window, not one per grid cell.
+    (An HTTP error status is a *reachable* server answering — 404 is an
+    ordinary miss — and never triggers the backoff.)  Explicit transfers
+    (:meth:`put`, :meth:`delete`, :meth:`iter_keys`) raise
+    :class:`BackendError` instead: ``push``/``pull`` must fail loudly,
+    not publish silence.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 5.0,
+                 backoff_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.backoff_s = backoff_s
+        self._down_until = 0.0
+
+    def _reachable(self) -> bool:
+        """Whether the down-backoff window allows a network attempt."""
+        return time.time() >= self._down_until
+
+    def _mark_down(self) -> None:
+        """Start (or extend) the down-backoff window after a failure."""
+        self._down_until = time.time() + self.backoff_s
+
+    def url_for(self, key: str) -> str:
+        """The entry URL of one content key."""
+        if not KEY_RE.match(key):
+            raise BackendError(f"malformed content key {key!r}")
+        return f"{self.base_url}/objects/{key}.json"
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Entry bytes from the remote, or ``None`` on any trouble."""
+        if not self._reachable():
+            return None
+        try:
+            req = urllib.request.Request(self.url_for(key), method="GET")
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read()
+        except BackendError:
+            raise  # a malformed key is a caller bug, not a remote flake
+        except urllib.error.HTTPError:
+            return None  # a reachable server saying no: an ordinary miss
+        except Exception:
+            self._mark_down()  # transport trouble: back off for a while
+            return None  # unreachable/timeout/truncation: a miss, never a crash
+
+    def fetch(self, key: str) -> Optional[bytes]:
+        """Entry bytes for an *explicit* transfer: loud, unlike :meth:`get`.
+
+        Returns ``None`` only when a reachable server answers 404 (the
+        entry vanished between listing and fetching); any transport
+        trouble raises :class:`BackendError`, so ``repro store pull``
+        cannot silently misreport a dead server as a pile of rejected
+        entries.
+        """
+        try:
+            req = urllib.request.Request(self.url_for(key), method="GET")
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise BackendError(
+                f"cannot fetch {key} from {self.base_url}: {exc}"
+            ) from None
+        except BackendError:
+            raise
+        except Exception as exc:
+            raise BackendError(
+                f"cannot fetch {key} from {self.base_url}: {exc}"
+            ) from None
+
+    def put(self, key: str, data: bytes) -> None:
+        """Publish one entry to the remote (raises on any failure)."""
+        req = urllib.request.Request(self.url_for(key), data=data,
+                                     method="PUT")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s):
+                pass
+        except Exception as exc:
+            raise BackendError(
+                f"cannot publish {key} to {self.base_url}: {exc}"
+            ) from None
+
+    def delete(self, key: str) -> None:
+        """Drop one remote entry (raises on any failure but 404)."""
+        req = urllib.request.Request(self.url_for(key), method="DELETE")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s):
+                pass
+        except urllib.error.HTTPError as exc:
+            if exc.code != 404:
+                raise BackendError(
+                    f"cannot delete {key} from {self.base_url}: {exc}"
+                ) from None
+        except Exception as exc:
+            raise BackendError(
+                f"cannot delete {key} from {self.base_url}: {exc}"
+            ) from None
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every key the remote holds (raises if it cannot be listed)."""
+        try:
+            req = urllib.request.Request(f"{self.base_url}/keys",
+                                         method="GET")
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                keys = json.loads(resp.read().decode("utf-8"))
+        except Exception as exc:
+            raise BackendError(
+                f"cannot list keys of {self.base_url}: {exc}"
+            ) from None
+        if not isinstance(keys, list):
+            raise BackendError(f"{self.base_url}/keys did not return a list")
+        return iter([k for k in keys if isinstance(k, str)
+                     and KEY_RE.match(k)])
+
+    def stat(self, key: str) -> Optional[EntryStat]:
+        """Remote entry size via ``HEAD``, or ``None`` on any trouble."""
+        if not self._reachable():
+            return None
+        try:
+            req = urllib.request.Request(self.url_for(key), method="HEAD")
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                size = int(resp.headers.get("Content-Length") or 0)
+        except BackendError:
+            raise
+        except urllib.error.HTTPError:
+            return None
+        except Exception:
+            self._mark_down()
+            return None
+        return EntryStat(size=size, mtime=0.0)
+
+
+class _StoreHTTPHandler(BaseHTTPRequestHandler):
+    """Request handler bridging the HTTP surface onto a LocalBackend."""
+
+    # set by StoreServer on the subclass it builds per server instance
+    backend: LocalBackend
+    read_only: bool = False
+    server_version = "repro-store/1"
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging (the CLI prints a summary)."""
+
+    def _key_from_path(self) -> Optional[str]:
+        match = re.match(r"^/objects/([0-9a-f]{32})\.json$", self.path)
+        return match.group(1) if match else None
+
+    def _send(self, code: int, body: bytes = b"",
+              content_type: str = "application/json") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        """Serve ``/keys`` or one entry; 404 anything else."""
+        if self.path == "/keys":
+            body = json.dumps(sorted(self.backend.iter_keys())).encode()
+            self._send(200, body)
+            return
+        key = self._key_from_path()
+        data = self.backend.get(key) if key else None
+        if data is None:
+            self._send(404, b'{"error": "no such entry"}')
+        else:
+            self._send(200, data)
+
+    def do_HEAD(self) -> None:
+        """Existence/size probe of one entry."""
+        key = self._key_from_path()
+        stat = self.backend.stat(key) if key else None
+        if stat is None:
+            self._send(404)
+        else:
+            self.send_response(200)
+            self.send_header("Content-Length", str(stat.size))
+            self.end_headers()
+
+    def do_PUT(self) -> None:
+        """Accept one pushed entry after a minimal embedded-key check."""
+        if self.read_only:
+            self._send(403, b'{"error": "read-only store"}')
+            return
+        key = self._key_from_path()
+        if key is None:
+            self._send(404, b'{"error": "bad entry path"}')
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            data = self.rfile.read(length)
+            payload = json.loads(data.decode("utf-8"))
+            embedded = payload.get("key") if isinstance(payload, dict) \
+                else None
+        except (ValueError, UnicodeDecodeError):
+            self._send(400, b'{"error": "entry body is not JSON"}')
+            return
+        if embedded != key:
+            self._send(400, b'{"error": "embedded key does not match path"}')
+            return
+        self.backend.put(key, data)
+        self._send(201, b'{"stored": true}')
+
+    def do_DELETE(self) -> None:
+        """Drop one entry (404 when absent)."""
+        if self.read_only:
+            self._send(403, b'{"error": "read-only store"}')
+            return
+        key = self._key_from_path()
+        if key is None or self.backend.stat(key) is None:
+            self._send(404, b'{"error": "no such entry"}')
+            return
+        self.backend.delete(key)
+        self._send(200, b'{"deleted": true}')
+
+
+class StoreServer:
+    """Publish one local sweep store over HTTP (``repro store serve``).
+
+    A thin wrapper around :class:`http.server.ThreadingHTTPServer`: pass
+    a store root, a bind address and a port (``0`` picks a free one), and
+    either :meth:`serve` in the foreground — optionally for a bounded
+    ``duration`` — or :meth:`start` a daemon thread and :meth:`shutdown`
+    later (what the tests do).  The server performs only a minimal
+    embedded-key sanity check on pushed entries; *clients* re-verify
+    key/salt/checksum on every read, so a compromised or skewed server
+    can cost misses, never wrong values.
+    """
+
+    def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
+                 read_only: bool = False) -> None:
+        backend = LocalBackend(root)
+        handler = type("_BoundStoreHTTPHandler", (_StoreHTTPHandler,),
+                       {"backend": backend, "read_only": read_only})
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            raise BackendError(
+                f"cannot bind store server to {host}:{port}: {exc}"
+            ) from None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The base URL clients pass as ``--remote``."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve(self, duration_s: Optional[float] = None) -> None:
+        """Serve in the foreground, forever or for ``duration_s`` seconds."""
+        if duration_s is not None:
+            timer = threading.Timer(duration_s, self._server.shutdown)
+            timer.daemon = True
+            timer.start()
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._server.server_close()
+
+    def start(self) -> "StoreServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        kwargs={"poll_interval": 0.05},
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop a :meth:`start`-ed server and release its socket."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "StoreServer":
+        """Start serving on entry to a ``with`` block."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Shut the server down on exit."""
+        self.shutdown()

@@ -19,18 +19,29 @@ finished cells remembered.  :func:`run_batch` is that substrate:
 * results stream back in completion order — the parent persists each cell
   to the store the moment its chunk finishes (a killed sweep resumes from
   the last completed chunk) and reports progress — while the returned rows
-  keep input order.
+  keep input order.  **All store I/O stays in the parent**: workers only
+  ever return plain numbers, so store stats, byte caps and leases see
+  every write;
+* each missing cell is *claimed* through a per-key
+  :class:`~repro.scenarios.backends.FileLease` before it is computed, so
+  two concurrent sweeps over one store dedupe identical cells: the sweep
+  that loses the claim defers the cell, serves the winner's entry the
+  moment it lands, and inherits the computation only if the winner's
+  lease goes stale (a crash) without producing one.
 
 Because the simulator and the keyed PRNG are deterministic, pool results
 are bit-identical to a serial run under *either* start method;
 ``tests/test_sweep_determinism.py`` pins serial / fork-sweep / process-pool
-/ spawn-pool / cached rows against each other.
+/ spawn-pool / cached / remote-warm rows against each other.
+
 """
 
 import math
 import multiprocessing
 import pickle
 import sys
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -39,13 +50,22 @@ from repro.analysis.parallel import default_processes
 from repro.common.errors import ConfigError
 from repro.models.base import ModelSpec
 from repro.models.registry import register_model, runtime_registered_models
+from repro.scenarios.backends import FileLease
 from repro.scenarios.registry import (
     DEFAULT_REGISTRY,
     OptimizationRegistry,
     OptimizationSpec,
 )
-from repro.scenarios.scenario import Scenario
+from repro.scenarios.scenario import (
+    Scenario,
+    register_schedule_policy,
+    runtime_schedule_policies,
+)
 from repro.scenarios.store import SweepStore, scenario_key
+
+#: how often a deferred cell re-checks the store while another sweep's
+#: lease holder is computing it
+DEDUPE_POLL_SECONDS = 0.05
 
 #: one unit of worker work: (cell index, scenario dict)
 _Cell = Tuple[int, Dict[str, object]]
@@ -88,6 +108,10 @@ class WorkerManifest:
         specs: optimization specs the worker must register — the runtime
             additions for the default registry, every spec for a custom one.
         models: runtime-registered (name, builder) model entries.
+        schedule_policies: runtime-registered (name, factory) entries of
+            :data:`~repro.scenarios.scenario.NAMED_SCHEDULE_POLICIES` —
+            scenarios declaring a runtime-registered ``schedule_policy``
+            would otherwise fail validation in a fresh spawn interpreter.
 
     Builders and spec factories must be *importable* module-level
     callables: pickling carries only their qualified names, and the worker
@@ -99,17 +123,20 @@ class WorkerManifest:
     default_registry: bool = True
     specs: Tuple[OptimizationSpec, ...] = ()
     models: Tuple[Tuple[str, Callable[..., ModelSpec]], ...] = ()
+    schedule_policies: Tuple[Tuple[str, Callable[[], object]], ...] = ()
 
     @classmethod
     def capture(cls, registry: Optional[OptimizationRegistry] = None,
-                model_names: Optional[Sequence[str]] = None
+                model_names: Optional[Sequence[str]] = None,
+                policy_names: Optional[Sequence[str]] = None
                 ) -> "WorkerManifest":
         """Snapshot the current process's runtime registrations.
 
         ``model_names`` limits the carried model builders to the ones a
-        grid actually references (case-insensitive), so an unrelated —
-        possibly unpicklable — registration elsewhere in the process
-        never blocks a spawn sweep that does not use it.
+        grid actually references (case-insensitive), and ``policy_names``
+        does the same for runtime-registered schedule policies, so an
+        unrelated — possibly unpicklable — registration elsewhere in the
+        process never blocks a spawn sweep that does not use it.
         """
         registry = registry or DEFAULT_REGISTRY
         models = runtime_registered_models()
@@ -117,23 +144,32 @@ class WorkerManifest:
             wanted = {str(name).lower() for name in model_names}
             models = {name: builder for name, builder in models.items()
                       if name in wanted}
+        policies = runtime_schedule_policies()
+        if policy_names is not None:
+            wanted_policies = {str(name) for name in policy_names}
+            policies = {name: factory for name, factory in policies.items()
+                        if name in wanted_policies}
         return cls(
             fingerprint=registry.fingerprint(),
             default_registry=registry is DEFAULT_REGISTRY,
             specs=tuple(registry.runtime_specs()),
             models=tuple(sorted(models.items())),
+            schedule_policies=tuple(sorted(policies.items())),
         )
 
     def restore(self) -> OptimizationRegistry:
         """Replay the captured state in this interpreter.
 
-        Registers the carried model builders, rebuilds the optimization
-        registry (on top of the local default registry, or from scratch
-        for a custom one), and verifies its fingerprint against the
-        parent's before anything runs under mismatched keys.
+        Registers the carried model builders and schedule policies,
+        rebuilds the optimization registry (on top of the local default
+        registry, or from scratch for a custom one), and verifies its
+        fingerprint against the parent's before anything runs under
+        mismatched keys.
         """
         for name, builder in self.models:
             register_model(name, builder, overwrite=True)
+        for name, factory in self.schedule_policies:
+            register_schedule_policy(name, factory, overwrite=True)
         if self.default_registry:
             registry = DEFAULT_REGISTRY
         else:
@@ -231,6 +267,74 @@ def _worker_run_chunk(chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]:
     return _run_chunk(_WORKER_RUNNER, chunk)
 
 
+def _resolve_deferred(index: int, scenario: Scenario,
+                      registry: OptimizationRegistry,
+                      store: SweepStore, report: "BatchReport",
+                      finish: Callable[[int, SweepCell], None]) -> None:
+    """Wait out another sweep's compute lease on one deferred cell.
+
+    Polls the *local* tier (a pure :meth:`SweepStore.contains` probe: no
+    counters, no remote traffic) while the lease stays fresh, and serves
+    the entry the moment its owner persists it — that is the cross-sweep
+    dedupe.  If the lease is released (or stale enough to steal) without
+    a usable entry, the owner crashed or was killed: this sweep inherits
+    the cell — after one full :meth:`~SweepStore.get` (remote included),
+    in case the result exists beyond the local tier — and computes it
+    in-process.
+    """
+    key = scenario_key(scenario, registry)
+
+    def serve(values: Dict[str, object]) -> None:
+        report.hits += 1
+        finish(index, SweepCell(scenario=scenario, key=key, cached=True,
+                                baseline_us=values["baseline_us"],
+                                predicted_us=values["predicted_us"]))
+
+    while True:
+        if store.contains(scenario):
+            values = store.get(scenario)
+            if _values_ok(values):
+                serve(values)
+                return
+        lease = store.lease(key)
+        if lease.try_acquire():
+            # the inherited computation can outlast the steal window just
+            # like a normal chunk: keep this claim fresh on a time cadence
+            stop_refresh = threading.Event()
+
+            def _keep_fresh() -> None:
+                from repro.scenarios.backends import LEASE_STEAL_SECONDS
+                while not stop_refresh.wait(LEASE_STEAL_SECONDS / 4):
+                    lease.refresh()
+
+            refresher = threading.Thread(target=_keep_fresh, daemon=True)
+            refresher.start()
+            try:
+                # one full read-through; the write-back rides our lease
+                values = store.get(scenario, lease=lease)
+                if _values_ok(values):
+                    serve(values)
+                    return
+                from repro.scenarios.runner import ScenarioRunner
+                runner = ScenarioRunner(registry=registry)
+                ((_, baseline_us, predicted_us),) = _run_chunk(
+                    runner, [(index, scenario.to_dict())])
+                store.put(scenario, {"baseline_us": baseline_us,
+                                     "predicted_us": predicted_us},
+                          lease=lease)
+                report.computed += 1
+                finish(index, SweepCell(scenario=scenario, key=key,
+                                        cached=False,
+                                        baseline_us=baseline_us,
+                                        predicted_us=predicted_us))
+            finally:
+                stop_refresh.set()
+                refresher.join(timeout=5.0)
+                lease.release()
+            return
+        time.sleep(DEDUPE_POLL_SECONDS)
+
+
 def _partition(scenarios: Sequence[Scenario], pending: Sequence[int],
                jobs: int) -> List[List[_Cell]]:
     """Chunk pending cells, grouping cells of one workload together.
@@ -313,7 +417,11 @@ def run_batch(
         scenarios: the grid cells, already expanded.
         registry: optimization registry (also salts store keys).
         store: persistent result store; cells found there are served
-            without simulation and newly computed cells are written back.
+            without simulation (including read-through from the store's
+            remote tier, if it has one) and newly computed cells are
+            written back locally.  Missing cells are claimed under
+            per-key leases, so concurrent sweeps sharing the store
+            compute each identical cell once.
         jobs: worker processes; ``None`` uses one per CPU, ``1`` runs
             serially in-process (same rows either way).
         force: recompute every cell even on a store hit (entries are
@@ -363,54 +471,121 @@ def run_batch(
         else:
             pending.append(index)
 
-    if pending:
-        jobs = default_processes() if jobs is None else max(1, jobs)
-        chunks = _partition(scenarios, pending, jobs)
-        workers = min(jobs, len(chunks))
-        report.workers = workers
-        report.computed = len(pending)
+    # claim each missing cell's compute lease so two concurrent sweeps
+    # over one store dedupe identical cells: unclaimable cells are being
+    # computed by another sweep right now and are *deferred* — we pick
+    # their results up (or inherit the work) after our own cells finish
+    deferred: List[int] = []
+    owned: Dict[str, FileLease] = {}
+    owned_lock = threading.Lock()
+    if store is not None and not force and pending:
+        claimed: List[int] = []
+        for index in pending:
+            key = scenario_key(scenarios[index], registry)
+            if key in owned:
+                claimed.append(index)  # duplicate cell of a key we own
+                continue
+            lease = store.lease(key)
+            if lease.try_acquire():
+                owned[key] = lease
+                claimed.append(index)
+            else:
+                deferred.append(index)
+        pending = claimed
 
-        def record(index: int, baseline_us: float, predicted_us: float) -> None:
-            scenario = scenarios[index]
-            key = scenario_key(scenario, registry)
+    # keep the claims fresh on a *time* cadence while cells compute: a
+    # single chunk can legitimately run longer than the steal threshold,
+    # and a stolen claim means a concurrent sweep re-simulates the cell
+    stop_refresh = threading.Event()
+    refresher: Optional[threading.Thread] = None
+    if owned:
+        def _keep_claims_fresh() -> None:
+            from repro.scenarios.backends import LEASE_STEAL_SECONDS
+            while not stop_refresh.wait(LEASE_STEAL_SECONDS / 4):
+                with owned_lock:
+                    leases = list(owned.values())
+                for lease in leases:
+                    lease.refresh()
+
+        refresher = threading.Thread(target=_keep_claims_fresh,
+                                     daemon=True)
+        refresher.start()
+
+    def record(index: int, baseline_us: float, predicted_us: float) -> None:
+        scenario = scenarios[index]
+        key = scenario_key(scenario, registry)
+        with owned_lock:
+            lease = owned.pop(key, None)
+        try:
             if store is not None:
+                # the write rides the compute lease we already hold for
+                # this key (if any) instead of waiting on its own lock
                 store.put(scenario, {"baseline_us": baseline_us,
-                                     "predicted_us": predicted_us})
-            finish(index, SweepCell(scenario=scenario, key=key, cached=False,
-                                    baseline_us=baseline_us,
-                                    predicted_us=predicted_us))
+                                     "predicted_us": predicted_us},
+                          lease=lease)
+        finally:
+            if lease is not None:
+                lease.release()  # persisted: waiting sweeps read it now
+        finish(index, SweepCell(scenario=scenario, key=key, cached=False,
+                                baseline_us=baseline_us,
+                                predicted_us=predicted_us))
 
-        manifest = WorkerManifest.capture(
-            registry, model_names=[scenarios[i].model for i in pending])
-        method = _resolve_start_method(start_method, workers, manifest)
-        report.start_method = method
-        if method != "serial":
-            pool_kwargs: Dict[str, object] = {}
-            if method == "spawn":
-                pool_kwargs["initializer"] = _worker_init
-                pool_kwargs["initargs"] = (manifest.dumps(),)
-            global _FORK_REGISTRY
-            _FORK_REGISTRY = registry if method == "fork" else None
-            try:
-                ctx = multiprocessing.get_context(method)
-                with ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=ctx,
-                                         **pool_kwargs) as pool:
-                    futures = [pool.submit(_worker_run_chunk, chunk)
-                               for chunk in chunks]
-                    for future in as_completed(futures):
-                        for index, baseline_us, predicted_us in future.result():
-                            record(index, baseline_us, predicted_us)
-            finally:
-                _FORK_REGISTRY = None
-        else:
-            from repro.scenarios.runner import ScenarioRunner
-            report.workers = 1
-            runner = ScenarioRunner(registry=registry)
-            for chunk in chunks:
-                for index, baseline_us, predicted_us in _run_chunk(runner,
-                                                                   chunk):
-                    record(index, baseline_us, predicted_us)
+    try:
+        if pending:
+            jobs = default_processes() if jobs is None else max(1, jobs)
+            chunks = _partition(scenarios, pending, jobs)
+            workers = min(jobs, len(chunks))
+            report.workers = workers
+            report.computed = len(pending)
+
+            manifest = WorkerManifest.capture(
+                registry,
+                model_names=[scenarios[i].model for i in pending],
+                policy_names=[scenarios[i].schedule_policy for i in pending
+                              if scenarios[i].schedule_policy is not None])
+            method = _resolve_start_method(start_method, workers, manifest)
+            report.start_method = method
+            if method != "serial":
+                pool_kwargs: Dict[str, object] = {}
+                if method == "spawn":
+                    pool_kwargs["initializer"] = _worker_init
+                    pool_kwargs["initargs"] = (manifest.dumps(),)
+                global _FORK_REGISTRY
+                _FORK_REGISTRY = registry if method == "fork" else None
+                try:
+                    ctx = multiprocessing.get_context(method)
+                    with ProcessPoolExecutor(max_workers=workers,
+                                             mp_context=ctx,
+                                             **pool_kwargs) as pool:
+                        futures = [pool.submit(_worker_run_chunk, chunk)
+                                   for chunk in chunks]
+                        for future in as_completed(futures):
+                            for index, baseline_us, predicted_us \
+                                    in future.result():
+                                record(index, baseline_us, predicted_us)
+                finally:
+                    _FORK_REGISTRY = None
+            else:
+                from repro.scenarios.runner import ScenarioRunner
+                report.workers = 1
+                runner = ScenarioRunner(registry=registry)
+                for chunk in chunks:
+                    for index, baseline_us, predicted_us in \
+                            _run_chunk(runner, chunk):
+                        record(index, baseline_us, predicted_us)
+
+        for index in deferred:
+            _resolve_deferred(index, scenarios[index], registry, store,
+                              report, finish)
+    finally:
+        stop_refresh.set()
+        if refresher is not None:
+            refresher.join(timeout=5.0)
+        with owned_lock:
+            leftovers = list(owned.values())
+            owned.clear()
+        for lease in leftovers:
+            lease.release()
 
     report.cells = [cell for cell in cells if cell is not None]
     if len(report.cells) != total:  # pragma: no cover - defensive

@@ -190,9 +190,13 @@ class ScenarioRunner:
         * batch (``parallel=`` and/or ``store=``): cells run on the
           :func:`repro.scenarios.batch.run_batch` process-pool executor,
           skipping cells the :class:`~repro.scenarios.store.SweepStore`
-          already holds (resume) and persisting new ones; ``force=True``
-          recomputes hits, ``progress(done, total, cell)`` streams
-          completion, and ``start_method`` picks the worker start method
+          already holds (resume; a store with a ``remote`` tier also
+          reads through to it, so a warm shared server means zero local
+          simulations) and persisting new ones — missing cells are
+          claimed under per-key leases so concurrent sweeps sharing a
+          store dedupe identical cells; ``force=True`` recomputes hits,
+          ``progress(done, total, cell)`` streams completion, and
+          ``start_method`` picks the worker start method
           (``"fork"``/``"spawn"``/``"serial"``, default automatic — see
           :class:`~repro.scenarios.batch.WorkerManifest` for how spawn
           workers rebuild runtime registrations).

@@ -46,6 +46,47 @@ NAMED_SCHEDULE_POLICIES: Dict[str, Callable[[], Scheduler]] = {
     "comm_priority": lambda: make_priority_scheduler(lambda t: t.is_comm),
 }
 
+#: the factories shipped with the package, by name (everything else —
+#: including a builtin *overwritten* with a custom factory — is runtime
+#: state that spawn workers must rebuild from a WorkerManifest)
+_BUILTIN_SCHEDULE_POLICIES = dict(NAMED_SCHEDULE_POLICIES)
+
+
+def register_schedule_policy(name: str,
+                             factory: Callable[[], Scheduler],
+                             overwrite: bool = False) -> None:
+    """Register a named schedule policy addressable from scenario files.
+
+    ``factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.core.simulate.Scheduler`.  Like runtime-registered
+    models, registrations are runtime state: fork workers inherit them,
+    and spawn workers rebuild them from the pickled
+    :class:`~repro.scenarios.batch.WorkerManifest` — which requires the
+    factory to be an importable module-level callable, not a closure.
+    """
+    if not callable(factory):
+        raise ConfigError(
+            f"schedule policy {name!r} needs a zero-argument factory "
+            f"callable, got {factory!r}")
+    if name in NAMED_SCHEDULE_POLICIES and not overwrite:
+        raise ConfigError(
+            f"schedule policy {name!r} is already registered "
+            "(pass overwrite=True to replace it)")
+    NAMED_SCHEDULE_POLICIES[name] = factory
+
+
+def runtime_schedule_policies() -> Dict[str, Callable[[], Scheduler]]:
+    """Policies added after import — what a spawn worker must rebuild.
+
+    Compared by factory *identity*, not name: a builtin overwritten via
+    :func:`register_schedule_policy` counts as runtime state too, else a
+    spawn worker would silently run the shipped factory under the same
+    name (and cache differing rows under one content key).
+    """
+    return {name: factory
+            for name, factory in NAMED_SCHEDULE_POLICIES.items()
+            if _BUILTIN_SCHEDULE_POLICIES.get(name) is not factory}
+
 
 class _NamedSchedulePolicy(OptimizationModel):
     """No-op stack member carrying a scenario's named schedule override."""

@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk store of scenario sweep results.
+"""Content-addressed store of scenario sweep results, over pluggable tiers.
 
 The paper's pitch only compounds when predictions are *reusable*: a
 thousand-cell scenario catalog should pay for each cell once, ever, and a
@@ -21,29 +21,47 @@ durable:
   and salt match, and a payload checksum holds; anything off is treated
   as a miss (re-simulated) *and the dead file is deleted* so it never
   needs a later GC scan to find;
+* **tiered** — the byte I/O runs over pluggable
+  :class:`~repro.scenarios.backends.StoreBackend` tiers: the local
+  :class:`~repro.scenarios.backends.LocalBackend` directory is always the
+  cache of record, and an optional ``remote``
+  :class:`~repro.scenarios.backends.HTTPBackend` is consulted
+  read-through on local misses (verified entries are written back
+  locally; a corrupt, skewed or unreachable remote is a miss, never a
+  crash).  :meth:`push` / :meth:`pull` move whole generations explicitly;
+* **lease-coordinated** — per-key lease files serialize writers against
+  GC, a store-wide GC lease serializes collection passes, and
+  :meth:`gc` re-scans under that lease until the byte budget *holds*, so
+  ``gc --max-bytes`` is exact even with a racing writer;
 * **lifecycle-managed** — every served entry touches a ``last_served``
   sidecar, :meth:`gc` evicts least-recently-served entries down to a byte
   budget (and removes corrupt entries, stale salt generations, and
   abandoned temp files), :meth:`prune` drops rotated-out generations
   wholesale, :meth:`verify` audits without mutating, and a ``max_bytes``
   cap makes the store self-bounding under large catalogs.  The
-  ``repro store`` CLI fronts all four.
+  ``repro store`` CLI fronts all of it.
 
 Entries carry a free-form ``values`` dict rather than a fixed row shape,
 so prediction results (``kind="predict"``) and ground-truth engine
 measurements (e.g. ``kind="groundtruth:ddp-sync"``) share one substrate.
-The full key/salt/eviction contract is documented in ``docs/sweeps.md``.
+The key/salt/eviction contract is documented in ``docs/sweeps.md``; the
+backend and lease contracts in ``docs/store-backends.md``.
 """
 
 import hashlib
 import json
 import os
-import tempfile
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.common.errors import ConfigError
+from repro.scenarios.backends import (
+    LEASE_STEAL_SECONDS,
+    BackendError,
+    FileLease,
+    HTTPBackend,
+    LocalBackend,
+)
 from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
 from repro.scenarios.scenario import Scenario
 
@@ -54,6 +72,25 @@ RESULT_SCHEMA_VERSION = 1
 #: abandoned ``.tmp`` files younger than this survive :meth:`SweepStore.gc`
 #: (a concurrent writer may still be about to ``os.replace`` them)
 TMP_GRACE_SECONDS = 3600.0
+
+#: how long a write waits for the per-key lease before writing anyway
+#: (two writers of one key produce identical content-addressed bytes, so
+#: proceeding is safe; the lease exists to coordinate with GC accounting)
+PUT_LEASE_WAIT_SECONDS = 0.5
+
+#: how long gc/prune wait for the store-wide GC lease before proceeding
+#: without exclusivity (two budget passes over-evict at worst, and every
+#: eviction victim is recomputable)
+GC_LEASE_WAIT_SECONDS = 30.0
+
+#: a capped store re-reads the true on-disk total every this many writes,
+#: so another process's writes cannot drift the cap estimate forever
+CAP_RESYNC_PUTS = 16
+
+#: liveness backstop for the eviction rescan loop: a sustained writer
+#: outpacing eviction for this many consecutive rounds ends the pass
+#: (the writers' own capped puts then finish enforcing the budget)
+MAX_EVICT_ROUNDS = 200
 
 
 def _canonicalize(obj: object) -> object:
@@ -119,12 +156,15 @@ class StoreStats:
     writes: int = 0
     rejected: int = 0  # present on disk but unreadable/corrupt/stale
     evicted: int = 0   # removed by gc/prune (lifecycle, not correctness)
+    remote_hits: int = 0      # served read-through from the remote tier
+    remote_rejected: int = 0  # remote bytes that failed verification
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict form for JSON reporting."""
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "rejected": self.rejected,
-                "evicted": self.evicted}
+                "evicted": self.evicted, "remote_hits": self.remote_hits,
+                "remote_rejected": self.remote_rejected}
 
 
 @dataclass
@@ -176,24 +216,57 @@ class VerifyReport:
 
 
 @dataclass
+class SyncReport:
+    """What one :meth:`SweepStore.push` or :meth:`SweepStore.pull` did."""
+
+    examined: int = 0     # keys considered on the source tier
+    transferred: int = 0  # entries actually moved
+    skipped: int = 0      # push: key already listed by the target (its
+                          # copy is NOT re-verified — push --force
+                          # re-uploads); pull: local copy already live,
+                          # or the remote entry vanished mid-transfer
+    rejected: int = 0     # failed verification; never transferred
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON reporting."""
+        return {"examined": self.examined,
+                "transferred": self.transferred,
+                "skipped": self.skipped, "rejected": self.rejected}
+
+
+@dataclass
 class SweepStore:
     """A directory of content-addressed scenario results.
 
     Layout: ``<root>/objects/<key[:2]>/<key>.json``, one entry per file,
     plus a zero-byte ``<key>.last`` sidecar whose mtime records when the
-    entry was last served (the LRU clock for :meth:`gc`).  Safe for
+    entry was last served (the LRU clock for :meth:`gc`) — the
+    :class:`~repro.scenarios.backends.LocalBackend` layout.  Safe for
     concurrent readers plus any number of writers producing the same
-    deterministic content (writes are atomic replaces).
+    deterministic content (writes are atomic replaces, coordinated with
+    GC through per-key lease files).
 
     With ``max_bytes`` set the store is self-bounding: :meth:`put` tracks
-    an approximate on-disk total and triggers :meth:`gc` down to the cap
-    whenever a write pushes past it.
+    an approximate on-disk total (re-read from disk every
+    :data:`CAP_RESYNC_PUTS` writes, so other processes' writes cannot
+    drift it forever) and triggers :meth:`gc` down to the cap whenever a
+    write pushes past it.
+
+    With ``remote`` set (an
+    :class:`~repro.scenarios.backends.HTTPBackend` or its base URL) the
+    store reads through to that tier on local misses: a remote entry is
+    verified exactly like a local one — key, salt, checksum — and, when
+    trustworthy, written back into the local cache; anything else
+    (unreachable host, truncated body, version skew, tampering) is a
+    plain miss.  Writes stay local (write-back); :meth:`push` publishes
+    them explicitly.
     """
 
     root: str
     registry: OptimizationRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
     stats: StoreStats = field(default_factory=StoreStats)
     max_bytes: Optional[int] = None
+    remote: Optional[Union[str, HTTPBackend]] = None
 
     def __post_init__(self) -> None:
         self.root = os.fspath(self.root)
@@ -203,19 +276,24 @@ class SweepStore:
         if self.max_bytes is not None and self.max_bytes <= 0:
             raise ConfigError("max_bytes must be positive (or None for "
                               "an unbounded store)")
+        if isinstance(self.remote, str):
+            self.remote = HTTPBackend(self.remote)
+        self._local = LocalBackend(self.root)
         #: lazily initialized running estimate of the on-disk total, kept
         #: fresh by put/gc so the cap check does not rescan per write
         self._approx_bytes: Optional[int] = None
+        self._puts_since_resync = 0
 
     # ----------------------------------------------------------------- paths
 
     @property
-    def _objects_dir(self) -> str:
-        return os.path.join(self.root, "objects")
+    def local(self) -> LocalBackend:
+        """The local (cache-of-record) backend tier."""
+        return self._local
 
     def path_for(self, key: str) -> str:
         """The entry file backing one content key."""
-        return os.path.join(self._objects_dir, key[:2], f"{key}.json")
+        return self._local.path_for(key)
 
     def served_path_for(self, key: str) -> str:
         """The ``last_served`` sidecar of one content key.
@@ -223,58 +301,97 @@ class SweepStore:
         A zero-byte file whose mtime is the LRU clock: touched on every
         :meth:`get` hit and every :meth:`put`, never read for content.
         """
-        return os.path.join(self._objects_dir, key[:2], f"{key}.last")
+        return self._local.served_path_for(key)
 
     def key(self, scenario: Scenario, kind: str = "predict") -> str:
         """Content address of one (scenario, kind) under this registry."""
         return scenario_key(scenario, self.registry, kind=kind)
 
+    def lease(self, key: str,
+              steal_after: float = LEASE_STEAL_SECONDS) -> FileLease:
+        """The per-key lease of one content key (not yet acquired).
+
+        Writers hold it across a :meth:`put`, the batch executor holds it
+        while *computing* a cell (so two concurrent sweeps dedupe
+        identical cells), and :meth:`gc` skips evicting entries whose
+        lease is freshly held.  See ``docs/store-backends.md`` for the
+        acquire / steal-after-stale / release lifecycle.
+        """
+        return self._local.lease(key, steal_after=steal_after)
+
     # ----------------------------------------------------------------- reads
 
-    def get(self, scenario: Scenario,
-            kind: str = "predict") -> Optional[Dict[str, object]]:
+    def get(self, scenario: Scenario, kind: str = "predict", *,
+            lease: Optional[FileLease] = None) -> Optional[Dict[str, object]]:
         """The stored ``values`` dict, or ``None`` on any doubt.
 
-        A present-but-unreadable entry (truncated write, bit rot, stale
-        salt smuggled in by hand) counts as a miss — and is deleted on
-        the spot, so the dead bytes never wait for a GC scan: the caller
-        re-simulates and :meth:`put` writes a fresh entry.
+        A present-but-unreadable local entry (truncated write, bit rot,
+        stale salt smuggled in by hand) counts as a miss — and is deleted
+        on the spot, so the dead bytes never wait for a GC scan.  On a
+        local miss with a ``remote`` tier configured, the remote is
+        consulted read-through: its bytes face the same verification, a
+        trustworthy entry is written back into the local cache, and
+        anything else — unreachable server, truncated body, salt skew —
+        stays a miss (the caller re-simulates; this path never raises).
+        A caller already holding this entry's per-key lease passes it as
+        ``lease`` so the write-back does not wait on its own lock (see
+        :meth:`put`).
         """
         key = self.key(scenario, kind=kind)
-        path = self.path_for(key)
-        payload = self._load(path, count=True)
+        payload = self._parse(self._local.get(key), count=True)
         if payload is not None and self._trustworthy(payload, key, kind,
                                                      count=True):
             self.stats.hits += 1
-            self._touch_served(key)
+            self._local.touch_served(key)
             return dict(payload["values"])
-        if os.path.exists(path):
+        if self._local.stat(key) is not None:
             # failed verification: remove the corrupt/stale entry now
             self._delete_entry(key)
+        if self.remote is not None:
+            values = self._read_through(key, kind, held=lease)
+            if values is not None:
+                return values
         self.stats.misses += 1
         return None
 
+    def _read_through(self, key: str, kind: str,
+                      held: Optional[FileLease] = None
+                      ) -> Optional[Dict[str, object]]:
+        """Fetch, verify and locally cache one remote entry (or miss)."""
+        data = self.remote.get(key)
+        if data is None:
+            return None  # absent or unreachable: both are a plain miss
+        payload = self._parse(data, count=False)
+        if payload is None or not self._trustworthy(payload, key, kind,
+                                                    count=False):
+            self.stats.remote_rejected += 1
+            return None
+        self._write_entry(key, data, held=held)  # write-back locally
+        self.stats.remote_hits += 1
+        self.stats.hits += 1
+        return dict(payload["values"])
+
     def contains(self, scenario: Scenario, kind: str = "predict") -> bool:
-        """Whether a *trustworthy* entry exists (a pure probe).
+        """Whether a *trustworthy* local entry exists (a pure probe).
 
         Mere file existence is not membership: an entry with a stale
         salt, a failed checksum, or unparseable bytes would miss on
         :meth:`get`, so it must not count here either.  Unlike
         :meth:`get`, this touches nothing — no counters, no sidecar, no
-        corrupt-entry deletion.
+        corrupt-entry deletion, no remote traffic.
         """
         key = self.key(scenario, kind=kind)
-        payload = self._load(self.path_for(key), count=False)
+        payload = self._parse(self._local.get(key), count=False)
         return payload is not None and self._trustworthy(payload, key, kind,
                                                          count=False)
 
-    def _load(self, path: str, count: bool) -> Optional[Dict[str, object]]:
-        try:
-            with open(path, encoding="utf-8") as f:
-                payload = json.load(f)
-        except FileNotFoundError:
+    def _parse(self, data: Optional[bytes],
+               count: bool) -> Optional[Dict[str, object]]:
+        if data is None:
             return None
-        except (OSError, ValueError, UnicodeDecodeError):
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
             if count:
                 self.stats.rejected += 1  # exists, but cannot be parsed
             return None
@@ -285,11 +402,19 @@ class SweepStore:
         return payload
 
     def _trustworthy(self, payload: Dict[str, object], key: str,
-                     kind: str, count: bool) -> bool:
+                     kind: Optional[str], count: bool) -> bool:
+        """Full verification of one parsed entry.
+
+        ``kind=None`` accepts whatever kind the payload itself declares
+        (the :meth:`pull` path, which replicates entries of every kind);
+        the checksum still covers the declared kind, so it cannot be
+        tampered with either way.
+        """
         ok = (
             payload.get("format") == RESULT_SCHEMA_VERSION
             and payload.get("key") == key
-            and payload.get("kind") == kind
+            and (payload.get("kind") == kind if kind is not None
+                 else isinstance(payload.get("kind"), str))
             and payload.get("salt") == store_salt(self.registry)
             and isinstance(payload.get("values"), dict)
             and payload.get("checksum") == _entry_checksum(payload)
@@ -301,11 +426,21 @@ class SweepStore:
     # ---------------------------------------------------------------- writes
 
     def put(self, scenario: Scenario, values: Dict[str, object],
-            kind: str = "predict") -> str:
+            kind: str = "predict", *,
+            lease: Optional[FileLease] = None) -> str:
         """Persist one result atomically; returns its content key.
 
-        With ``max_bytes`` set, a write that pushes the (approximate)
-        on-disk total past the cap triggers :meth:`gc` down to it.
+        The write happens under the entry's per-key lease (best-effort:
+        after :data:`PUT_LEASE_WAIT_SECONDS` it proceeds anyway, since
+        two writers of one content key produce identical bytes).  A
+        caller that *already holds* this entry's lease — the batch
+        executor holds a compute lease from claim to publish — passes it
+        as ``lease`` so the write neither waits on its own lock nor
+        releases it (the caller still owns the release).  Writes always
+        land on the *local* tier — the remote is published only by an
+        explicit :meth:`push`.  With ``max_bytes`` set, a write that
+        pushes the (approximate) on-disk total past the cap triggers
+        :meth:`gc` down to it.
         """
         key = self.key(scenario, kind=kind)
         payload: Dict[str, object] = {
@@ -317,55 +452,49 @@ class SweepStore:
             "values": dict(values),
         }
         payload["checksum"] = _entry_checksum(payload)
-        path = self.path_for(key)
-        # overwrites replace bytes rather than add them: snapshot the old
-        # size so the running estimate tracks the true on-disk delta
-        old_bytes = self._entry_bytes(key) if self.max_bytes is not None \
-            else 0
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   prefix=f".{key[:8]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(payload, f, indent=1, sort_keys=True)
-                f.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.writes += 1
-        self._touch_served(key)
-        if self.max_bytes is not None:
-            if self._approx_bytes is None:
-                self._approx_bytes = self.total_bytes()
-            else:
-                self._approx_bytes += self._entry_bytes(key) - old_bytes
-            if self._approx_bytes > self.max_bytes:
-                self.gc(max_bytes=self.max_bytes)
+        data = (json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        self._write_entry(key, data.encode("utf-8"), held=lease)
         return key
 
-    def _touch_served(self, key: str) -> None:
-        """Refresh the LRU clock of one entry (best-effort)."""
-        sidecar = self.served_path_for(key)
+    def _write_entry(self, key: str, data: bytes,
+                     held: Optional[FileLease] = None) -> None:
+        """Locked local write + LRU touch + cap bookkeeping.
+
+        ``held`` is a lease the caller already owns for this key: the
+        write then skips acquisition entirely (waiting on one's own lock
+        would stall every write by the full acquire timeout) and leaves
+        the release to the caller.
+        """
+        owned = False
+        if held is None or not held.owned:
+            held = self._local.lease(key)
+            owned = held.acquire(timeout=PUT_LEASE_WAIT_SECONDS,
+                                 poll_s=0.005)
         try:
-            with open(sidecar, "a", encoding="utf-8"):
-                pass
-            os.utime(sidecar, None)
-        except OSError:
-            pass  # a read-only or racing store never fails a serve
+            # overwrites replace bytes rather than add them: snapshot the
+            # old size so the running estimate tracks the true disk delta
+            old_bytes = self._local.entry_bytes(key) \
+                if self.max_bytes is not None else 0
+            self._local.put(key, data)
+            self.stats.writes += 1
+            self._local.touch_served(key)
+        finally:
+            if owned:
+                held.release()
+        if self.max_bytes is not None:
+            self._puts_since_resync += 1
+            if (self._approx_bytes is None
+                    or self._puts_since_resync >= CAP_RESYNC_PUTS):
+                self._approx_bytes = self.total_bytes()
+                self._puts_since_resync = 0
+            else:
+                self._approx_bytes += self._local.entry_bytes(key) - old_bytes
+            if self._approx_bytes > self.max_bytes:
+                self.gc(max_bytes=self.max_bytes)
 
     def _delete_entry(self, key: str) -> int:
         """Remove one entry and its sidecar; returns the bytes freed."""
-        freed = 0
-        for path in (self.path_for(key), self.served_path_for(key)):
-            try:
-                freed += os.stat(path).st_size
-                os.unlink(path)
-            except OSError:
-                pass
+        freed = self._local.delete(key)
         if self._approx_bytes is not None:
             self._approx_bytes = max(0, self._approx_bytes - freed)
         return freed
@@ -374,16 +503,7 @@ class SweepStore:
 
     def keys(self) -> Iterator[str]:
         """Every content key currently on disk (unvalidated)."""
-        objects = self._objects_dir
-        if not os.path.isdir(objects):
-            return
-        for shard in sorted(os.listdir(objects)):
-            shard_dir = os.path.join(objects, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".json"):
-                    yield name[:-len(".json")]
+        return self._local.iter_keys()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -392,35 +512,18 @@ class SweepStore:
         return self.contains(scenario)
 
     def total_bytes(self) -> int:
-        """Bytes on disk under ``objects/`` (entries, sidecars, temp files)."""
-        total = 0
-        for dirpath, _dirnames, filenames in os.walk(self._objects_dir):
-            for name in filenames:
-                try:
-                    total += os.stat(os.path.join(dirpath, name)).st_size
-                except OSError:
-                    pass
-        return total
+        """Bytes on disk under ``objects/`` (entries, sidecars, temp
+        files; lease files are coordination state and never counted)."""
+        return self._local.total_bytes()
 
     def _entry_bytes(self, key: str) -> int:
         """On-disk size of one entry plus its sidecar."""
-        size = 0
-        for path in (self.path_for(key), self.served_path_for(key)):
-            try:
-                size += os.stat(path).st_size
-            except OSError:
-                pass
-        return size
+        return self._local.entry_bytes(key)
 
     def last_served(self, key: str) -> Optional[float]:
         """When the entry was last served (sidecar mtime, else entry
         mtime, else ``None`` for a missing entry)."""
-        for path in (self.served_path_for(key), self.path_for(key)):
-            try:
-                return os.stat(path).st_mtime
-            except OSError:
-                continue
-        return None
+        return self._local.last_served(key)
 
     def _classify(self, key: str, keep_salt: Optional[str] = None) -> str:
         """Lifecycle class of one on-disk entry.
@@ -431,7 +534,7 @@ class SweepStore:
         consistent but from another generation; ``"corrupt"`` —
         unreadable, tampered, or mislabeled.
         """
-        payload = self._load(self.path_for(key), count=False)
+        payload = self._parse(self._local.get(key), count=False)
         if payload is None:
             return "corrupt"
         if (payload.get("key") != key
@@ -463,55 +566,93 @@ class SweepStore:
     def gc(self, max_bytes: Optional[int] = None) -> GCReport:
         """Delete dead weight, then evict LRU entries to a byte budget.
 
-        Three passes, in order:
+        The whole pass runs under the store-wide GC lease (acquired with
+        steal-after-stale; after :data:`GC_LEASE_WAIT_SECONDS` it
+        proceeds without exclusivity — two budget passes over-evict at
+        worst, and every victim is recomputable).  Three phases:
 
         1. **corrupt** entries and **stale** salt generations are removed
            unconditionally (they can never be served again);
-        2. abandoned writer temp files older than
+        2. abandoned writer temp files (and dead lease files) older than
            :data:`TMP_GRACE_SECONDS` are removed;
         3. if ``max_bytes`` is given (or the store has a ``max_bytes``
-           cap) and the surviving entries still exceed it, live entries
-           are evicted least-recently-served first — the ``last_served``
-           sidecar is the clock — until the total fits.
+           cap), live entries are evicted least-recently-served first —
+           the ``last_served`` sidecar is the clock — and the pass
+           **re-scans until the budget holds**: entries landed by a
+           racing writer mid-pass are seen by the next scan, so the
+           reported ``bytes_after`` is a true ≤-budget total, not a
+           snapshot a concurrent write already invalidated.  Entries
+           whose per-key lease is freshly held (a writer mid-flight) are
+           skipped for one round rather than evicted under the writer.
 
         Returns a :class:`GCReport`; ``repro store gc`` renders it.
         """
         if max_bytes is None:
             max_bytes = self.max_bytes
-        report = GCReport(bytes_before=self.total_bytes())
-
-        survivors: List[Tuple[float, str, int]] = []  # (served, key, size)
-        live_bytes = 0
-        for key in list(self.keys()):
-            report.examined += 1
-            status = self._classify(key)
-            if status == "corrupt":
-                self._delete_entry(key)
-                report.corrupt_removed += 1
-            elif status == "stale":
-                self._delete_entry(key)
-                report.stale_removed += 1
+        lease = self._local.gc_lease()
+        lease.acquire(timeout=GC_LEASE_WAIT_SECONDS)
+        try:
+            report = GCReport(bytes_before=self.total_bytes())
+            for key in list(self.keys()):
+                report.examined += 1
+                status = self._classify(key)
+                if status == "corrupt":
+                    self._delete_entry(key)
+                    report.corrupt_removed += 1
+                elif status == "stale":
+                    self._delete_entry(key)
+                    report.stale_removed += 1
+            report.tmp_removed = \
+                self._local.remove_abandoned(TMP_GRACE_SECONDS)
+            if max_bytes is not None:
+                report.bytes_after = self._evict_to_budget(max_bytes,
+                                                           report, lease)
             else:
-                size = self._entry_bytes(key)
-                served = self.last_served(key) or 0.0
-                survivors.append((served, key, size))
-                live_bytes += size
-
-        report.tmp_removed = self._remove_abandoned_tmp()
-
-        if max_bytes is not None and live_bytes > max_bytes:
-            survivors.sort()  # oldest served first; key breaks ties stably
-            for served, key, size in survivors:
-                if live_bytes <= max_bytes:
-                    break
-                self._delete_entry(key)
-                live_bytes -= size
-                report.evicted += 1
-
+                report.bytes_after = self.total_bytes()
+        finally:
+            lease.release()
         self.stats.evicted += report.removed
-        report.bytes_after = self.total_bytes()
         self._approx_bytes = report.bytes_after
+        self._puts_since_resync = 0
         return report
+
+    def _evict_to_budget(self, max_bytes: int, report: GCReport,
+                         lease: FileLease) -> int:
+        """Evict LRU entries, re-scanning until the budget truly holds.
+
+        Each round re-lists the store — catching entries a racing writer
+        landed after the previous scan — and evicts oldest-served first
+        until the scanned total fits.  A round that can evict nothing
+        (everything left is lease-held or the store is empty) ends the
+        loop, as does the :data:`MAX_EVICT_ROUNDS` liveness backstop;
+        the returned total is the last full scan's, measured while the
+        GC lease was still held.
+        """
+        for _round in range(MAX_EVICT_ROUNDS):
+            lease.refresh()
+            # the budget is defined over total_bytes() — entries,
+            # sidecars *and* abandoned temp files — so the rescan must
+            # measure the same thing, not just the entries it can evict
+            total = self.total_bytes()
+            if total <= max_bytes:
+                return total
+            survivors: List[Tuple[float, str]] = []
+            for key in list(self._local.iter_keys()):
+                survivors.append((self._local.last_served(key) or 0.0,
+                                  key))
+            survivors.sort()  # oldest served first; key breaks ties stably
+            evicted_this_round = 0
+            for _served, key in survivors:
+                if total <= max_bytes:
+                    break
+                if self._local.lease_held(key):
+                    continue  # a live writer owns it; next round decides
+                total -= self._delete_entry(key)
+                evicted_this_round += 1
+                report.evicted += 1
+            if evicted_this_round == 0:
+                return total
+        return total  # backstop hit: a sustained writer outpaced eviction
 
     def prune(self, keep_salt: Optional[str] = None) -> GCReport:
         """Drop every entry outside one salt generation.
@@ -522,40 +663,109 @@ class SweepStore:
         generation cannot even be determined).  ``keep_salt`` defaults to
         the store's current salt; pass an explicit value to keep a
         different generation instead (``repro store prune --salt``).
+        Runs under the store-wide GC lease, like :meth:`gc`.
         """
-        report = GCReport(bytes_before=self.total_bytes())
-        for key in list(self.keys()):
-            report.examined += 1
-            status = self._classify(key, keep_salt=keep_salt)
-            if status == "corrupt":
-                self._delete_entry(key)
-                report.corrupt_removed += 1
-            elif status == "stale":
-                self._delete_entry(key)
-                report.stale_removed += 1
-        report.tmp_removed = self._remove_abandoned_tmp()
+        lease = self._local.gc_lease()
+        lease.acquire(timeout=GC_LEASE_WAIT_SECONDS)
+        try:
+            report = GCReport(bytes_before=self.total_bytes())
+            for key in list(self.keys()):
+                report.examined += 1
+                status = self._classify(key, keep_salt=keep_salt)
+                if status == "corrupt":
+                    self._delete_entry(key)
+                    report.corrupt_removed += 1
+                elif status == "stale":
+                    self._delete_entry(key)
+                    report.stale_removed += 1
+            report.tmp_removed = \
+                self._local.remove_abandoned(TMP_GRACE_SECONDS)
+            report.bytes_after = self.total_bytes()
+        finally:
+            lease.release()
         self.stats.evicted += report.removed
-        report.bytes_after = self.total_bytes()
         self._approx_bytes = report.bytes_after
+        self._puts_since_resync = 0
         return report
 
-    def _remove_abandoned_tmp(self, grace_s: float = TMP_GRACE_SECONDS) -> int:
-        """Delete writer temp files older than ``grace_s`` seconds.
+    # ------------------------------------------------------------ replication
 
-        Young temp files are left alone: a concurrent writer may be about
-        to ``os.replace`` one into place.
+    def _remote_or_error(self,
+                         remote: Optional[Union[str, HTTPBackend]]
+                         ) -> HTTPBackend:
+        if isinstance(remote, str):
+            remote = HTTPBackend(remote)
+        remote = remote or self.remote
+        if remote is None:
+            raise BackendError("no remote tier configured; pass a URL "
+                               "(repro store push/pull DIR --remote URL)")
+        return remote
+
+    def push(self, remote: Optional[Union[str, HTTPBackend]] = None,
+             force: bool = False) -> SyncReport:
+        """Publish every live local entry to the remote tier.
+
+        Only entries that verify under the *current* salt travel — a
+        stale generation or corrupt file is counted ``rejected`` and left
+        for :meth:`gc`.  Keys the remote already *lists* are skipped —
+        by presence, not by verifying the remote copy; if a previously
+        interrupted transfer left a corrupt copy on the server (clients
+        reject it on every read-through), ``force=True`` (``repro store
+        push --force``) re-uploads everything and overwrites it.  Unlike
+        read-through, this is an explicit transfer: an unreachable or
+        refusing remote raises
+        :class:`~repro.scenarios.backends.BackendError`.
         """
-        removed = 0
-        cutoff = time.time() - grace_s
-        for dirpath, _dirnames, filenames in os.walk(self._objects_dir):
-            for name in filenames:
-                if not name.endswith(".tmp"):
-                    continue
-                path = os.path.join(dirpath, name)
-                try:
-                    if os.stat(path).st_mtime < cutoff:
-                        os.unlink(path)
-                        removed += 1
-                except OSError:
-                    pass
-        return removed
+        remote = self._remote_or_error(remote)
+        report = SyncReport()
+        remote_keys = set() if force else set(remote.iter_keys())
+        for key in self.keys():
+            report.examined += 1
+            # one read serves both verification and upload (no re-read,
+            # no vanished-between-check-and-read window)
+            data = self._local.get(key)
+            payload = self._parse(data, count=False)
+            if payload is None or not self._trustworthy(payload, key,
+                                                        kind=None,
+                                                        count=False):
+                report.rejected += 1
+                continue
+            if key in remote_keys:
+                report.skipped += 1
+                continue
+            remote.put(key, data)
+            report.transferred += 1
+        return report
+
+    def pull(self,
+             remote: Optional[Union[str, HTTPBackend]] = None) -> SyncReport:
+        """Replicate every trustworthy remote entry into the local tier.
+
+        Each remote entry faces full verification — embedded key, current
+        salt, checksum — before landing locally; failures count
+        ``rejected`` and are never written.  Keys already trustworthy
+        locally are skipped.  Listing or fetching failures raise
+        :class:`~repro.scenarios.backends.BackendError` (an explicit
+        transfer must not silently replicate nothing).
+        """
+        remote = self._remote_or_error(remote)
+        report = SyncReport()
+        for key in remote.iter_keys():
+            report.examined += 1
+            if self._classify(key) == "live":
+                report.skipped += 1
+                continue
+            data = remote.fetch(key)  # loud: a dead server raises here
+            if data is None:
+                report.skipped += 1  # vanished between listing and fetch
+                continue
+            payload = self._parse(data, count=False)
+            if payload is None or not self._trustworthy(payload, key,
+                                                        kind=None,
+                                                        count=False):
+                self.stats.remote_rejected += 1
+                report.rejected += 1
+                continue
+            self._write_entry(key, data)
+            report.transferred += 1
+        return report

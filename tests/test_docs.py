@@ -132,6 +132,34 @@ def test_cli_reference_documents_store_actions():
             f"docs/cli.md 'repro store' section misses the "
             f"{action_name!r} action"
         )
+    # the shared-tier actions are part of the promised surface
+    assert {"serve", "push", "pull"} <= set(store_sub.choices)
+
+
+def test_remote_tier_flags_stay_live():
+    """The documented remote tier must exist in the live parsers.
+
+    The generic drift check above only compares docs against whatever
+    parsers exist; this pins the parsers themselves, so silently
+    *removing* the remote tier (flags and docs together) still fails.
+    """
+    live = _live_subcommands()
+    assert "--remote" in live["sweep"]
+    assert "--remote" in live["experiment"]
+    assert {"--remote", "--host", "--port", "--duration",
+            "--read-only"} <= live["store"]
+
+
+def test_store_backends_contract_doc_exists():
+    text = (DOCS / "store-backends.md").read_text(encoding="utf-8")
+    # the contract's load-bearing vocabulary, pinned so a rewrite cannot
+    # silently drop a section the code still depends on
+    for term in ("StoreBackend", "LocalBackend", "HTTPBackend",
+                 "read-through", "write-back", "lease",
+                 "steal", "corruption", "atomic"):
+        assert re.search(term, text, flags=re.I), (
+            f"docs/store-backends.md lost its {term!r} contract"
+        )
 
 
 # ------------------------------------------------------------------ links

@@ -1,0 +1,246 @@
+"""The storage-tier seam: backend protocol, local layout, leases.
+
+``docs/store-backends.md`` is the written contract; these tests are its
+drift check at the primitive level — the five backend operations, the
+atomicity each backend must provide, and the lease lifecycle (acquire,
+steal-after-stale, release) that the exact-GC and cross-sweep-dedupe
+guarantees are built on.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.scenarios import (
+    BackendError,
+    EntryStat,
+    FileLease,
+    HTTPBackend,
+    LocalBackend,
+    StoreBackend,
+    StoreServer,
+)
+
+KEY_A = "aa" * 16
+KEY_B = "bb" * 16
+
+
+# ----------------------------------------------------------------- protocol
+
+def test_both_shipped_backends_satisfy_the_protocol(tmp_path):
+    # StoreBackend is runtime-checkable: the docs' claim that any tier
+    # with these five operations can back a store is checkable in code
+    assert isinstance(LocalBackend(str(tmp_path)), StoreBackend)
+    assert isinstance(HTTPBackend("http://127.0.0.1:1"), StoreBackend)
+
+
+# ------------------------------------------------------------ local backend
+
+def test_local_backend_round_trip(tmp_path):
+    backend = LocalBackend(str(tmp_path))
+    assert backend.get(KEY_A) is None
+    assert backend.stat(KEY_A) is None
+    backend.put(KEY_A, b'{"key": "x"}')
+    assert backend.get(KEY_A) == b'{"key": "x"}'
+    stat = backend.stat(KEY_A)
+    assert isinstance(stat, EntryStat) and stat.size == len(b'{"key": "x"}')
+    backend.put(KEY_B, b"other")
+    assert list(backend.iter_keys()) == sorted([KEY_A, KEY_B])
+    backend.delete(KEY_A)
+    assert backend.get(KEY_A) is None
+    assert list(backend.iter_keys()) == [KEY_B]
+    backend.delete(KEY_A)  # idempotent
+
+
+def test_local_backend_put_leaves_no_temp_files(tmp_path):
+    backend = LocalBackend(str(tmp_path))
+    backend.put(KEY_A, b"data")
+    leftovers = [name for _, _, names in os.walk(backend.objects_dir)
+                 for name in names if name.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_local_backend_total_bytes_ignores_lease_files(tmp_path):
+    backend = LocalBackend(str(tmp_path))
+    backend.put(KEY_A, b"data")
+    backend.touch_served(KEY_A)
+    before = backend.total_bytes()
+    lease = backend.lease(KEY_A)
+    assert lease.try_acquire()
+    # byte budgets are contracts about results, not coordination state
+    assert backend.total_bytes() == before
+    lease.release()
+
+
+def test_abandoned_steal_files_are_cleaned_and_never_counted(tmp_path):
+    backend = LocalBackend(str(tmp_path))
+    backend.put(KEY_A, b"data")
+    before = backend.total_bytes()
+    shard = os.path.dirname(backend.path_for(KEY_A))
+    leaked = os.path.join(shard, "leaked-crash.steal")
+    with open(leaked, "w") as f:
+        f.write("some dead stealer's token")
+    assert backend.total_bytes() == before  # coordination debris
+    os.utime(leaked, (1_000_000, 1_000_000))
+    backend.remove_abandoned(grace_s=3600.0)
+    assert not os.path.exists(leaked)
+
+
+# ------------------------------------------------------------------- leases
+
+def test_lease_excludes_a_second_acquirer(tmp_path):
+    path = str(tmp_path / "x.lease")
+    first, second = FileLease(path), FileLease(path)
+    assert first.try_acquire()
+    assert not second.try_acquire()
+    assert second.held_by_other()
+    first.release()
+    assert not os.path.exists(path)
+    assert second.try_acquire()
+    second.release()
+
+
+def test_stale_lease_is_stolen(tmp_path):
+    path = str(tmp_path / "x.lease")
+    dead = FileLease(path, steal_after=0.5)
+    assert dead.try_acquire()
+    # the holder "crashed" long ago: backdate the lease mtime
+    os.utime(path, (1_000_000, 1_000_000))
+    thief = FileLease(path, steal_after=0.5)
+    assert thief.try_acquire()
+    assert thief.owned
+    # the original owner's release must not remove the thief's lease
+    dead.release()
+    assert os.path.exists(path)
+    thief.release()
+    assert not os.path.exists(path)
+
+
+def test_refresh_keeps_a_lease_from_being_stolen(tmp_path):
+    path = str(tmp_path / "x.lease")
+    holder = FileLease(path, steal_after=3600.0)
+    assert holder.try_acquire()
+    os.utime(path, (1_000_000, 1_000_000))  # would be stealable...
+    holder.refresh()                        # ...but the holder is alive
+    thief = FileLease(path, steal_after=3600.0)
+    assert not thief.try_acquire()
+    holder.release()
+
+
+def test_fresh_lease_is_not_stolen(tmp_path):
+    path = str(tmp_path / "x.lease")
+    holder = FileLease(path, steal_after=3600.0)
+    assert holder.try_acquire()
+    thief = FileLease(path, steal_after=3600.0)
+    assert not thief.acquire(timeout=0.1)
+    holder.release()
+
+
+def test_blocking_acquire_waits_for_release(tmp_path):
+    path = str(tmp_path / "x.lease")
+    holder = FileLease(path)
+    assert holder.try_acquire()
+    release_soon = threading.Timer(0.15, holder.release)
+    release_soon.start()
+    waiter = FileLease(path)
+    try:
+        assert waiter.acquire(timeout=5.0)
+    finally:
+        release_soon.cancel()
+        waiter.release()
+
+
+def test_lease_context_manager_releases(tmp_path):
+    path = str(tmp_path / "x.lease")
+    lease = FileLease(path)
+    assert lease.try_acquire()
+    with lease:
+        assert os.path.exists(path)
+    assert not os.path.exists(path)
+
+
+def test_lease_held_tracks_freshness(tmp_path):
+    backend = LocalBackend(str(tmp_path))
+    assert not backend.lease_held(KEY_A)
+    lease = backend.lease(KEY_A)
+    assert lease.try_acquire()
+    assert backend.lease_held(KEY_A)
+    os.utime(backend.lease_path_for(KEY_A), (1_000_000, 1_000_000))
+    assert not backend.lease_held(KEY_A)  # stale = effectively unheld
+    lease.release()
+
+
+# -------------------------------------------------------------- HTTP backend
+
+def test_http_backend_rejects_malformed_keys():
+    backend = HTTPBackend("http://127.0.0.1:1")
+    with pytest.raises(BackendError):
+        backend.url_for("../../etc/passwd")
+    with pytest.raises(BackendError):
+        backend.url_for("AA" * 16)  # uppercase is not a content key
+
+
+def test_http_backend_backs_off_after_transport_failure():
+    backend = HTTPBackend("http://127.0.0.1:1", timeout_s=0.2,
+                          backoff_s=3600.0)
+    assert backend.get(KEY_A) is None  # connection refused -> miss
+    assert backend._down_until > 0
+    # inside the backoff window nothing even attempts the network
+    assert backend.get(KEY_B) is None
+    assert backend.stat(KEY_B) is None
+
+
+def test_http_backend_404_is_a_miss_without_backoff(tmp_path):
+    with StoreServer(str(tmp_path), port=0) as server:
+        backend = HTTPBackend(server.url)
+        assert backend.get(KEY_A) is None
+        assert backend._down_until == 0.0  # reachable server, no backoff
+        assert backend.stat(KEY_A) is None
+
+
+def test_http_backend_round_trip_through_a_live_server(tmp_path):
+    entry = json.dumps({"key": KEY_A, "values": {}}).encode()
+    with StoreServer(str(tmp_path), port=0) as server:
+        backend = HTTPBackend(server.url)
+        backend.put(KEY_A, entry)
+        assert backend.get(KEY_A) == entry
+        assert backend.stat(KEY_A).size == len(entry)
+        assert list(backend.iter_keys()) == [KEY_A]
+        backend.delete(KEY_A)
+        assert backend.get(KEY_A) is None
+        backend.delete(KEY_A)  # deleting an absent entry is a no-op (404)
+
+
+def test_server_rejects_entries_whose_embedded_key_mismatches(tmp_path):
+    with StoreServer(str(tmp_path), port=0) as server:
+        backend = HTTPBackend(server.url)
+        bad = json.dumps({"key": KEY_B, "values": {}}).encode()
+        with pytest.raises(BackendError):
+            backend.put(KEY_A, bad)
+        with pytest.raises(BackendError):
+            backend.put(KEY_A, b"not json at all")
+        assert list(backend.iter_keys()) == []
+
+
+def test_read_only_server_refuses_writes_but_serves_reads(tmp_path):
+    local = LocalBackend(str(tmp_path))
+    entry = json.dumps({"key": KEY_A, "values": {}}).encode()
+    local.put(KEY_A, entry)
+    with StoreServer(str(tmp_path), port=0, read_only=True) as server:
+        backend = HTTPBackend(server.url)
+        assert backend.get(KEY_A) == entry
+        with pytest.raises(BackendError):
+            backend.put(KEY_B, json.dumps({"key": KEY_B}).encode())
+        with pytest.raises(BackendError):
+            backend.delete(KEY_A)
+        assert backend.get(KEY_A) == entry
+
+
+def test_push_pull_raise_loudly_when_unreachable():
+    backend = HTTPBackend("http://127.0.0.1:1", timeout_s=0.2)
+    with pytest.raises(BackendError):
+        list(backend.iter_keys())
+    with pytest.raises(BackendError):
+        backend.put(KEY_A, b"{}")

@@ -4,21 +4,35 @@ PR 3 made the store durable and trustworthy; these tests pin the layer
 that keeps it *bounded*: LRU eviction to a byte budget (the ``last_served``
 sidecar is the clock), wholesale pruning of rotated-out salt generations,
 corrupt-entry cleanup, the self-bounding ``max_bytes`` cap, and the
-``repro store`` CLI fronting all of it.
+``repro store`` CLI fronting all of it.  Since the lease layer landed,
+the byte budget is also *exact under concurrency*: ``gc(max_bytes=)``
+re-scans under the store-wide GC lease until the budget truly holds, so
+a racing writer can delay a collection but never leave the pass
+over-budget — stress-tested here thread-against-thread and
+process-against-process — and per-key compute leases let two concurrent
+sweeps dedupe identical cells instead of simulating them twice.
 """
 
 import json
+import multiprocessing
 import os
+import threading
+import time
 
 import pytest
 
+from helpers import make_tiny_model
 from repro.__main__ import main
+from repro.common.errors import ConfigError
+from repro.models.registry import register_model
 from repro.optimizations import AutomaticMixedPrecision
 from repro.scenarios import (
     OptimizationRegistry,
     OptimizationSpec,
     Scenario,
+    ScenarioRunner,
     SweepStore,
+    run_batch,
     store_salt,
 )
 
@@ -238,6 +252,311 @@ def test_non_positive_cap_is_rejected(tmp_path):
     from repro.common.errors import ConfigError
     with pytest.raises(ConfigError):
         SweepStore(str(tmp_path), max_bytes=0)
+
+
+# ------------------------------------------------------- leases and exactness
+
+def test_put_releases_its_key_lease(tmp_path):
+    store = SweepStore(str(tmp_path))
+    key = store.put(scenario(1), VALUES)
+    assert not os.path.exists(store.local.lease_path_for(key))
+
+
+def test_put_under_a_held_lease_neither_waits_nor_releases(tmp_path):
+    # the batch executor holds a cell's compute lease across put: the
+    # write must ride it (not stall PUT_LEASE_WAIT_SECONDS on its own
+    # lock) and must leave the release to the caller
+    store = SweepStore(str(tmp_path))
+    key = store.key(scenario(1))
+    lease = store.lease(key)
+    assert lease.try_acquire()
+    start = time.monotonic()
+    store.put(scenario(1), VALUES, lease=lease)
+    elapsed = time.monotonic() - start
+    assert elapsed < 0.4, f"put stalled {elapsed:.2f}s on its own lease"
+    assert lease.owned  # still ours to release
+    assert os.path.exists(store.local.lease_path_for(key))
+    lease.release()
+    assert store.get(scenario(1)) == VALUES
+
+
+def test_gc_spares_entries_with_a_fresh_lease(tmp_path):
+    store = SweepStore(str(tmp_path))
+    keys = fill(store, 3)
+    # the oldest-served entry would evict first, but a live writer owns it
+    lease = store.lease(keys[0])
+    assert lease.try_acquire()
+    try:
+        report = store.gc(max_bytes=store._entry_bytes(keys[1]))
+        survivors = set(store.keys())
+        assert keys[0] in survivors
+        assert report.evicted == 2
+        assert report.bytes_after <= store._entry_bytes(keys[0])
+    finally:
+        lease.release()
+
+
+def test_gc_budget_holds_under_a_racing_writer_thread(tmp_path):
+    """The ROADMAP advisory-cap bug, pinned: eviction interleaved with a
+    racing writer used to overshoot the budget (the single scan missed
+    entries landed mid-pass); the rescan loop under the GC lease must
+    not."""
+    store = SweepStore(str(tmp_path))
+    keys = fill(store, 6)
+    entry_size = store._entry_bytes(keys[0])
+    budget = 3 * entry_size + entry_size // 2
+
+    def write_24_entries():
+        writer = SweepStore(str(tmp_path))
+        for i in range(500, 524):
+            writer.put(scenario(i), VALUES)
+            time.sleep(0.001)
+
+    thread = threading.Thread(target=write_24_entries)
+    thread.start()
+    try:
+        reports = [store.gc(max_bytes=budget) for _ in range(5)]
+    finally:
+        thread.join()
+    for report in reports:
+        assert report.bytes_after <= budget
+    # at quiescence one more pass leaves the store within budget for good
+    assert store.gc(max_bytes=budget).bytes_after <= budget
+    assert store.total_bytes() <= budget
+
+
+def _stress_writer(root, start, count):
+    """Subprocess body: hammer the store with fresh entries."""
+    writer = SweepStore(root)
+    for i in range(start, start + count):
+        writer.put(scenario(i), VALUES)
+        time.sleep(0.002)
+
+
+def _stress_gc(root, budget, rounds, queue):
+    """Subprocess body: run repeated budgeted GC passes, report totals."""
+    store = SweepStore(root)
+    for _ in range(rounds):
+        report = store.gc(max_bytes=budget)
+        queue.put(report.bytes_after)
+        time.sleep(0.003)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no fork start method")
+def test_gc_budget_is_exact_across_processes(tmp_path):
+    """Two real processes — a writer and a collector — race on one store.
+
+    Every ``gc(max_bytes=)`` return must report a within-budget total
+    (measured by its own rescan under the GC lease), and once the writer
+    exits, a final pass must leave the whole store within budget.
+    """
+    root = str(tmp_path / "store")
+    store = SweepStore(root)
+    keys = fill(store, 4)
+    entry_size = store._entry_bytes(keys[0])
+    budget = 3 * entry_size + entry_size // 2
+
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    writer = ctx.Process(target=_stress_writer, args=(root, 100, 24))
+    collector = ctx.Process(target=_stress_gc,
+                            args=(root, budget, 8, queue))
+    writer.start()
+    collector.start()
+    writer.join(timeout=60)
+    collector.join(timeout=60)
+    assert writer.exitcode == 0 and collector.exitcode == 0
+
+    totals = [queue.get() for _ in range(8)]
+    assert all(total <= budget for total in totals), totals
+    final = SweepStore(root).gc(max_bytes=budget)
+    assert final.bytes_after <= budget
+    assert SweepStore(root).total_bytes() <= budget
+
+
+# --------------------------------------------------------- cross-sweep dedupe
+
+TINY = "tinylease"
+
+
+def build_tinylease(batch_size=None):
+    """Module-level builder so workers can re-import it by name."""
+    return make_tiny_model(batch=batch_size or 4)
+
+
+@pytest.fixture
+def tiny_model():
+    try:
+        register_model(TINY, build_tinylease)
+    except ConfigError:
+        pass  # an earlier test in this process already registered it
+
+
+def test_deferred_cell_is_served_from_the_winning_sweep(tmp_path,
+                                                        tiny_model):
+    """While another sweep holds a cell's compute lease, this sweep must
+    wait it out and serve the winner's entry instead of simulating."""
+    store = SweepStore(str(tmp_path / "store"))
+    cell = Scenario(model=TINY)
+    key = store.key(cell)
+    winner = store.lease(key)
+    assert winner.try_acquire()
+
+    reference = ScenarioRunner().run(cell)
+
+    def publish_and_release():
+        time.sleep(0.15)
+        store.put(cell, {"baseline_us": reference.baseline_us,
+                         "predicted_us": reference.predicted_us})
+        winner.release()
+
+    thread = threading.Thread(target=publish_and_release)
+    thread.start()
+    try:
+        report = run_batch([cell], store=store)
+    finally:
+        thread.join()
+    assert report.hits == 1 and report.computed == 0
+    (served,) = report.cells
+    assert served.cached
+    assert served.baseline_us == reference.baseline_us
+    assert served.predicted_us == reference.predicted_us
+
+
+def test_stale_compute_lease_is_inherited_not_waited_on(tmp_path,
+                                                        tiny_model):
+    """A crashed sweep's abandoned lease must not block the grid: the
+    claim steals it (stale-after) and computes the cell itself."""
+    store = SweepStore(str(tmp_path / "store"))
+    cell = Scenario(model=TINY)
+    key = store.key(cell)
+    lease_path = store.local.lease_path_for(key)
+    os.makedirs(os.path.dirname(lease_path), exist_ok=True)
+    with open(lease_path, "w") as f:
+        f.write("1:crashed-long-ago")
+    os.utime(lease_path, (1_000_000, 1_000_000))
+
+    report = run_batch([cell], store=store)
+    assert report.computed == 1 and report.hits == 0
+    assert store.contains(cell)
+    assert not os.path.exists(lease_path)  # released after the write
+
+
+def test_record_releases_the_lease_even_when_put_fails(tmp_path,
+                                                       tiny_model,
+                                                       monkeypatch):
+    """A failing store write (disk full) must not leak the cell's
+    compute lease — a leaked claim stalls the next sweep over that cell
+    for the whole steal window."""
+    store = SweepStore(str(tmp_path / "store"))
+    cell = Scenario(model=TINY)
+
+    def disk_full(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(store, "put", disk_full)
+    with pytest.raises(OSError):
+        run_batch([cell], store=store, jobs=1)
+    assert not os.path.exists(store.local.lease_path_for(store.key(cell)))
+
+
+SLOW = "tinyslowlease"
+
+
+def build_tinyslowlease(batch_size=None):
+    """Module-level builder whose profile is deliberately slow."""
+    time.sleep(0.6)
+    return make_tiny_model(batch=batch_size or 4)
+
+
+def test_claims_stay_fresh_through_a_chunk_longer_than_the_steal_window(
+        tmp_path, monkeypatch):
+    """A single chunk can legitimately outlast LEASE_STEAL_SECONDS; the
+    background refresher must keep the claim un-stealable the whole
+    time, or a concurrent sweep duplicates the cell."""
+    import repro.scenarios.backends as backends_mod
+    from repro.scenarios import FileLease
+
+    monkeypatch.setattr(backends_mod, "LEASE_STEAL_SECONDS", 0.05)
+    try:
+        register_model(SLOW, build_tinyslowlease)
+    except ConfigError:
+        pass
+    store = SweepStore(str(tmp_path / "store"))
+    cell = Scenario(model=SLOW)
+    key = store.key(cell)
+
+    result = {}
+
+    def sweep():
+        result["report"] = run_batch([cell], store=store, jobs=1)
+
+    thread = threading.Thread(target=sweep)
+    thread.start()
+    try:
+        time.sleep(0.25)  # several steal windows into the computation
+        assert thread.is_alive()  # the slow chunk is still running
+        thief = FileLease(store.local.lease_path_for(key),
+                          steal_after=0.05)
+        stolen = thief.try_acquire()
+    finally:
+        thread.join()
+    assert not stolen, "a refreshed claim was stolen mid-chunk"
+    assert result["report"].computed == 1
+
+
+def test_inherited_cell_keeps_its_lease_fresh_while_computing(
+        tmp_path, monkeypatch):
+    """The deferred-inherit path (winner died without publishing) runs
+    the computation in-process; its claim must be refreshed on a time
+    cadence just like normal chunks, or a third sweep steals it."""
+    import repro.scenarios.backends as backends_mod
+    from repro.scenarios import FileLease
+
+    monkeypatch.setattr(backends_mod, "LEASE_STEAL_SECONDS", 0.05)
+    try:
+        register_model(SLOW, build_tinyslowlease)
+    except ConfigError:
+        pass
+    store = SweepStore(str(tmp_path / "store"))
+    cell = Scenario(model=SLOW)
+    key = store.key(cell)
+    winner = store.lease(key)  # a sweep that will die without publishing
+    assert winner.try_acquire()
+
+    result = {}
+
+    def sweep():
+        result["report"] = run_batch([cell], store=store, jobs=1)
+
+    thread = threading.Thread(target=sweep)
+    thread.start()
+    try:
+        time.sleep(0.1)
+        winner.release()  # the winner "crashes": no entry ever lands
+        time.sleep(0.3)   # the inheritor is now mid-computation
+        assert thread.is_alive()
+        thief = FileLease(store.local.lease_path_for(key),
+                          steal_after=0.05)
+        stolen = thief.try_acquire()
+    finally:
+        thread.join()
+    assert not stolen, "an inherited, refreshed claim was stolen"
+    assert result["report"].computed == 1
+    assert store.contains(cell)
+
+
+def test_failed_sweep_releases_its_claims(tmp_path, tiny_model):
+    """Leases must not leak when the pool path blows up mid-sweep."""
+    store = SweepStore(str(tmp_path / "store"))
+    cells = [Scenario(model=TINY), Scenario(model="no-such-model")]
+    with pytest.raises(Exception):
+        run_batch(cells, store=store, jobs=1)
+    for cell in cells:
+        lease_path = store.local.lease_path_for(store.key(cell))
+        assert not os.path.exists(lease_path)
 
 
 # ------------------------------------------------------------------- store CLI

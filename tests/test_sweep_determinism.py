@@ -1,19 +1,23 @@
 """Every sweep substrate must produce bit-identical rows.
 
-A pinned grid runs through all five execution paths —
+A pinned grid runs through all six execution paths —
 
 * serial ``run_grid`` (``processes=1``: plain in-process loop),
 * the fork-based ``WhatIfSession.sweep`` fan-out (``processes=2``),
 * the process-pool batch executor (``parallel=2`` + a fresh store),
 * the **spawn**-context batch executor (``start_method="spawn"``: fresh
-  interpreters rebuilding the runtime-registered model from a pickled
+  interpreters rebuilding the runtime-registered model — and any
+  runtime-registered schedule policy — from a pickled
   ``WorkerManifest``),
-* a warm re-run served entirely from the store —
+* a warm re-run served entirely from the store,
+* a warm re-run served entirely **read-through from a remote store
+  server** (entries pushed, the local cache empty) —
 
 and the resulting ``ExperimentResult`` rows are compared with ``==``,
 float for float.  This is the contract that makes the persistent store
-trustworthy and the executor portable: a cached number *is* the number a
-cold run would produce, on any platform's start method.
+trustworthy, the executor portable, and the remote tier shareable: a
+cached number *is* the number a cold run would produce, on any
+platform's start method, served from any tier.
 """
 
 import multiprocessing
@@ -23,6 +27,7 @@ import pytest
 
 from helpers import make_tiny_model
 from repro.common.errors import ConfigError
+from repro.core.simulate import make_priority_scheduler
 from repro.models.registry import register_model
 from repro.optimizations import AutomaticMixedPrecision
 from repro.scenarios import (
@@ -31,8 +36,10 @@ from repro.scenarios import (
     Scenario,
     ScenarioGrid,
     ScenarioRunner,
+    StoreServer,
     SweepStore,
     WorkerManifest,
+    register_schedule_policy,
 )
 
 MODEL = "tinysweep"
@@ -145,6 +152,24 @@ def test_spawn_rows_identical_with_runtime_registered_model(
     assert rows_of(warm) == rows_of(serial)
 
 
+def test_remote_warm_rows_identical(pinned_scenarios, tmp_path):
+    """The sixth path: every cell served read-through from a remote
+    server into an empty local cache must be bit-identical to serial."""
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    publisher = SweepStore(str(tmp_path / "publisher"))
+    ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                              store=publisher)
+    with StoreServer(str(tmp_path / "hub"), port=0) as server:
+        publisher.push(server.url)
+        consumer = SweepStore(str(tmp_path / "consumer"),
+                              remote=server.url)
+        remote_warm = ScenarioRunner().run_grid(pinned_scenarios,
+                                                store=consumer)
+    assert rows_of(remote_warm) == rows_of(serial)
+    assert all(o.cached for o in remote_warm)
+    assert consumer.stats.remote_hits == len(pinned_scenarios)
+
+
 def test_explicit_serial_start_method_matches(pinned_scenarios):
     serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
     inproc = ScenarioRunner().run_grid(pinned_scenarios, parallel=4,
@@ -156,6 +181,50 @@ def test_unknown_start_method_is_rejected(pinned_scenarios):
     with pytest.raises(ConfigError):
         ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
                                   start_method="threads")
+
+
+# ----------------------------------------- runtime-registered schedule policy
+
+POLICY = "tinysweep_comm_first"
+
+
+def build_comm_first_policy():
+    """Module-level factory: spawn workers re-import it by name."""
+    return make_priority_scheduler(lambda t: t.is_comm)
+
+
+@pytest.fixture
+def comm_first_policy():
+    register_schedule_policy(POLICY, build_comm_first_policy,
+                             overwrite=True)
+    return POLICY
+
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no spawn start method")
+def test_spawn_rows_identical_with_runtime_schedule_policy(
+        comm_first_policy, tmp_path):
+    """Spawn workers rebuild the policy from the WorkerManifest.
+
+    The scenarios declare a schedule policy that only exists via a
+    runtime ``register_schedule_policy`` call in *this* process; a fresh
+    spawn interpreter would reject them at validation.  The manifest
+    must carry the factory across, and the rows must stay bit-identical
+    to the serial path.
+    """
+    scenarios = [
+        Scenario(model=MODEL, optimizations=["distributed_training"],
+                 schedule_policy=POLICY).with_cluster(
+                     2, 1, bandwidth_gbps=10.0),
+        Scenario(model=MODEL, schedule_policy=POLICY),
+    ]
+    serial = ScenarioRunner().run_grid(scenarios, processes=1)
+    store = SweepStore(str(tmp_path / "store"))
+    spawned = ScenarioRunner().run_grid(scenarios, parallel=2, store=store,
+                                        start_method="spawn")
+    assert rows_of(spawned) == rows_of(serial)
+    assert all(not o.cached for o in spawned)
 
 
 # ----------------------------------------------------------- WorkerManifest
@@ -205,6 +274,66 @@ def test_manifest_rejects_unpicklable_registrations():
     manifest = WorkerManifest.capture(custom, model_names=[])
     with pytest.raises(ConfigError, match="module-level"):
         manifest.dumps()
+
+
+def test_manifest_carries_runtime_schedule_policies(comm_first_policy):
+    from repro.scenarios import NAMED_SCHEDULE_POLICIES
+    manifest = WorkerManifest.capture(model_names=[],
+                                      policy_names=[POLICY])
+    assert dict(manifest.schedule_policies)[POLICY] \
+        is build_comm_first_policy
+    clone = pickle.loads(manifest.dumps())
+    del NAMED_SCHEDULE_POLICIES[POLICY]  # simulate a fresh interpreter
+    clone.restore()
+    assert NAMED_SCHEDULE_POLICIES[POLICY] is build_comm_first_policy
+
+
+def test_manifest_scopes_policies_to_the_grid(comm_first_policy):
+    from repro.scenarios import NAMED_SCHEDULE_POLICIES
+
+    # an unrelated (unpicklable) policy registration must not ride along
+    register_schedule_policy(
+        "tinysweep_unrelated",
+        lambda: make_priority_scheduler(lambda t: t.is_comm),
+        overwrite=True)
+    try:
+        manifest = WorkerManifest.capture(model_names=[],
+                                          policy_names=[POLICY])
+        assert [name for name, _ in manifest.schedule_policies] == [POLICY]
+        manifest.dumps()  # picklable because the lambda was scoped out
+    finally:
+        del NAMED_SCHEDULE_POLICIES["tinysweep_unrelated"]
+
+
+def test_builtin_policies_never_ride_the_manifest():
+    # comm_priority ships with the package (and is a lambda: unpicklable);
+    # spawn workers already have it, so capture must not carry it
+    manifest = WorkerManifest.capture(model_names=[], policy_names=None)
+    names = [name for name, _ in manifest.schedule_policies]
+    assert "comm_priority" not in names
+
+
+def test_overwritten_builtin_policy_counts_as_runtime_state():
+    # identity, not name: a builtin replaced with a custom factory must
+    # ride the manifest, or spawn workers silently run the shipped one
+    # under the same name (and cache different rows under one key)
+    from repro.scenarios import NAMED_SCHEDULE_POLICIES
+    original = NAMED_SCHEDULE_POLICIES["comm_priority"]
+    register_schedule_policy("comm_priority", build_comm_first_policy,
+                             overwrite=True)
+    try:
+        manifest = WorkerManifest.capture(
+            model_names=[], policy_names=["comm_priority"])
+        assert dict(manifest.schedule_policies)["comm_priority"] \
+            is build_comm_first_policy
+        manifest.dumps()  # a module-level override crosses spawn fine
+    finally:
+        NAMED_SCHEDULE_POLICIES["comm_priority"] = original
+
+
+def test_duplicate_policy_registration_is_rejected(comm_first_policy):
+    with pytest.raises(ConfigError, match="already registered"):
+        register_schedule_policy(POLICY, build_comm_first_policy)
 
 
 def test_manifest_fingerprint_skew_fails_loudly():
