@@ -12,7 +12,10 @@ Commands:
                            executor and a persistent result store
                            (``--jobs``, ``--store``, ``--resume``,
                            ``--force``, ``--start-method``, ``--remote``
-                           for a read-through shared tier);
+                           for a read-through shared tier with
+                           ``--remote-timeout``/``--remote-backoff``
+                           transport knobs, ``--max-cell-retries`` for
+                           worker-crash recovery);
 * ``experiment NAME``    — regenerate one paper table/figure
                            (fig1, table1, fig5, fig6, fig7, fig8, fig9,
                            fig9b, fig10-resnet50, fig10-vgg19, sec52,
@@ -36,14 +39,17 @@ from repro.analysis.session import WhatIfSession
 from repro.common.errors import DaydreamError
 from repro.models.registry import available_models
 from repro.scenarios import (
+    DEFAULT_MAX_CELL_RETRIES,
     START_METHODS,
     ClusterShape,
+    HTTPBackend,
     OptimizationPipeline,
     ScenarioRunner,
     StoreServer,
     SweepStore,
     default_registry,
     store_salt,
+    sync_retry_policy,
 )
 from repro.tracing.export import trace_to_chrome
 from repro.tracing.trace import render_timeline
@@ -141,6 +147,17 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _remote_tier(url, timeout_s: float, backoff_s: float):
+    """Build the HTTP remote tier carrying the CLI's transport knobs.
+
+    ``--remote-timeout`` caps each request; ``--remote-backoff`` seeds
+    the escalating down-window an unreachable remote is parked behind.
+    """
+    if url is None:
+        return None
+    return HTTPBackend(url, timeout_s=timeout_s, backoff_s=backoff_s)
+
+
 def cmd_sweep(args) -> int:
     import time
 
@@ -148,7 +165,9 @@ def cmd_sweep(args) -> int:
         raise DaydreamError("--remote needs --store: the local store is "
                             "the write-back cache the remote tier reads "
                             "through into")
-    store = SweepStore(args.store, remote=args.remote) if args.store \
+    remote = _remote_tier(args.remote, args.remote_timeout,
+                          args.remote_backoff)
+    store = SweepStore(args.store, remote=remote) if args.store \
         else None
     # --no-resume and --force both mean "do not trust prior entries";
     # either way fresh rows are written back to the store
@@ -165,7 +184,8 @@ def cmd_sweep(args) -> int:
     t0 = time.perf_counter()
     outcomes = runner.run_file(args.scenario, parallel=jobs,
                                store=store, force=force, progress=progress,
-                               start_method=args.start_method)
+                               start_method=args.start_method,
+                               max_cell_retries=args.max_cell_retries)
     elapsed = time.perf_counter() - t0
     result = runner.to_result(outcomes, experiment="sweep",
                               title=f"Sweep of {args.scenario}")
@@ -217,7 +237,10 @@ def cmd_experiment(args) -> int:
     # hand each experiment only the flags its runner understands, and say
     # so when a requested flag would be silently ignored
     offered = {
-        "store": (SweepStore(args.store, remote=args.remote)
+        "store": (SweepStore(args.store,
+                             remote=_remote_tier(args.remote,
+                                                 args.remote_timeout,
+                                                 args.remote_backoff))
                   if args.store else None),
         "jobs": args.jobs,
         "force": args.force or None,
@@ -288,12 +311,14 @@ def cmd_store(args) -> int:
         except KeyboardInterrupt:
             pass
         return 0
-    if args.action == "push":
-        report = store.push(args.remote, force=args.force)
-        print(json.dumps(report.as_dict(), indent=2))
-        return 0
-    if args.action == "pull":
-        report = store.pull(args.remote)
+    if args.action in ("push", "pull"):
+        remote = _remote_tier(args.remote, args.remote_timeout,
+                              args.remote_backoff)
+        retry = sync_retry_policy(retries=args.retries)
+        if args.action == "push":
+            report = store.push(remote, force=args.force, retry=retry)
+        else:
+            report = store.pull(remote, retry=retry)
         print(json.dumps(report.as_dict(), indent=2))
         return 0
     raise AssertionError(f"unhandled store action {args.action!r}")
@@ -364,6 +389,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "verified entries cache locally, and an "
                             "unreachable or corrupt remote is just a "
                             "miss.  Needs --store")
+    sweep.add_argument("--max-cell-retries", type=int,
+                       default=DEFAULT_MAX_CELL_RETRIES, metavar="N",
+                       help="requeues one cell gets after its chunk "
+                            "crashed a worker before it is quarantined "
+                            "and re-run serially in the parent "
+                            f"(default {DEFAULT_MAX_CELL_RETRIES})")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -437,6 +468,24 @@ def build_parser() -> argparse.ArgumentParser:
     for action in (push, pull):
         action.add_argument("--remote", required=True, metavar="URL",
                             help="base URL of a 'repro store serve' server")
+        action.add_argument("--retries", type=int, default=2, metavar="N",
+                            help="extra attempts per transfer operation "
+                                 "after the first fails transiently "
+                                 "(default 2); exhausting them fails "
+                                 "loudly with the partial progress so far")
+    # every surface that opens an HTTP remote tier exposes its transport
+    # knobs; the defaults match HTTPBackend's
+    for surface in (sweep, experiment, push, pull):
+        surface.add_argument("--remote-timeout", type=float, default=5.0,
+                             metavar="S",
+                             help="per-request timeout for the remote "
+                                  "store tier, in seconds (default 5)")
+        surface.add_argument("--remote-backoff", type=float, default=30.0,
+                             metavar="S",
+                             help="base down-window after the remote tier "
+                                  "fails at the transport level; repeated "
+                                  "failures escalate it exponentially and "
+                                  "a success resets it (default 30)")
     for action in (stats, gc, prune, verify, serve, push, pull):
         action.add_argument("dir", help="sweep-store directory")
     return parser

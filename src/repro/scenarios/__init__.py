@@ -22,7 +22,15 @@ This package is the single front door for running what-if analyses:
   the store: the :class:`StoreBackend` protocol, the on-disk
   :class:`LocalBackend`, the read-through :class:`HTTPBackend` remote
   tier with its :class:`StoreServer` (``repro store serve``), and the
-  :class:`FileLease` coordination primitive.
+  :class:`FileLease` coordination primitive;
+* :mod:`repro.scenarios.retry` — the unified :class:`RetryPolicy`
+  (exponential backoff, deterministic seeded jitter, attempt/deadline
+  caps) every transient-fault path shares;
+* :mod:`repro.scenarios.faults` — the deterministic fault-injection
+  harness: JSON-describable :class:`FaultPlan` rules driving a
+  :class:`FaultInjectingBackend` wrapper, plus the env-gated
+  :class:`KillPlan` worker-crash hook the chaos suite uses
+  (``docs/robustness.md`` is the failure-mode contract).
 
 Quickstart::
 
@@ -44,11 +52,22 @@ from repro.scenarios.backends import (
     StoreServer,
 )
 from repro.scenarios.batch import (
+    DEFAULT_MAX_CELL_RETRIES,
     START_METHODS,
     BatchReport,
+    CellFailure,
     SweepCell,
     WorkerManifest,
     run_batch,
+)
+from repro.scenarios.faults import (
+    KILL_PLAN_ENV,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    KillPlan,
+    maybe_kill_worker,
 )
 from repro.scenarios.pipeline import OptimizationPipeline, PipelineError
 from repro.scenarios.registry import (
@@ -58,6 +77,13 @@ from repro.scenarios.registry import (
     ParamSpec,
     default_registry,
     stack_label,
+)
+from repro.scenarios.retry import (
+    DEFAULT_MAX_ATTEMPTS,
+    BackoffState,
+    RetryPolicy,
+    no_retry,
+    sync_retry_policy,
 )
 from repro.scenarios.runner import (
     SCENARIO_RESULT_HEADERS,
@@ -95,10 +121,24 @@ __all__ = [
     "StoreServer",
     "LEASE_STEAL_SECONDS",
     "BatchReport",
+    "CellFailure",
     "SweepCell",
     "WorkerManifest",
     "START_METHODS",
+    "DEFAULT_MAX_CELL_RETRIES",
     "run_batch",
+    "RetryPolicy",
+    "BackoffState",
+    "DEFAULT_MAX_ATTEMPTS",
+    "no_retry",
+    "sync_retry_policy",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjectingBackend",
+    "InjectedFault",
+    "KillPlan",
+    "KILL_PLAN_ENV",
+    "maybe_kill_worker",
     "GCReport",
     "StoreStats",
     "SyncReport",

@@ -43,6 +43,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator, Optional, Protocol, runtime_checkable
 
 from repro.common.errors import DaydreamError
+from repro.common.prng import stable_hash
+from repro.scenarios.retry import BackoffState, RetryPolicy
 
 #: a lease file untouched for this long is presumed dead and may be stolen
 LEASE_STEAL_SECONDS = 120.0
@@ -57,8 +59,16 @@ class BackendError(DaydreamError):
 
     Read-through reads never raise this — a failing read is a miss — but
     commands that *must* move bytes (``repro store push``/``pull``) fail
-    loudly instead of silently publishing nothing.
+    loudly instead of silently publishing nothing.  When the failure
+    interrupted a multi-entry transfer, ``partial`` carries the
+    :class:`~repro.scenarios.store.SyncReport` accumulated *before* the
+    failure — an accurate account of what actually landed, so a dead
+    server is never misreported as a pile of rejected entries.
     """
+
+    def __init__(self, message: str, partial: object = None) -> None:
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass(frozen=True)
@@ -435,21 +445,35 @@ class HTTPBackend:
     trouble — connection refused, DNS failure, timeout, a response body
     shorter than its ``Content-Length`` — returns ``None``, so the
     calling store records a miss and re-simulates.  A transport-level
-    failure also marks the remote *down* for ``backoff_s`` seconds,
-    during which reads return ``None`` immediately — an unreachable
-    server costs one timeout per backoff window, not one per grid cell.
-    (An HTTP error status is a *reachable* server answering — 404 is an
-    ordinary miss — and never triggers the backoff.)  Explicit transfers
-    (:meth:`put`, :meth:`delete`, :meth:`iter_keys`) raise
-    :class:`BackendError` instead: ``push``/``pull`` must fail loudly,
-    not publish silence.
+    failure also marks the remote *down*: reads within the down window
+    return ``None`` immediately, so an unreachable server costs one
+    timeout per window, not one per grid cell.  The window is governed by
+    the unified :class:`~repro.scenarios.retry.RetryPolicy` (``retry``),
+    not a flat constant: consecutive failures escalate it exponentially
+    (with deterministic seeded jitter, keyed by the base URL so replicas
+    de-synchronize), and any success resets the streak — a briefly-flaky
+    remote recovers on the next read while a dead one is probed
+    geometrically less often.  ``backoff_s`` seeds the policy's base
+    delay for back-compatibility.  (An HTTP error status is a *reachable*
+    server answering — 404 is an ordinary miss — and never touches the
+    backoff.)  Explicit transfers (:meth:`put`, :meth:`delete`,
+    :meth:`iter_keys`) raise :class:`BackendError` instead:
+    ``push``/``pull`` must fail loudly, not publish silence.
     """
 
     def __init__(self, base_url: str, timeout_s: float = 5.0,
-                 backoff_s: float = 30.0) -> None:
+                 backoff_s: float = 30.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.backoff_s = backoff_s
+        if retry is None:
+            retry = RetryPolicy(max_attempts=6, base_delay_s=backoff_s,
+                                multiplier=2.0, max_delay_s=backoff_s * 16,
+                                jitter=0.1,
+                                seed=stable_hash(self.base_url))
+        self.retry = retry
+        self._backoff = BackoffState(policy=retry)
         self._down_until = 0.0
 
     def _reachable(self) -> bool:
@@ -457,8 +481,13 @@ class HTTPBackend:
         return time.time() >= self._down_until
 
     def _mark_down(self) -> None:
-        """Start (or extend) the down-backoff window after a failure."""
-        self._down_until = time.time() + self.backoff_s
+        """Escalate the down window along the retry policy's schedule."""
+        self._backoff, window = self._backoff.after_failure()
+        self._down_until = time.time() + window
+
+    def _mark_up(self) -> None:
+        """Reset the failure streak: the remote answered."""
+        self._backoff = self._backoff.after_success()
 
     def url_for(self, key: str) -> str:
         """The entry URL of one content key."""
@@ -473,11 +502,14 @@ class HTTPBackend:
         try:
             req = urllib.request.Request(self.url_for(key), method="GET")
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return resp.read()
+                data = resp.read()
+            self._mark_up()  # reachable: the failure streak resets
+            return data
         except BackendError:
             raise  # a malformed key is a caller bug, not a remote flake
         except urllib.error.HTTPError:
-            return None  # a reachable server saying no: an ordinary miss
+            self._mark_up()  # a reachable server saying no: ordinary miss
+            return None
         except Exception:
             self._mark_down()  # transport trouble: back off for a while
             return None  # unreachable/timeout/truncation: a miss, never a crash
@@ -563,10 +595,12 @@ class HTTPBackend:
         except BackendError:
             raise
         except urllib.error.HTTPError:
+            self._mark_up()
             return None
         except Exception:
             self._mark_down()
             return None
+        self._mark_up()
         return EntryStat(size=size, mtime=0.0)
 
 

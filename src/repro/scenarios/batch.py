@@ -27,12 +27,29 @@ finished cells remembered.  :func:`run_batch` is that substrate:
   two concurrent sweeps over one store dedupe identical cells: the sweep
   that loses the claim defers the cell, serves the winner's entry the
   moment it lands, and inherits the computation only if the winner's
-  lease goes stale (a crash) without producing one.
+  lease goes stale (a crash) without producing one;
+* the pool **survives its own workers dying**: a worker the kernel
+  OOM-kills (or the chaos hook SIGKILLs) breaks the
+  ``ProcessPoolExecutor`` — instead of aborting the sweep, the parent
+  keeps every recorded result, keeps holding the unfinished cells'
+  compute leases (the work is still ours), rebuilds the pool, and
+  requeues the unfinished cells as single-cell chunks so a
+  worker-killing cell isolates itself.  Each requeue charges a bounded
+  per-cell retry budget (``max_cell_retries``, ``repro sweep
+  --max-cell-retries``); a cell that exhausts it is **quarantined** and
+  re-run serially in the parent — where the chaos kill hook never fires
+  — or, if it still fails, reported in ``BatchReport.failures`` with
+  its lease released promptly so a concurrent sweep is never stalled
+  for the full steal window.  Deterministic chunk exceptions travel the
+  same requeue → quarantine → report path, so one poisoned cell cannot
+  abort a thousand-cell sweep.
 
 Because the simulator and the keyed PRNG are deterministic, pool results
-are bit-identical to a serial run under *either* start method;
+are bit-identical to a serial run under *either* start method — and under
+injected worker crashes and backend faults;
 ``tests/test_sweep_determinism.py`` pins serial / fork-sweep / process-pool
-/ spawn-pool / cached / remote-warm rows against each other.
+/ spawn-pool / cached / remote-warm / chaos rows against each other.
+``docs/robustness.md`` is the written failure-mode contract.
 
 """
 
@@ -43,8 +60,9 @@ import sys
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.parallel import default_processes
 from repro.common.errors import ConfigError
@@ -72,6 +90,10 @@ _Cell = Tuple[int, Dict[str, object]]
 
 #: start methods run_batch accepts (``None`` = pick automatically)
 START_METHODS = ("fork", "spawn", "serial")
+
+#: how many times one cell may be requeued after its chunk crashed or
+#: failed before it is quarantined to the parent (``--max-cell-retries``)
+DEFAULT_MAX_CELL_RETRIES = 2
 
 #: fork-inherited state (set in the parent immediately before the pool
 #: forks, cleared after; never pickled)
@@ -210,15 +232,40 @@ class SweepCell:
     cached: bool
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One grid cell that produced no row, and why.
+
+    Only cells that failed *in the parent too* land here: a cell reaches
+    this report after its retry budget was spent requeuing it through
+    rebuilt pools and its quarantined serial re-run still raised.
+    """
+
+    index: int
+    label: str
+    error: str
+
+
 @dataclass
 class BatchReport:
-    """What one :func:`run_batch` call did."""
+    """What one :func:`run_batch` call did.
+
+    Every input cell is accounted for exactly once across
+    ``cells`` (done: served from the store or computed) and ``failures``
+    (no row could be produced); ``retried``/``quarantined``/
+    ``pool_rebuilds`` narrate the recovery work it took to get there.
+    """
 
     cells: List[SweepCell] = field(default_factory=list)  # input order
     hits: int = 0
     computed: int = 0
     workers: int = 1
     start_method: str = "serial"
+    retried: int = 0        # cell requeues after a crashed/failed chunk
+    quarantined: int = 0    # cells whose budget ran out, re-run in-parent
+    failed: int = 0         # cells with no row (== len(failures))
+    pool_rebuilds: int = 0  # worker pools rebuilt after a crash
+    failures: List[CellFailure] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -252,7 +299,10 @@ def _worker_run_chunk(chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]:
 
     The first chunk builds the runner — from the fork-inherited registry
     under fork, or from the delivered :class:`WorkerManifest` under spawn —
-    and later chunks reuse it (and its profiled sessions).
+    and later chunks reuse it (and its profiled sessions).  Before each
+    cell the worker consults the env-gated chaos kill hook
+    (:func:`repro.scenarios.faults.maybe_kill_worker`): only *workers*
+    do, so a quarantined cell re-run in the parent always completes.
     """
     global _WORKER_RUNNER
     if _WORKER_RUNNER is None:
@@ -264,7 +314,13 @@ def _worker_run_chunk(chunk: Sequence[_Cell]) -> List[Tuple[int, float, float]]:
         else:  # pragma: no cover - defensive
             raise ConfigError("batch worker started without a registry")
         _WORKER_RUNNER = ScenarioRunner(registry=registry)
-    return _run_chunk(_WORKER_RUNNER, chunk)
+    from repro.scenarios.faults import maybe_kill_worker
+    out = []
+    for index, data in chunk:
+        maybe_kill_worker(index)
+        outcome = _WORKER_RUNNER.run(Scenario.from_dict(data))
+        out.append((index, outcome.baseline_us, outcome.predicted_us))
+    return out
 
 
 def _resolve_deferred(index: int, scenario: Scenario,
@@ -410,6 +466,7 @@ def run_batch(
     force: bool = False,
     progress: Optional[Callable[[int, int, SweepCell], None]] = None,
     start_method: Optional[str] = None,
+    max_cell_retries: int = DEFAULT_MAX_CELL_RETRIES,
 ) -> BatchReport:
     """Evaluate scenarios through the store + process-pool substrate.
 
@@ -434,16 +491,25 @@ def run_batch(
             ``"serial"`` (no pool), or ``None`` to pick automatically
             (fork where available and safe — not macOS — then spawn,
             then serial).  Rows are bit-identical regardless.
+        max_cell_retries: how many times one cell may be requeued after
+            its chunk crashed the pool (or raised) before the cell is
+            quarantined and re-run serially in the parent; a cell that
+            fails even there is reported in ``BatchReport.failures``
+            instead of aborting the sweep.
 
     Returns:
         A :class:`BatchReport` whose ``cells`` are in input order and
-        bit-identical to serial :meth:`ScenarioRunner.run` calls.
+        bit-identical to serial :meth:`ScenarioRunner.run` calls, and
+        whose done/retried/quarantined/failed counters account for every
+        input cell.
     """
     registry = registry or DEFAULT_REGISTRY
     if store is not None and store.registry is not registry:
         # one fingerprint must govern both resolution and addressing
         raise ConfigError("sweep store and batch executor must share one "
                           "optimization registry")
+    if max_cell_retries < 0:
+        raise ConfigError("max_cell_retries cannot be negative")
     scenarios = list(scenarios)
     total = len(scenarios)
     cells: List[Optional[SweepCell]] = [None] * total
@@ -508,14 +574,20 @@ def run_batch(
                     lease.refresh()
 
         refresher = threading.Thread(target=_keep_claims_fresh,
+                                     name="repro-claim-refresher",
                                      daemon=True)
         refresher.start()
+
+    def release_claim(index: int) -> Optional[FileLease]:
+        """Pop the compute lease of one cell (if this sweep holds it)."""
+        key = scenario_key(scenarios[index], registry)
+        with owned_lock:
+            return owned.pop(key, None)
 
     def record(index: int, baseline_us: float, predicted_us: float) -> None:
         scenario = scenarios[index]
         key = scenario_key(scenario, registry)
-        with owned_lock:
-            lease = owned.pop(key, None)
+        lease = release_claim(index)
         try:
             if store is not None:
                 # the write rides the compute lease we already hold for
@@ -526,9 +598,114 @@ def run_batch(
         finally:
             if lease is not None:
                 lease.release()  # persisted: waiting sweeps read it now
+        report.computed += 1
         finish(index, SweepCell(scenario=scenario, key=key, cached=False,
                                 baseline_us=baseline_us,
                                 predicted_us=predicted_us))
+
+    def fail(index: int, error: BaseException) -> None:
+        """Record one unproducible cell, releasing its lease promptly.
+
+        The release matters as much as the bookkeeping: a failed cell's
+        claim must not sit until the steal window expires, or a
+        concurrent sweep sharing the store stalls on a cell this one
+        already knows it cannot produce.
+        """
+        lease = release_claim(index)
+        if lease is not None:
+            lease.release()
+        report.failed += 1
+        report.failures.append(CellFailure(
+            index=index, label=scenarios[index].label(), error=str(error)))
+
+    def run_quarantined(index: int, runner) -> None:
+        """Serially re-run one over-budget cell in the parent.
+
+        The chaos kill hook only fires in pool workers, so a cell that
+        kept killing workers completes here; a cell that raises even in
+        the parent is deterministic poison and is reported failed.
+        """
+        report.quarantined += 1
+        try:
+            ((_, baseline_us, predicted_us),) = _run_chunk(
+                runner, [(index, scenarios[index].to_dict())])
+        except Exception as exc:
+            fail(index, exc)
+        else:
+            record(index, baseline_us, predicted_us)
+
+    def run_pool_with_recovery(method: str, workers: int,
+                               manifest: WorkerManifest) -> None:
+        """Drive the worker pool, surviving crashed workers and chunks.
+
+        Each round submits the remaining cells — workload-grouped chunks
+        on the first round, single-cell chunks after any crash so a
+        worker-killing cell isolates itself instead of charging its
+        chunk-mates' budgets forever.  A broken pool (a worker died:
+        OOM killer, SIGKILL, hardware) keeps all recorded results and
+        all held leases, charges one retry to every unfinished cell,
+        and rebuilds; cells over budget are quarantined to the parent.
+        """
+        pool_kwargs: Dict[str, object] = {}
+        if method == "spawn":
+            pool_kwargs["initializer"] = _worker_init
+            pool_kwargs["initargs"] = (manifest.dumps(),)
+        remaining: List[int] = list(pending)
+        attempts: Dict[int, int] = {}
+        quarantine_runner = None
+        first_round = True
+        ctx = multiprocessing.get_context(method)
+        while remaining:
+            over_budget = [i for i in remaining
+                           if attempts.get(i, 0) > max_cell_retries]
+            remaining = [i for i in remaining
+                         if attempts.get(i, 0) <= max_cell_retries]
+            if over_budget:
+                if quarantine_runner is None:
+                    from repro.scenarios.runner import ScenarioRunner
+                    quarantine_runner = ScenarioRunner(registry=registry)
+                for index in over_budget:
+                    run_quarantined(index, quarantine_runner)
+            if not remaining:
+                break
+            if first_round:
+                chunks = _partition(scenarios, remaining, jobs)
+            else:
+                chunks = [[(i, scenarios[i].to_dict())] for i in remaining]
+            done_round: Set[int] = set()
+            try:
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=ctx,
+                                         **pool_kwargs) as pool:
+                    future_chunks = {
+                        pool.submit(_worker_run_chunk, chunk): chunk
+                        for chunk in chunks}
+                    for future in as_completed(future_chunks):
+                        try:
+                            results = future.result()
+                        except BrokenProcessPool:
+                            raise  # a worker died: rebuild below
+                        except Exception:
+                            # a deterministic chunk failure: charge only
+                            # this chunk's cells and requeue them (they
+                            # reproduce — or get quarantined and their
+                            # true error reported from the parent re-run)
+                            chunk = future_chunks[future]
+                            for index, _data in chunk:
+                                attempts[index] = attempts.get(index, 0) + 1
+                            report.retried += len(chunk)
+                            continue
+                        for index, baseline_us, predicted_us in results:
+                            record(index, baseline_us, predicted_us)
+                            done_round.add(index)
+            except BrokenProcessPool:
+                unfinished = [i for i in remaining if i not in done_round]
+                for index in unfinished:
+                    attempts[index] = attempts.get(index, 0) + 1
+                report.retried += len(unfinished)
+                report.pool_rebuilds += 1
+            remaining = [i for i in remaining if i not in done_round]
+            first_round = False
 
     try:
         if pending:
@@ -536,7 +713,6 @@ def run_batch(
             chunks = _partition(scenarios, pending, jobs)
             workers = min(jobs, len(chunks))
             report.workers = workers
-            report.computed = len(pending)
 
             manifest = WorkerManifest.capture(
                 registry,
@@ -546,38 +722,36 @@ def run_batch(
             method = _resolve_start_method(start_method, workers, manifest)
             report.start_method = method
             if method != "serial":
-                pool_kwargs: Dict[str, object] = {}
-                if method == "spawn":
-                    pool_kwargs["initializer"] = _worker_init
-                    pool_kwargs["initargs"] = (manifest.dumps(),)
                 global _FORK_REGISTRY
                 _FORK_REGISTRY = registry if method == "fork" else None
                 try:
-                    ctx = multiprocessing.get_context(method)
-                    with ProcessPoolExecutor(max_workers=workers,
-                                             mp_context=ctx,
-                                             **pool_kwargs) as pool:
-                        futures = [pool.submit(_worker_run_chunk, chunk)
-                                   for chunk in chunks]
-                        for future in as_completed(futures):
-                            for index, baseline_us, predicted_us \
-                                    in future.result():
-                                record(index, baseline_us, predicted_us)
+                    run_pool_with_recovery(method, workers, manifest)
                 finally:
                     _FORK_REGISTRY = None
             else:
                 from repro.scenarios.runner import ScenarioRunner
                 report.workers = 1
                 runner = ScenarioRunner(registry=registry)
+                # per-cell fault tolerance matches the pool path: a
+                # poisoned cell is reported, the rest still get rows
                 for chunk in chunks:
-                    for index, baseline_us, predicted_us in \
-                            _run_chunk(runner, chunk):
-                        record(index, baseline_us, predicted_us)
+                    for index, data in chunk:
+                        try:
+                            ((_, baseline_us, predicted_us),) = _run_chunk(
+                                runner, [(index, data)])
+                        except Exception as exc:
+                            fail(index, exc)
+                        else:
+                            record(index, baseline_us, predicted_us)
 
         for index in deferred:
             _resolve_deferred(index, scenarios[index], registry, store,
                               report, finish)
     finally:
+        # the crash path runs through here too: whatever broke above, the
+        # claim refresher stops and every still-held compute lease is
+        # released, so a dying sweep never stalls a concurrent one for
+        # the full steal window
         stop_refresh.set()
         if refresher is not None:
             refresher.join(timeout=5.0)
@@ -588,6 +762,6 @@ def run_batch(
             lease.release()
 
     report.cells = [cell for cell in cells if cell is not None]
-    if len(report.cells) != total:  # pragma: no cover - defensive
+    if len(report.cells) + report.failed != total:  # pragma: no cover
         raise ConfigError("batch executor lost cells; this is a bug")
     return report

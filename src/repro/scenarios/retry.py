@@ -1,0 +1,223 @@
+"""One retry policy for every transient-fault path.
+
+Before this module, each transient-failure site invented its own policy:
+:class:`~repro.scenarios.backends.HTTPBackend` hard-coded a flat 30-second
+down-window, ``repro store push``/``pull`` died on the first mid-transfer
+hiccup, and the batch executor had no story at all for a worker the kernel
+OOM-killed.  :class:`RetryPolicy` replaces all of that with a single
+documented shape:
+
+* **exponential backoff** — attempt *n* waits
+  ``base_delay_s * multiplier**(n-1)``, capped at ``max_delay_s``;
+* **deterministic seeded jitter** — each delay is perturbed by up to
+  ``±jitter`` (a fraction), derived from :func:`repro.common.prng`'s
+  keyed hash of ``(seed, attempt)`` rather than a shared mutable RNG, so
+  a retry schedule is a pure function of the policy.  Two replicas with
+  different seeds de-synchronize (no thundering herd); one replica replays
+  identically (tests can pin exact delays);
+* **attempt and deadline caps** — ``max_attempts`` bounds tries,
+  ``deadline_s`` bounds total elapsed time including the next sleep;
+  whichever trips first ends the retry loop and re-raises the last error.
+
+Policies are frozen dataclasses with dict/JSON round-tripping, so a CLI
+flag, a config file and a test can all describe the same schedule.  The
+adopters: :class:`~repro.scenarios.backends.HTTPBackend` escalates its
+down-window along a policy (reset on success), ``store push``/``pull``
+retry each transfer op under one (``--retries``), and
+:func:`~repro.scenarios.batch.run_batch` bounds crashed-cell requeues
+with its ``max_cell_retries`` budget.  ``docs/robustness.md`` is the
+written failure-mode contract.
+"""
+
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple, Type, TypeVar
+
+from repro.common.errors import ConfigError
+from repro.common.prng import stable_uniform
+
+T = TypeVar("T")
+
+#: attempts a transient-fault path makes by default (first try + retries)
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A deterministic exponential-backoff schedule with caps.
+
+    Attributes:
+        max_attempts: total tries (the first attempt included); ``1``
+            means "never retry".
+        base_delay_s: the delay before the first retry.
+        multiplier: geometric growth factor between consecutive delays.
+        max_delay_s: ceiling any single delay is clamped to (applied
+            before jitter).
+        jitter: maximum fractional perturbation of each delay, in
+            ``[0, 1)`` — ``0.1`` means each delay lands within ±10% of
+            its nominal value, at a point fully determined by ``seed``
+            and the attempt number.
+        deadline_s: optional cap on total elapsed time; a retry whose
+            sleep would overrun the deadline is not taken.
+        seed: folds into the jitter derivation so distinct clients
+            spread out while any one client replays exactly.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_delay_s: float = 0.2
+    multiplier: float = 2.0
+    max_delay_s: float = 30.0
+    jitter: float = 0.1
+    deadline_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Reject shapes that cannot describe a real schedule."""
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1 (1 = no retries)")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigError("retry delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1.0 (backoff cannot "
+                              "shrink)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError("deadline_s must be positive (or None)")
+
+    def delay_for(self, attempt: int) -> float:
+        """The backoff before retry number ``attempt`` (1-based).
+
+        Pure and deterministic: exponential growth from ``base_delay_s``,
+        clamped to ``max_delay_s``, then jittered by a stable hash of
+        ``(seed, attempt)`` — no RNG state, no wall clock.
+        """
+        if attempt < 1:
+            raise ConfigError("retry attempts are numbered from 1")
+        nominal = min(self.max_delay_s,
+                      self.base_delay_s * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            u = stable_uniform(f"retry:{self.seed}:{attempt}")
+            nominal *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return max(0.0, nominal)
+
+    def schedule(self) -> Tuple[float, ...]:
+        """Every delay this policy would sleep, in order (for reports)."""
+        return tuple(self.delay_for(n)
+                     for n in range(1, self.max_attempts))
+
+    def call(self, fn: Callable[[], T], *,
+             retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+             sleep: Callable[[float], None] = time.sleep,
+             on_retry: Optional[Callable[[int, float, BaseException],
+                                         None]] = None) -> T:
+        """Run ``fn`` under this policy, re-raising after the caps trip.
+
+        Args:
+            fn: the zero-argument operation to attempt.
+            retry_on: exception types that count as transient; anything
+                else propagates immediately.
+            sleep: injection point for tests (defaults to
+                :func:`time.sleep`).
+            on_retry: optional observer called as ``on_retry(attempt,
+                delay_s, error)`` before each sleep — how the CLI narrates
+                "retrying push in 0.4s".
+
+        Returns:
+            ``fn()``'s result from the first successful attempt.
+
+        Raises:
+            The last transient error, once ``max_attempts`` is exhausted
+            or the next sleep would overrun ``deadline_s``.
+        """
+        start = time.monotonic()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.delay_for(attempt)
+                if (self.deadline_s is not None
+                        and time.monotonic() - start + delay
+                        > self.deadline_s):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, delay, exc)
+                sleep(delay)
+                attempt += 1
+
+    def with_seed(self, seed: int) -> "RetryPolicy":
+        """This schedule re-keyed for another client (same caps/shape)."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-ready; the inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output, loudly.
+
+        Unknown keys are rejected rather than ignored — a typo'd field in
+        a JSON policy must not silently fall back to a default.
+        """
+        known = {f.name for f in cls.__dataclass_fields__.values()}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown RetryPolicy field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
+def no_retry() -> RetryPolicy:
+    """A single-attempt policy (the explicit "fail fast" spelling)."""
+    return RetryPolicy(max_attempts=1, base_delay_s=0.0, jitter=0.0)
+
+
+def sync_retry_policy(retries: int = DEFAULT_MAX_ATTEMPTS - 1,
+                      base_delay_s: float = 0.2,
+                      seed: int = 0) -> RetryPolicy:
+    """The ``store push``/``pull`` transfer policy (``--retries N``).
+
+    ``retries`` counts *additional* attempts after the first, matching
+    the CLI flag's meaning; ``retries=0`` fails on the first error.
+    """
+    if retries < 0:
+        raise ConfigError("--retries cannot be negative")
+    return RetryPolicy(max_attempts=retries + 1, base_delay_s=base_delay_s,
+                       seed=seed)
+
+
+@dataclass(frozen=True)
+class BackoffState:
+    """Mutable-by-replacement failure streak for a down-window adopter.
+
+    :class:`~repro.scenarios.backends.HTTPBackend` keeps one of these per
+    instance: each consecutive transport failure escalates the down
+    window along ``policy.delay_for(streak)``, and any success resets the
+    streak to zero — so a briefly-flaky remote recovers immediately while
+    a dead one costs geometrically fewer probes.
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    streak: int = 0
+
+    def after_failure(self) -> Tuple["BackoffState", float]:
+        """The escalated state plus the down-window length to apply now.
+
+        The streak is capped at ``max_attempts`` so the window saturates
+        at the policy's largest delay instead of growing without bound.
+        """
+        streak = min(self.streak + 1, self.policy.max_attempts)
+        return (replace(self, streak=streak),
+                self.policy.delay_for(streak))
+
+    def after_success(self) -> "BackoffState":
+        """The reset state (a reachable remote clears its history)."""
+        if self.streak == 0:
+            return self
+        return replace(self, streak=0)

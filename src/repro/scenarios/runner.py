@@ -178,7 +178,9 @@ class ScenarioRunner:
                  parallel: Optional[int] = None,
                  store=None, force: bool = False,
                  progress=None,
-                 start_method: Optional[str] = None) -> List[ScenarioOutcome]:
+                 start_method: Optional[str] = None,
+                 max_cell_retries: Optional[int] = None
+                 ) -> List[ScenarioOutcome]:
         """Execute many scenarios, fanning work across CPU cores.
 
         Two fan-out substrates share this entry point:
@@ -199,16 +201,33 @@ class ScenarioRunner:
           ``start_method`` picks the worker start method
           (``"fork"``/``"spawn"``/``"serial"``, default automatic — see
           :class:`~repro.scenarios.batch.WorkerManifest` for how spawn
-          workers rebuild runtime registrations).
+          workers rebuild runtime registrations).  ``max_cell_retries``
+          bounds how often one cell is requeued after its chunk crashed
+          a worker before being quarantined to the parent; cells that
+          fail even there abort the grid with a :class:`ConfigError`
+          naming every failed cell (matching serial semantics, where a
+          poisoned cell raises too — callers wanting partial results use
+          :func:`~repro.scenarios.batch.run_batch` directly).
 
         Results come back in input order and are bit-identical across
         both substrates, both start methods, and serial :meth:`run` calls.
         """
         if parallel is not None or store is not None:
             from repro.scenarios.batch import run_batch
+            kwargs = {}
+            if max_cell_retries is not None:
+                kwargs["max_cell_retries"] = max_cell_retries
             report = run_batch(scenarios, registry=self.registry,
                                store=store, jobs=parallel, force=force,
-                               progress=progress, start_method=start_method)
+                               progress=progress, start_method=start_method,
+                               **kwargs)
+            if report.failures:
+                detail = "; ".join(
+                    f"cell {f.index} ({f.label}): {f.error}"
+                    for f in report.failures)
+                raise ConfigError(
+                    f"{report.failed} grid cell(s) failed after retries "
+                    f"and quarantine: {detail}")
             return [self.detached_outcome(cell.scenario, cell.baseline_us,
                                           cell.predicted_us,
                                           cached=cell.cached)
@@ -258,7 +277,9 @@ class ScenarioRunner:
                  parallel: Optional[int] = None,
                  store=None, force: bool = False,
                  progress=None,
-                 start_method: Optional[str] = None) -> List[ScenarioOutcome]:
+                 start_method: Optional[str] = None,
+                 max_cell_retries: Optional[int] = None
+                 ) -> List[ScenarioOutcome]:
         """Execute a scenario JSON file (single scenario or grid)."""
         from repro.scenarios.scenario import load_scenario_file
         loaded = load_scenario_file(path)
@@ -266,11 +287,13 @@ class ScenarioRunner:
             return self.run_grid(loaded.expand(), processes=processes,
                                  parallel=parallel, store=store,
                                  force=force, progress=progress,
-                                 start_method=start_method)
+                                 start_method=start_method,
+                                 max_cell_retries=max_cell_retries)
         if parallel is not None or store is not None:
             return self.run_grid([loaded], parallel=parallel, store=store,
                                  force=force, progress=progress,
-                                 start_method=start_method)
+                                 start_method=start_method,
+                                 max_cell_retries=max_cell_retries)
         return [self.run(loaded)]
 
     # --------------------------------------------------------------- results

@@ -63,6 +63,7 @@ from repro.scenarios.backends import (
     LocalBackend,
 )
 from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
+from repro.scenarios.retry import RetryPolicy, sync_retry_policy
 from repro.scenarios.scenario import Scenario
 
 #: bump when the meaning of stored values changes (simulator semantics,
@@ -158,13 +159,15 @@ class StoreStats:
     evicted: int = 0   # removed by gc/prune (lifecycle, not correctness)
     remote_hits: int = 0      # served read-through from the remote tier
     remote_rejected: int = 0  # remote bytes that failed verification
+    remote_faults: int = 0    # remote reads that raised (treated as misses)
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict form for JSON reporting."""
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "rejected": self.rejected,
                 "evicted": self.evicted, "remote_hits": self.remote_hits,
-                "remote_rejected": self.remote_rejected}
+                "remote_rejected": self.remote_rejected,
+                "remote_faults": self.remote_faults}
 
 
 @dataclass
@@ -357,8 +360,19 @@ class SweepStore:
     def _read_through(self, key: str, kind: str,
                       held: Optional[FileLease] = None
                       ) -> Optional[Dict[str, object]]:
-        """Fetch, verify and locally cache one remote entry (or miss)."""
-        data = self.remote.get(key)
+        """Fetch, verify and locally cache one remote entry (or miss).
+
+        The stock :class:`~repro.scenarios.backends.HTTPBackend` already
+        degrades transport trouble to ``None``, but the tier seam admits
+        *any* backend — including fault-injected or third-party ones that
+        raise — so a raising ``get`` is absorbed here too: read-through
+        is a cache probe, and no tier misbehavior may crash a sweep.
+        """
+        try:
+            data = self.remote.get(key)
+        except Exception:
+            self.stats.remote_faults += 1
+            return None  # a raising tier is a miss, never a crash
         if data is None:
             return None  # absent or unreachable: both are a plain miss
         payload = self._parse(data, count=False)
@@ -701,8 +715,30 @@ class SweepStore:
                                "(repro store push/pull DIR --remote URL)")
         return remote
 
+    @staticmethod
+    def _sync_op(policy: RetryPolicy, describe: str, report: SyncReport,
+                 fn):
+        """One retried transfer op, failing loudly with partial progress.
+
+        Transient :class:`~repro.scenarios.backends.BackendError` raises
+        are retried under ``policy``; once the caps trip, the final error
+        carries the :class:`SyncReport` accumulated *so far* — counters
+        only ever advanced after an op fully succeeded, so nothing is
+        misreported as landed.
+        """
+        try:
+            return policy.call(fn, retry_on=(BackendError,))
+        except BackendError as exc:
+            raise BackendError(
+                f"{describe} failed after {policy.max_attempts} "
+                f"attempt(s): {exc}.  Partial progress before the "
+                f"failure: {report.as_dict()}",
+                partial=report,
+            ) from None
+
     def push(self, remote: Optional[Union[str, HTTPBackend]] = None,
-             force: bool = False) -> SyncReport:
+             force: bool = False,
+             retry: Optional[RetryPolicy] = None) -> SyncReport:
         """Publish every live local entry to the remote tier.
 
         Only entries that verify under the *current* salt travel — a
@@ -712,13 +748,19 @@ class SweepStore:
         interrupted transfer left a corrupt copy on the server (clients
         reject it on every read-through), ``force=True`` (``repro store
         push --force``) re-uploads everything and overwrites it.  Unlike
-        read-through, this is an explicit transfer: an unreachable or
-        refusing remote raises
-        :class:`~repro.scenarios.backends.BackendError`.
+        read-through, this is an explicit transfer: each listing/upload
+        op is retried under ``retry`` (the unified
+        :class:`~repro.scenarios.retry.RetryPolicy`; ``repro store push
+        --retries``), and once the policy's caps trip it raises
+        :class:`~repro.scenarios.backends.BackendError` whose
+        ``partial`` attribute reports exactly what landed first.
         """
         remote = self._remote_or_error(remote)
+        policy = retry or sync_retry_policy()
         report = SyncReport()
-        remote_keys = set() if force else set(remote.iter_keys())
+        remote_keys = set() if force else set(self._sync_op(
+            policy, "listing remote keys for push", report,
+            lambda: list(remote.iter_keys())))
         for key in self.keys():
             report.examined += 1
             # one read serves both verification and upload (no re-read,
@@ -733,29 +775,41 @@ class SweepStore:
             if key in remote_keys:
                 report.skipped += 1
                 continue
-            remote.put(key, data)
+            self._sync_op(policy, f"pushing entry {key}", report,
+                          lambda key=key, data=data: remote.put(key, data))
             report.transferred += 1
         return report
 
     def pull(self,
-             remote: Optional[Union[str, HTTPBackend]] = None) -> SyncReport:
+             remote: Optional[Union[str, HTTPBackend]] = None,
+             retry: Optional[RetryPolicy] = None) -> SyncReport:
         """Replicate every trustworthy remote entry into the local tier.
 
         Each remote entry faces full verification — embedded key, current
         salt, checksum — before landing locally; failures count
         ``rejected`` and are never written.  Keys already trustworthy
-        locally are skipped.  Listing or fetching failures raise
-        :class:`~repro.scenarios.backends.BackendError` (an explicit
-        transfer must not silently replicate nothing).
+        locally are skipped.  Listing or fetching ops are retried under
+        ``retry`` (the unified
+        :class:`~repro.scenarios.retry.RetryPolicy`; ``repro store pull
+        --retries``); a server that stays dead mid-transfer then raises
+        :class:`~repro.scenarios.backends.BackendError` whose ``partial``
+        attribute accounts for every entry that actually landed before
+        the death — an explicit transfer must neither silently replicate
+        nothing nor misreport a dead server as a pile of rejections.
         """
         remote = self._remote_or_error(remote)
+        policy = retry or sync_retry_policy()
         report = SyncReport()
-        for key in remote.iter_keys():
+        fetch = getattr(remote, "fetch", remote.get)
+        for key in self._sync_op(policy, "listing remote keys for pull",
+                                 report,
+                                 lambda: list(remote.iter_keys())):
             report.examined += 1
             if self._classify(key) == "live":
                 report.skipped += 1
                 continue
-            data = remote.fetch(key)  # loud: a dead server raises here
+            data = self._sync_op(policy, f"fetching entry {key}", report,
+                                 lambda key=key: fetch(key))
             if data is None:
                 report.skipped += 1  # vanished between listing and fetch
                 continue

@@ -162,6 +162,26 @@ def test_store_backends_contract_doc_exists():
         )
 
 
+def test_robustness_contract_doc_exists():
+    text = (DOCS / "robustness.md").read_text(encoding="utf-8")
+    # the failure-mode matrix's load-bearing vocabulary: each term names
+    # a recovery mechanism the code depends on, pinned so a rewrite
+    # cannot silently drop the contract for one
+    for term in ("RetryPolicy", "BrokenProcessPool", "quarantine",
+                 "max-cell-retries", "FaultInjectingBackend", "lease",
+                 "steal", "partial-progress", "jitter", "bit-identical",
+                 "fail.{1,2}loudly"):
+        assert re.search(term, text, flags=re.I), (
+            f"docs/robustness.md lost its {term!r} contract"
+        )
+    # the matrix itself: a table row per anticipated fault class
+    for fault in ("Worker crash", "unreachable", "corrupt", "truncated",
+                  "mid-`push`", "GC racing"):
+        assert re.search(fault, text, flags=re.I), (
+            f"docs/robustness.md matrix lost its {fault!r} row"
+        )
+
+
 # ------------------------------------------------------------------ links
 
 def markdown_files():

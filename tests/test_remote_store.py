@@ -303,6 +303,96 @@ def test_pull_raises_when_the_server_dies_mid_transfer(tmp_path):
         httpd.server_close()
 
 
+def test_pull_retries_transient_faults_then_succeeds(scenarios, tmp_path):
+    """Two injected transient errors on one fetch are absorbed by the
+    retry policy; the pull completes with every entry landed."""
+    from repro.scenarios import (
+        FaultInjectingBackend,
+        FaultPlan,
+        FaultRule,
+        LocalBackend,
+        RetryPolicy,
+    )
+
+    publisher = SweepStore(str(tmp_path / "publisher"))
+    ScenarioRunner().run_grid(scenarios, parallel=2, store=publisher)
+    flaky = FaultInjectingBackend(
+        LocalBackend(publisher.root),
+        FaultPlan(rules=(FaultRule(op="fetch", nth=2, action="error",
+                                   count=2),)))
+    mirror = SweepStore(str(tmp_path / "mirror"))
+    report = mirror.pull(flaky, retry=RetryPolicy(max_attempts=3,
+                                                  base_delay_s=0.0,
+                                                  jitter=0.0))
+    assert report.transferred == len(scenarios)
+    assert flaky.injected == ["fetch#2:error", "fetch#3:error"]
+    assert len(mirror) == len(scenarios)
+
+
+def test_pull_mid_transfer_death_reports_partial_progress(scenarios,
+                                                          tmp_path):
+    """The satellite scenario: the server dies partway through a pull.
+
+    Retries are exhausted, the failure is loud, and the error's partial
+    report counts exactly the entries that actually landed — never the
+    ones in flight when the server died.
+    """
+    from repro.scenarios import (
+        BackendError,
+        FaultInjectingBackend,
+        FaultPlan,
+        FaultRule,
+        LocalBackend,
+        RetryPolicy,
+    )
+
+    publisher = SweepStore(str(tmp_path / "publisher"))
+    ScenarioRunner().run_grid(scenarios, parallel=2, store=publisher)
+    # the third fetch fails and the server stays dead (count=0 = forever)
+    dying = FaultInjectingBackend(
+        LocalBackend(publisher.root),
+        FaultPlan(rules=(FaultRule(op="fetch", nth=3, action="error",
+                                   count=0),)))
+    mirror = SweepStore(str(tmp_path / "mirror"))
+    retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+    with pytest.raises(BackendError) as err:
+        mirror.pull(dying, retry=retry)
+    # loud, with the partial progress in the message and on the error
+    assert "Partial progress" in str(err.value)
+    assert err.value.partial is not None
+    assert err.value.partial.transferred == 2
+    # the dead fetch was actually retried before giving up
+    assert dying.counts["fetch"] == 4  # 2 clean + 2 attempts at the third
+    # the mirror holds exactly the entries that landed — no phantoms
+    assert len(mirror) == err.value.partial.transferred
+
+
+def test_push_mid_transfer_death_reports_partial_progress(scenarios,
+                                                          tmp_path):
+    """Push travels the same loud-partial path as pull."""
+    from repro.scenarios import (
+        BackendError,
+        FaultInjectingBackend,
+        FaultPlan,
+        FaultRule,
+        LocalBackend,
+        RetryPolicy,
+    )
+
+    publisher = SweepStore(str(tmp_path / "publisher"))
+    ScenarioRunner().run_grid(scenarios, parallel=2, store=publisher)
+    hub = FaultInjectingBackend(
+        LocalBackend(str(tmp_path / "hub")),
+        FaultPlan(rules=(FaultRule(op="put", nth=2, action="error",
+                                   count=0),)))
+    retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+    with pytest.raises(BackendError) as err:
+        publisher.push(hub, retry=retry)
+    assert err.value.partial is not None
+    assert err.value.partial.transferred == 1
+    assert len(list(LocalBackend(str(tmp_path / "hub")).iter_keys())) == 1
+
+
 # --------------------------------------------------------------------- CLI
 
 def run_cli(*argv):
@@ -334,8 +424,30 @@ def test_cli_push_to_unreachable_server_fails_loudly(tmp_path, capsys):
     root = str(tmp_path / "store")
     SweepStore(root).put(Scenario(model="resnet50"), {"x": 1.0})
     assert run_cli("store", "push", root,
-                   "--remote", "http://127.0.0.1:1") == 2
+                   "--remote", "http://127.0.0.1:1", "--retries", "0") == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_cli_pull_mid_transfer_death_is_loud_and_accurate(tmp_path,
+                                                          capsys):
+    """--retries rides the CLI into the pull path; the failure names the
+    partial progress instead of exiting clean with missing entries."""
+    _DyingHandler.key = "cd" * 16
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _DyingHandler)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{httpd.server_address[1]}"
+        assert run_cli("store", "pull", str(tmp_path / "dst"),
+                       "--remote", url, "--retries", "0") == 2
+        err = capsys.readouterr().err
+        assert "Partial progress" in err
+        assert len(SweepStore(str(tmp_path / "dst"))) == 0
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5.0)
+        httpd.server_close()
 
 
 def test_cli_sweep_remote_requires_a_local_store(tmp_path, capsys):

@@ -1,0 +1,177 @@
+"""The unified retry policy: one backoff shape, reproducible to the digit.
+
+Every transient-fault path — the HTTP remote tier's down-window, ``store
+push``/``pull`` transfer retries, the batch executor's crashed-cell
+budget — now shares :class:`repro.scenarios.RetryPolicy`.  That only
+works if the policy itself is boringly predictable: exponential growth
+with caps, jitter that is a pure function of (seed, attempt) rather than
+an RNG, a deadline that refuses sleeps it cannot afford, and JSON
+round-tripping that rejects typos instead of defaulting them away.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.scenarios import BackoffState, RetryPolicy, no_retry
+from repro.scenarios.retry import sync_retry_policy
+
+
+# ----------------------------------------------------------------- schedule
+
+def test_delays_grow_geometrically_and_clamp():
+    policy = RetryPolicy(max_attempts=6, base_delay_s=1.0, multiplier=2.0,
+                         max_delay_s=5.0, jitter=0.0)
+    assert policy.schedule() == (1.0, 2.0, 4.0, 5.0, 5.0)
+
+
+def test_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, multiplier=1.0,
+                         jitter=0.25, seed=7)
+    first = policy.schedule()
+    assert first == policy.schedule()  # pure function, no RNG state
+    for delay in first:
+        assert 0.75 <= delay <= 1.25
+    # jitter spreads attempts apart: not every delay collapses to nominal
+    assert len(set(first)) > 1
+
+
+def test_seeds_desynchronize_replicas():
+    base = RetryPolicy(max_attempts=5, base_delay_s=1.0, jitter=0.5)
+    assert base.schedule() != base.with_seed(99).schedule()
+
+
+def test_invalid_shapes_are_rejected():
+    for kwargs in ({"max_attempts": 0}, {"base_delay_s": -1.0},
+                   {"multiplier": 0.5}, {"jitter": 1.0},
+                   {"jitter": -0.1}, {"deadline_s": 0.0}):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+    with pytest.raises(ConfigError):
+        RetryPolicy().delay_for(0)
+
+
+# --------------------------------------------------------------------- call
+
+def test_call_retries_transient_errors_then_succeeds():
+    attempts = []
+    slept = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.5, jitter=0.0)
+    assert policy.call(flaky, retry_on=(OSError,),
+                       sleep=slept.append) == "ok"
+    assert len(attempts) == 3
+    assert slept == [0.5, 1.0]  # the policy's own schedule, no real sleep
+
+
+def test_call_reraises_after_max_attempts():
+    attempts = []
+
+    def always_fails():
+        attempts.append(1)
+        raise OSError("still down")
+
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+    with pytest.raises(OSError, match="still down"):
+        policy.call(always_fails, retry_on=(OSError,), sleep=lambda _s: None)
+    assert len(attempts) == 3
+
+
+def test_call_propagates_unlisted_exceptions_immediately():
+    attempts = []
+
+    def wrong_kind():
+        attempts.append(1)
+        raise ValueError("not transient")
+
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.0, jitter=0.0)
+    with pytest.raises(ValueError):
+        policy.call(wrong_kind, retry_on=(OSError,), sleep=lambda _s: None)
+    assert len(attempts) == 1
+
+
+def test_deadline_refuses_sleeps_it_cannot_afford():
+    attempts = []
+    policy = RetryPolicy(max_attempts=50, base_delay_s=10.0, jitter=0.0,
+                         deadline_s=5.0)
+
+    def always_fails():
+        attempts.append(1)
+        raise OSError("down")
+
+    # the first retry would sleep 10s against a 5s deadline: give up now
+    with pytest.raises(OSError):
+        policy.call(always_fails, retry_on=(OSError,), sleep=lambda _s: None)
+    assert len(attempts) == 1
+
+
+def test_on_retry_observer_sees_each_attempt():
+    seen = []
+    policy = RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter=0.0)
+
+    def always_fails():
+        raise OSError("down")
+
+    with pytest.raises(OSError):
+        policy.call(always_fails, retry_on=(OSError,),
+                    sleep=lambda _s: None,
+                    on_retry=lambda n, d, e: seen.append((n, d, str(e))))
+    assert seen == [(1, 1.0, "down"), (2, 2.0, "down")]
+
+
+# ------------------------------------------------------------- round-tripping
+
+def test_dict_round_trip_is_lossless():
+    policy = RetryPolicy(max_attempts=7, base_delay_s=0.3, multiplier=3.0,
+                         max_delay_s=9.0, jitter=0.2, deadline_s=60.0,
+                         seed=42)
+    assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="max_atempts"):
+        RetryPolicy.from_dict({"max_atempts": 5})
+
+
+# ------------------------------------------------------------------ helpers
+
+def test_no_retry_is_a_single_attempt():
+    attempts = []
+
+    def always_fails():
+        attempts.append(1)
+        raise OSError("down")
+
+    with pytest.raises(OSError):
+        no_retry().call(always_fails, retry_on=(OSError,),
+                        sleep=lambda _s: None)
+    assert len(attempts) == 1
+
+
+def test_sync_retry_policy_counts_extra_attempts():
+    assert sync_retry_policy(retries=0).max_attempts == 1
+    assert sync_retry_policy(retries=2).max_attempts == 3
+    with pytest.raises(ConfigError):
+        sync_retry_policy(retries=-1)
+
+
+# ------------------------------------------------------------ backoff state
+
+def test_backoff_escalates_then_saturates_then_resets():
+    policy = RetryPolicy(max_attempts=3, base_delay_s=1.0, multiplier=2.0,
+                         max_delay_s=100.0, jitter=0.0)
+    state = BackoffState(policy=policy)
+    state, w1 = state.after_failure()
+    state, w2 = state.after_failure()
+    state, w3 = state.after_failure()
+    state, w4 = state.after_failure()
+    assert (w1, w2, w3) == (1.0, 2.0, 4.0)
+    assert w4 == w3  # streak saturates at max_attempts
+    state = state.after_success()
+    _, again = state.after_failure()
+    assert again == w1  # one success clears the whole history

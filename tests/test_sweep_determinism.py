@@ -1,6 +1,6 @@
 """Every sweep substrate must produce bit-identical rows.
 
-A pinned grid runs through all six execution paths —
+A pinned grid runs through all seven execution paths —
 
 * serial ``run_grid`` (``processes=1``: plain in-process loop),
 * the fork-based ``WhatIfSession.sweep`` fan-out (``processes=2``),
@@ -11,13 +11,19 @@ A pinned grid runs through all six execution paths —
   ``WorkerManifest``),
 * a warm re-run served entirely from the store,
 * a warm re-run served entirely **read-through from a remote store
-  server** (entries pushed, the local cache empty) —
+  server** (entries pushed, the local cache empty),
+* a **chaos** run under injected faults: a worker hard-killed by the
+  :mod:`repro.scenarios.faults` kill hook while the remote tier
+  corrupts, truncates and errors planned reads — the sweep must
+  complete without intervention, account for every cell, and still
+  match serial —
 
 and the resulting ``ExperimentResult`` rows are compared with ``==``,
 float for float.  This is the contract that makes the persistent store
-trustworthy, the executor portable, and the remote tier shareable: a
-cached number *is* the number a cold run would produce, on any
-platform's start method, served from any tier.
+trustworthy, the executor portable, the remote tier shareable, and the
+recovery paths safe: a cached number *is* the number a cold run would
+produce, on any platform's start method, served from any tier, even
+when the infrastructure underneath is actively failing.
 """
 
 import multiprocessing
@@ -168,6 +174,71 @@ def test_remote_warm_rows_identical(pinned_scenarios, tmp_path):
     assert rows_of(remote_warm) == rows_of(serial)
     assert all(o.cached for o in remote_warm)
     assert consumer.stats.remote_hits == len(pinned_scenarios)
+
+
+def test_chaos_rows_identical_under_injected_faults(pinned_scenarios,
+                                                    tmp_path, monkeypatch):
+    """The seventh path: crashes and backend faults must not cost a bit.
+
+    The remote tier corrupts the first read, truncates the second and
+    errors the third (so three cells re-simulate while two serve
+    read-through), and the kill plan SIGKILLs a worker at the first
+    computed cell.  The sweep must complete without intervention, the
+    report must account for every cell, and the rows must be
+    bit-identical to serial.
+    """
+    import os
+
+    from repro.scenarios import (
+        KILL_PLAN_ENV,
+        FaultInjectingBackend,
+        FaultPlan,
+        FaultRule,
+        KillPlan,
+        LocalBackend,
+        run_batch,
+    )
+
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    publisher = SweepStore(str(tmp_path / "publisher"))
+    ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                              store=publisher)
+
+    plan = FaultPlan(rules=(
+        FaultRule(op="get", nth=1, action="corrupt"),
+        FaultRule(op="get", nth=2, action="truncate"),
+        FaultRule(op="get", nth=3, action="error"),
+    ), seed=7)
+    faulty_remote = FaultInjectingBackend(LocalBackend(publisher.root),
+                                          plan)
+    kills = KillPlan(cell=0, times=1, claim_dir=str(tmp_path / "claims"))
+    monkeypatch.setenv(KILL_PLAN_ENV, kills.to_json())
+
+    consumer = SweepStore(str(tmp_path / "consumer"), remote=faulty_remote)
+    report = run_batch(pinned_scenarios, store=consumer, jobs=2)
+
+    runner = ScenarioRunner()
+    chaos_rows = [runner.detached_outcome(c.scenario, c.baseline_us,
+                                          c.predicted_us,
+                                          cached=c.cached).as_row()
+                  for c in report.cells]
+    assert chaos_rows == rows_of(serial)
+
+    # every planned fault actually fired, in order
+    assert faulty_remote.injected == ["get#1:corrupt", "get#2:truncate",
+                                      "get#3:error"]
+    # ...and the worker kill actually landed (and was spent exactly once)
+    assert report.pool_rebuilds >= 1 and report.retried >= 1
+    assert len(os.listdir(kills.claim_dir)) == 1
+
+    # the report accounts for every cell: two served read-through, three
+    # re-simulated (their remote reads were corrupt/truncated/errored)
+    assert len(report.cells) == len(pinned_scenarios)
+    assert report.failed == 0 and report.failures == []
+    assert report.hits == 2 and report.computed == 3
+    assert consumer.stats.remote_rejected == 2  # corrupt + truncate
+    assert consumer.stats.remote_faults == 1    # the injected error
+    assert consumer.stats.remote_hits == 2
 
 
 def test_explicit_serial_start_method_matches(pinned_scenarios):
