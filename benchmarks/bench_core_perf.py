@@ -136,6 +136,30 @@ def test_perf_simulation(bert_graph):
     assert result.makespan_us > 0
 
 
+def test_perf_simulate_compiled(bert_graph):
+    """The array engine on a warm lowering, vs the object engine.
+
+    ``simulate()`` itself reaches this path after a graph goes hot (the
+    tiered selection in :mod:`repro.core.simulate`); this row times the
+    engine loop alone, with the lowering done outside the timed region.
+    Quick gate: the compiled engine must never lose to the object engine
+    it replaces — and must agree with it bit-for-bit.
+    """
+    from repro.core.compiled import compiled_for
+    from repro.core.simulate import _DEFAULT_POLICY, _simulate_event_driven
+
+    compiled = compiled_for(bert_graph)
+    result = _record("simulate_compiled", compiled.run, rounds=15)
+    reference = _record(
+        "simulate_object",
+        lambda: _simulate_event_driven(bert_graph, _DEFAULT_POLICY),
+        rounds=9,
+    )
+    assert result.makespan_us == reference.makespan_us
+    assert result.start_us == reference.start_us
+    assert _RECORDS["simulate_compiled"] <= _RECORDS["simulate_object"]
+
+
 def test_perf_graph_copy(bert_graph):
     """Working-graph acquisition for one what-if question.
 
@@ -192,6 +216,42 @@ def test_perf_whatif_sweep(bert_session):
     )
     assert len(predictions) == 3
     assert all(p.predicted_us > 0 for p in predictions)
+
+
+def test_perf_simulate_many(bert_session):
+    """Batched multi-simulate: a 24-cell GPU-duration-scaling grid.
+
+    One shared compiled baseline, each cell a sparse column patch — versus
+    the per-cell path (overlay + ~5k copy-on-write task writes + simulate
+    each).  The batched grid must be at least 5x faster and bit-identical.
+    """
+    from repro.core.compiled import CellDelta
+
+    graph = bert_session.graph
+    gpu = [t for t in graph.tasks() if t.is_gpu]
+    factors = [0.80 + 0.01 * i for i in range(24)]
+    cells = [CellDelta.scale_durations(gpu, f, label=f"cell{i}")
+             for i, f in enumerate(factors)]
+    batched = _record("simulate_many_24cell",
+                      lambda: bert_session.simulate_many(cells), rounds=3)
+    assert len(batched) == 24
+
+    base = {t: t.duration for t in gpu}
+
+    def per_cell():
+        out = []
+        for factor in factors:
+            working = graph.overlay()
+            for t in [t for t in working.tasks() if t.is_gpu]:
+                t.duration = base.get(t, t.duration) * factor
+            out.append(simulate(working))
+        return out
+
+    reference = _record("simulate_percell_24cell", per_cell, rounds=1)
+    assert all(b.makespan_us == r.makespan_us
+               for b, r in zip(batched, reference))
+    assert (_RECORDS["simulate_many_24cell"] * 5
+            <= _RECORDS["simulate_percell_24cell"])
 
 
 def test_perf_fig8_sweep():

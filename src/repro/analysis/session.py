@@ -13,14 +13,17 @@ answer questions for many different optimizations"):
 """
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import improvement_percent, speedup
 from repro.analysis.parallel import fork_map
 from repro.core.breakdown import RuntimeBreakdown, compute_breakdown
+from repro.core.compiled import CellDelta, CompiledGraph, compiled_for
+from repro.core.compiled import simulate_many as _compiled_simulate_many
 from repro.core.construction import build_graph
 from repro.core.graph import DependencyGraph
 from repro.core.simulate import SimulationResult, simulate
+from repro.core.task import Task
 from repro.framework.config import TrainingConfig
 from repro.framework.engine import Engine
 from repro.hw.topology import ClusterSpec
@@ -73,6 +76,9 @@ class WhatIfSession:
         self.copy_on_write = copy_on_write
         self._graph: Optional[DependencyGraph] = None
         self._baseline: Optional[SimulationResult] = None
+        # old task -> pristine clone the base graph swapped in after a
+        # copy-on-write overlay materialized a write (see _on_task_swapped)
+        self._task_forward: Dict[Task, Task] = {}
 
     # ------------------------------------------------------------ constructors
 
@@ -134,10 +140,26 @@ class WhatIfSession:
         return self._graph
 
     def _on_task_swapped(self, old, new) -> None:
+        self._task_forward[old] = new
         if self._baseline is not None:
             start = self._baseline.start_us.pop(old, None)
             if start is not None:
                 self._baseline.start_us[new] = start
+
+    def _current_task(self, task: Task) -> Task:
+        """Follow copy-on-write swaps to the task's current incarnation.
+
+        Baseline task references held across :meth:`predict`/:meth:`sweep`
+        calls can go stale: when an overlay materializes a write, the base
+        graph swaps in a pristine clone of the shared task.  The swap
+        chain is followed so a :class:`~repro.core.compiled.CellDelta`
+        built from ``session.graph.tasks()`` stays valid for the whole
+        session lifetime.
+        """
+        forward = self._task_forward
+        while task in forward:
+            task = forward[task]
+        return task
 
     def _working_graph(self) -> DependencyGraph:
         """A mutable graph for one what-if question.
@@ -160,6 +182,19 @@ class WhatIfSession:
     def baseline_us(self) -> float:
         """Simulated baseline iteration time."""
         return self.baseline_result.makespan_us
+
+    def compiled_baseline(self) -> CompiledGraph:
+        """The baseline graph lowered to struct-of-arrays form.
+
+        Built once per graph generation and cached *on the graph* (see
+        :func:`repro.core.compiled.compiled_for`), so every consumer —
+        :meth:`simulate_many`, :meth:`sweep` cell batches, forked sweep
+        workers that inherit this session — shares one lowering.  The
+        existing copy-on-write write barrier invalidates it: any
+        structural mutation or in-place task write bumps the graph
+        generation and the next access relowers.
+        """
+        return compiled_for(self.graph)
 
     def breakdown(self) -> RuntimeBreakdown:
         """CPU-only / GPU-only / parallel decomposition of the baseline."""
@@ -209,9 +244,40 @@ class WhatIfSession:
 
     # ------------------------------------------------------------------ sweeps
 
+    def simulate_many(
+        self,
+        cells: Sequence[CellDelta],
+        scheduler=None,
+    ) -> List[SimulationResult]:
+        """Batched multi-simulate: many cells, one shared compiled baseline.
+
+        Every :class:`~repro.core.compiled.CellDelta` is a sparse set of
+        per-task duration/gap overrides onto *this* session's baseline.
+        The baseline is lowered once (:meth:`compiled_baseline`) and each
+        cell re-runs only the array engine over patched columns —
+        O(N + |delta|) per cell instead of a full overlay + graph setup —
+        bit-identical to transforming and simulating each cell's graph
+        from scratch.
+
+        ``scheduler`` must be heap-friendly (a
+        :class:`~repro.core.simulate.SchedulePolicy` or ``None``).
+        """
+        if self._task_forward:
+            cells = [
+                CellDelta(
+                    label=cell.label,
+                    durations={self._current_task(t): v
+                               for t, v in cell.durations.items()},
+                    gaps={self._current_task(t): v
+                          for t, v in cell.gaps.items()},
+                ) for cell in cells
+            ]
+        return _compiled_simulate_many(self.compiled_baseline(), list(cells),
+                                       scheduler)
+
     def sweep(
         self,
-        questions: Iterable[Union[OptimizationModel,
+        questions: Iterable[Union[OptimizationModel, CellDelta,
                                   Tuple[OptimizationModel,
                                         Optional[ClusterSpec]]]],
         cluster: Optional[ClusterSpec] = None,
@@ -220,8 +286,12 @@ class WhatIfSession:
         """Answer many what-if questions, fanned out across CPU cores.
 
         Args:
-            questions: optimization models, or ``(model, cluster)`` pairs for
-                per-question clusters (Figure-8-style grids).
+            questions: optimization models, ``(model, cluster)`` pairs for
+                per-question clusters (Figure-8-style grids), or
+                :class:`~repro.core.compiled.CellDelta` parameter cells.
+                Cells are answered in-process through the batched
+                :meth:`simulate_many` path — one shared compiled baseline,
+                no per-cell fork or graph setup.
             cluster: default cluster for bare-model questions.
             processes: worker count (see
                 :func:`repro.analysis.parallel.fork_map`); serial fallback
@@ -230,18 +300,31 @@ class WhatIfSession:
         Returns:
             One :class:`Prediction` per question, in question order.
         """
-        pairs: List[Tuple[OptimizationModel, Optional[ClusterSpec]]] = []
+        entries: List[Tuple[str, object]] = []
         for question in questions:
-            if isinstance(question, tuple):
-                optimization, question_cluster = question
-                pairs.append((optimization, question_cluster))
+            if isinstance(question, CellDelta):
+                entries.append(("cell", question))
+            elif isinstance(question, tuple):
+                entries.append(("opt", question))
             else:
-                pairs.append((question, cluster))
+                entries.append(("opt", (question, cluster)))
         # materialize the shared state *before* forking so every worker
         # inherits the built graph and baseline instead of rebuilding them
         self.baseline_result
-        return fork_map(
+        cells = [q for kind, q in entries if kind == "cell"]
+        cell_answers = iter(())
+        if cells:
+            baseline_us = self.baseline_us
+            cell_answers = iter([
+                Prediction(optimization=cell.label, baseline_us=baseline_us,
+                           predicted_us=result.makespan_us)
+                for cell, result in zip(cells, self.simulate_many(cells))
+            ])
+        pairs = [q for kind, q in entries if kind == "opt"]
+        opt_answers = iter(fork_map(
             lambda pair: self.predict(pair[0], cluster=pair[1]),
             pairs,
             processes=processes,
-        )
+        )) if pairs else iter(())
+        return [next(cell_answers) if kind == "cell" else next(opt_answers)
+                for kind, _ in entries]

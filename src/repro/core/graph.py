@@ -71,6 +71,11 @@ class DependencyGraph:
         self._swap_listeners: List[Callable[[Task, Task], None]] = []
         self._cow_base: Optional["DependencyGraph"] = None
         self._shared: Set[Task] = set()
+        # compiled-lowering cache (see repro.core.compiled): _generation
+        # counts mutations; the cached CompiledGraph is valid only while
+        # its captured generation matches
+        self._generation: int = 0
+        self._compiled = None
 
     # -------------------------------------------------------------- ordering
 
@@ -84,6 +89,7 @@ class DependencyGraph:
         rescheduling works (paper Section 4.4, Schedule).
         """
         self._unordered.add(thread)
+        self._generation += 1
 
     def is_ordered(self, thread: ExecutionThread) -> bool:
         """Whether the thread's task list implies sequential dependencies."""
@@ -163,6 +169,7 @@ class DependencyGraph:
         """Append a task at the end of its thread's order.  O(1)."""
         if task in self._succ:
             raise GraphConsistencyError(f"task already in graph: {task!r}")
+        self._generation += 1
         thread = task.thread
         tail = self._tails.get(thread)
         self._prev[task] = tail
@@ -187,6 +194,7 @@ class DependencyGraph:
         self._require(anchor)
         if task in self._succ:
             raise GraphConsistencyError(f"task already in graph: {task!r}")
+        self._generation += 1
         thread = anchor.thread
         task.thread = thread
         nxt = self._next[anchor]
@@ -207,6 +215,7 @@ class DependencyGraph:
         self._require(anchor)
         if task in self._succ:
             raise GraphConsistencyError(f"task already in graph: {task!r}")
+        self._generation += 1
         thread = anchor.thread
         task.thread = thread
         prv = self._prev[anchor]
@@ -233,6 +242,7 @@ class DependencyGraph:
         succs = self._succ.pop(task, None)
         if succs is None:
             raise GraphConsistencyError(f"task not in graph: {task!r}")
+        self._generation += 1
         preds = self._pred.pop(task)
         for p in preds:
             self._succ[p].discard(task)
@@ -273,6 +283,7 @@ class DependencyGraph:
         self._require(dst)
         if src is dst:
             raise GraphConsistencyError(f"self-dependency on {src!r}")
+        self._generation += 1
         self._succ[src].add(dst)
         self._pred[dst].add(src)
 
@@ -280,6 +291,7 @@ class DependencyGraph:
         """Remove an explicit edge if present.  O(1)."""
         self._require(src)
         self._require(dst)
+        self._generation += 1
         self._succ[src].discard(dst)
         self._pred[dst].discard(src)
 
@@ -408,6 +420,7 @@ class DependencyGraph:
                 cd = clone.__dict__
                 cd.update(task.__dict__)
                 cd.pop("_cow_base", None)
+                cd.pop("_sim_stamp", None)
                 cd["metadata"] = dict(cd["metadata"])
                 clone_of[task] = clone
                 prv_out[clone] = prev_clone
@@ -521,7 +534,14 @@ class DependencyGraph:
         writer is holding a reference to.
         """
         task.__dict__.pop("_cow_base", None)
+        # the write invalidates any compiled lowering holding this task —
+        # ours, and any live overlay's (the overlay keeps the written-to
+        # object; its write stamp may have been overwritten by a later
+        # base lowering, so bump the overlays explicitly)
+        self._generation += 1
         overlays = self._live_overlays()
+        for overlay in overlays:
+            overlay._generation += 1
         if task not in self._succ:
             return
         if not overlays:
@@ -565,6 +585,7 @@ class DependencyGraph:
 
     def _swap_task(self, old: Task, new: Task) -> None:
         """Replace ``old`` with ``new`` in place (same edges, same position)."""
+        self._generation += 1
         succs = self._succ.pop(old)
         preds = self._pred.pop(old)
         self._succ[new] = succs

@@ -82,6 +82,13 @@ class Task:
         base = self.__dict__.get("_cow_base")
         if base is not None:
             base._cow_task_written(self)
+        # Compiled-lowering write barrier: a lowering pass (see
+        # repro.core.compiled) stamps every task it captured; the first
+        # in-place write pops the stamp and bumps the owning graph's
+        # mutation generation so the cached CompiledGraph is rebuilt.
+        stamp = self.__dict__.pop("_sim_stamp", None)
+        if stamp is not None:
+            stamp.bump()
         object.__setattr__(self, name, value)
 
     def clone(self) -> "Task":
@@ -96,6 +103,7 @@ class Task:
         d = out.__dict__
         d.update(self.__dict__)
         d.pop("_cow_base", None)
+        d.pop("_sim_stamp", None)
         d["metadata"] = dict(self.metadata)
         return out
 

@@ -111,7 +111,7 @@ class ParameterServerTransfer(OptimizationModel):
                 continue
             # front layers get the highest priority under P3; under the
             # baseline, back layers arrive first (their gradients are
-            # computed first) and FIFO keeps them first
+            # computed first) and the ordinal tie-break keeps them first
             priority = (n_layers - index) if self.prioritize else index
             remaining = size
             slice_no = 0

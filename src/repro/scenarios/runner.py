@@ -137,6 +137,31 @@ class ScenarioRunner:
             )
         return session, model, config, cluster, pipeline
 
+    def run_cells(self, scenario: Scenario, cells: Sequence,
+                  scheduler=None) -> List[Prediction]:
+        """Answer a grid of parameter cells against one scenario's workload.
+
+        ``cells`` are :class:`~repro.core.compiled.CellDelta` sparse
+        duration/gap overrides onto the scenario workload's *baseline*
+        graph (the scenario's optimization stack, if any, is not applied —
+        cells ask "what if these tasks were faster/slower", not "what if
+        this optimization").  The whole grid runs through the batched
+        :meth:`WhatIfSession.simulate_many` path: the session's baseline
+        is lowered once and every cell re-runs only the array engine, so
+        a 24-cell grid costs one lowering plus 24 engine loops.
+
+        Returns one :class:`~repro.analysis.session.Prediction` per cell,
+        in cell order, labeled by ``cell.label``.
+        """
+        session = self.session(scenario)
+        baseline_us = session.baseline_us
+        return [
+            Prediction(optimization=cell.label, baseline_us=baseline_us,
+                       predicted_us=result.makespan_us)
+            for cell, result in zip(
+                cells, session.simulate_many(cells, scheduler))
+        ]
+
     def run(self, scenario: Scenario) -> ScenarioOutcome:
         """Execute one scenario."""
         session, model, config, cluster, pipeline = self._prepare(scenario)
@@ -211,6 +236,13 @@ class ScenarioRunner:
 
         Results come back in input order and are bit-identical across
         both substrates, both start methods, and serial :meth:`run` calls.
+
+        On both substrates the per-workload session cache also shares the
+        compiled simulation baseline (`repro.core.compiled`): once a
+        workload's graph goes hot its lowering is reused by every scenario
+        of that workload (and by every chunk a pool worker runs), with the
+        copy-on-write barrier invalidating it on mutation — engine
+        selection never changes results.
         """
         if parallel is not None or store is not None:
             from repro.scenarios.batch import run_batch

@@ -67,8 +67,10 @@ from repro.scenarios.retry import RetryPolicy, sync_retry_policy
 from repro.scenarios.scenario import Scenario
 
 #: bump when the meaning of stored values changes (simulator semantics,
-#: row derivation, entry layout) — every older entry then misses
-RESULT_SCHEMA_VERSION = 1
+#: row derivation, entry layout) — every older entry then misses.
+#: v2: simulate breaks feasible-start ties on stable task ordinals
+#: (allocation-independent) instead of FIFO frontier-entry order
+RESULT_SCHEMA_VERSION = 2
 
 #: abandoned ``.tmp`` files younger than this survive :meth:`SweepStore.gc`
 #: (a concurrent writer may still be about to ``os.replace`` them)

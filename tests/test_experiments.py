@@ -166,14 +166,10 @@ class TestExperimentsOnTheStore:
         second = fig10_p3.run("resnet50", bandwidths=[2.0], batch_size=32,
                               store=store)
         (f,), (s,) = first.rows, second.rows
-        # the two measured series are *bit*-stable: served from the store
-        # (re-measuring them in one process wobbles at the last ulp — the
-        # known fig10 allocation-order tie-break; the store removes it)
-        assert s[:3] == f[:3]
-        # the locally re-simulated prediction keeps that pre-existing
-        # last-ulp caveat, so it is pinned to ~1 ulp instead of ==
-        assert s[3] == pytest.approx(f[3], rel=1e-12)
-        assert s[4] == pytest.approx(f[4], rel=1e-9)
+        # every column is *bit*-stable, including the locally re-simulated
+        # PS prediction: simulate breaks ties on stable task ordinals, so
+        # the historical fig10 allocation-order last-ulp wobble is gone
+        assert s == f
         assert store.stats.hits >= 2
 
     def test_sec52_predictions_ride_the_batch_substrate(self, tmp_path):

@@ -29,34 +29,31 @@ def make_task(name, thread, duration, gap=0.0, kind=TaskKind.CPU, priority=0):
 def naive_simulate(graph, key=None):
     """Frontier-scan Algorithm 1, written independently of the package.
 
-    ``key(task)`` is the secondary sort key after feasible start (0 for the
-    default schedule); ties beyond that break FIFO on frontier entry order.
+    ``key(task)`` is the secondary sort key after feasible start (0 for
+    the default schedule); ties beyond that break on the task's stable
+    ordinal — its thread-major position (threads sorted, tasks in thread
+    order) — matching the engines' allocation-independent tie-break.
     """
     key = key or (lambda task: 0.0)
-    refs, ready, order = {}, {}, {}
+    refs, ready, ordinal = {}, {}, {}
     for thread in graph.threads():
         tasks = graph.tasks_on(thread)
         ordered = graph.is_ordered(thread)
         for i, task in enumerate(tasks):
+            ordinal[task] = len(ordinal)
             refs[task] = len(graph.predecessors(task)) + (
                 1 if ordered and i > 0 else 0)
             ready[task] = 0.0
-    frontier = []
-    entry = 0
-    for task in refs:
-        if refs[task] == 0:
-            frontier.append((entry, task))
-            entry += 1
+    frontier = [task for task in refs if refs[task] == 0]
     progress = {t: 0.0 for t in graph.threads()}
     start_us = {}
     while frontier:
-        best = min(
+        task = min(
             frontier,
-            key=lambda it: (max(progress[it[1].thread], ready[it[1]]),
-                            key(it[1]), it[0]),
+            key=lambda t: (max(progress[t.thread], ready[t]),
+                           key(t), ordinal[t]),
         )
-        frontier.remove(best)
-        _, task = best
+        frontier.remove(task)
         start = max(progress[task.thread], ready[task])
         start_us[task] = start
         end = start + task.duration
@@ -70,8 +67,7 @@ def naive_simulate(graph, key=None):
             ready[child] = max(ready[child], end)
             refs[child] -= 1
             if refs[child] == 0:
-                frontier.append((entry, child))
-                entry += 1
+                frontier.append(child)
     assert len(start_us) == len(graph), "reference deadlocked"
     makespan = max((s + t.duration for t, s in start_us.items()), default=0.0)
     return start_us, makespan
@@ -161,3 +157,84 @@ def test_simulation_leaves_no_scratch_state(g):
     simulate(g, earliest_start_scheduler)
     for task in g.tasks():
         assert "_ready_us" not in task.metadata
+
+
+# ---------------------------------------------------------------------------
+# compiled array engine vs the object-graph engines
+# ---------------------------------------------------------------------------
+
+
+def _assert_same_result(compiled_result, reference_result):
+    assert compiled_result.makespan_us == reference_result.makespan_us
+    assert compiled_result.start_us == reference_result.start_us
+    assert compiled_result.thread_busy == reference_result.thread_busy
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_graph())
+def test_array_engine_matches_reference_default_schedule(g):
+    from repro.core.compiled import CompiledGraph
+
+    result = CompiledGraph.build(g).run()
+    ref_start, ref_makespan = naive_simulate(g)
+    assert result.makespan_us == ref_makespan
+    for task, start in ref_start.items():
+        assert result.start_us[task] == start
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_graph())
+def test_array_engine_matches_reference_priority_schedule(g):
+    from repro.core.compiled import CompiledGraph
+
+    policy = make_priority_scheduler(lambda t: t.is_comm)
+    result = CompiledGraph.build(g).run(policy)
+    ref_start, ref_makespan = naive_simulate(
+        g, key=lambda t: -float(t.priority) if t.is_comm else 0.0)
+    assert result.makespan_us == ref_makespan
+    for task, start in ref_start.items():
+        assert result.start_us[task] == start
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graph())
+def test_array_engine_matches_object_engine_bitwise(g):
+    """Full-result identity: starts, makespan, busy intervals."""
+    from repro.core.compiled import CompiledGraph
+
+    object_result = simulate(g)
+    _assert_same_result(CompiledGraph.build(g).run(), object_result)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graph())
+def test_array_engine_no_numpy_fallback(g):
+    """The array('d')/array('q') column fallback is bit-identical."""
+    import array
+    import repro.core.compiled as compiled_mod
+
+    object_result = simulate(g)
+    saved_np = compiled_mod._np
+    compiled_mod._np = None
+    try:
+        compiled = compiled_mod.CompiledGraph.build(g)
+        assert isinstance(compiled.duration, array.array)
+        assert isinstance(compiled.succ_indptr, array.array)
+        assert isinstance(compiled.pred_indptr, array.array)
+        _assert_same_result(compiled.run(), object_result)
+    finally:
+        compiled_mod._np = saved_np
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_simulate_auto_selects_warm_compiled_engine(g):
+    """simulate() tiers up: object engine first, compiled once warm —
+    with bit-identical results before and after the switch."""
+    first = simulate(g)
+    assert g._compiled is None  # one-shot graphs never pay the lowering
+    second = simulate(g)
+    assert g._compiled is not None  # second run at one generation compiles
+    third = simulate(g)
+    _assert_same_result(second, first)
+    _assert_same_result(third, first)
