@@ -147,15 +147,19 @@ def cmd_run(args) -> int:
     return 0
 
 
-def _remote_tier(url, timeout_s: float, backoff_s: float):
+def _remote_tier(url, timeout_s: float, backoff_s: float,
+                 auth_token=None):
     """Build the HTTP remote tier carrying the CLI's transport knobs.
 
     ``--remote-timeout`` caps each request; ``--remote-backoff`` seeds
-    the escalating down-window an unreachable remote is parked behind.
+    the escalating down-window an unreachable remote is parked behind;
+    ``--auth-token`` is the Bearer token an admin-mode server requires
+    on PUT/DELETE.
     """
     if url is None:
         return None
-    return HTTPBackend(url, timeout_s=timeout_s, backoff_s=backoff_s)
+    return HTTPBackend(url, timeout_s=timeout_s, backoff_s=backoff_s,
+                       auth_token=auth_token)
 
 
 def cmd_sweep(args) -> int:
@@ -166,7 +170,7 @@ def cmd_sweep(args) -> int:
                             "the write-back cache the remote tier reads "
                             "through into")
     remote = _remote_tier(args.remote, args.remote_timeout,
-                          args.remote_backoff)
+                          args.remote_backoff, args.auth_token)
     store = SweepStore(args.store, remote=remote) if args.store \
         else None
     # --no-resume and --force both mean "do not trust prior entries";
@@ -240,7 +244,8 @@ def cmd_experiment(args) -> int:
         "store": (SweepStore(args.store,
                              remote=_remote_tier(args.remote,
                                                  args.remote_timeout,
-                                                 args.remote_backoff))
+                                                 args.remote_backoff,
+                                                 args.auth_token))
                   if args.store else None),
         "jobs": args.jobs,
         "force": args.force or None,
@@ -280,6 +285,10 @@ def cmd_store(args) -> int:
             "stale": len(verify.stale),
             "corrupt": len(verify.corrupt),
         }
+        if args.remote:
+            # the hub's own GET /stats probe rides along (loud: a dead
+            # hub fails the command rather than printing silence)
+            payload["remote"] = HTTPBackend(args.remote).stats()
         print(json.dumps(payload, indent=2))
         return 0
     if args.action == "gc":
@@ -300,8 +309,10 @@ def cmd_store(args) -> int:
         return 0
     if args.action == "serve":
         server = StoreServer(store.root, host=args.host, port=args.port,
-                             read_only=args.read_only)
-        mode = "read-only" if args.read_only else "read-write"
+                             read_only=args.read_only,
+                             auth_token=args.auth_token)
+        mode = "read-only" if args.read_only else (
+            "admin-token" if args.auth_token else "read-write")
         span = (f"for {args.duration:g}s" if args.duration is not None
                 else "until interrupted")
         print(f"serving {store.root} at {server.url}/ ({mode}) {span}",
@@ -313,12 +324,13 @@ def cmd_store(args) -> int:
         return 0
     if args.action in ("push", "pull"):
         remote = _remote_tier(args.remote, args.remote_timeout,
-                              args.remote_backoff)
+                              args.remote_backoff, args.auth_token)
         retry = sync_retry_policy(retries=args.retries)
         if args.action == "push":
-            report = store.push(remote, force=args.force, retry=retry)
+            report = store.push(remote, force=args.force, retry=retry,
+                                since=args.since)
         else:
-            report = store.pull(remote, retry=retry)
+            report = store.pull(remote, retry=retry, since=args.since)
         print(json.dumps(report.as_dict(), indent=2))
         return 0
     raise AssertionError(f"unhandled store action {args.action!r}")
@@ -424,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = store.add_subparsers(dest="action", required=True)
     stats = store_sub.add_parser(
         "stats", help="entry counts, byte totals and the active salt")
+    stats.add_argument("--remote", default=None, metavar="URL",
+                       help="also probe a store server's GET /stats "
+                            "(entries, bytes, live leases, uptime)")
     gc = store_sub.add_parser(
         "gc", help="delete corrupt/stale entries, then evict "
                    "least-recently-served entries to a byte budget")
@@ -450,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None, metavar="S",
                        help="serve for S seconds then exit 0 (default: "
                             "serve until interrupted)")
+    serve.add_argument("--auth-token", default=None, metavar="TOKEN",
+                       help="admin mode: require this Bearer token "
+                            "(constant-time compared) on PUT/DELETE; "
+                            "reads and lease claims stay open")
     serve.add_argument("--read-only", action="store_true",
                        help="refuse PUT/DELETE (clients can read through "
                             "and pull, but not push)")
@@ -473,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "after the first fails transiently "
                                  "(default 2); exhausting them fails "
                                  "loudly with the partial progress so far")
+        action.add_argument("--since", type=float, default=None,
+                            metavar="CLOCK",
+                            help="override the journaled delta-sync clock "
+                                 "(seconds since the epoch, as reported "
+                                 "by the previous sync); 0 relists the "
+                                 "remote in full — the repair path when "
+                                 "hub state changed behind the journal's "
+                                 "back")
     # every surface that opens an HTTP remote tier exposes its transport
     # knobs; the defaults match HTTPBackend's
     for surface in (sweep, experiment, push, pull):
@@ -486,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "fails at the transport level; repeated "
                                   "failures escalate it exponentially and "
                                   "a success resets it (default 30)")
+        surface.add_argument("--auth-token", default=None, metavar="TOKEN",
+                             help="Bearer token for an admin-mode remote "
+                                  "(required there for PUT/DELETE; "
+                                  "reads work without it)")
     for action in (stats, gc, prune, verify, serve, push, pull):
         action.add_argument("dir", help="sweep-store directory")
     return parser

@@ -43,13 +43,17 @@ Quickstart::
 
 from repro.scenarios.backends import (
     LEASE_STEAL_SECONDS,
+    NOT_MODIFIED,
     BackendError,
+    ComputeLease,
     EntryStat,
     FileLease,
     HTTPBackend,
     LocalBackend,
+    RemoteLease,
     StoreBackend,
     StoreServer,
+    entry_etag,
 )
 from repro.scenarios.batch import (
     DEFAULT_MAX_CELL_RETRIES,
@@ -113,12 +117,16 @@ from repro.scenarios.store import (
 
 __all__ = [
     "BackendError",
+    "ComputeLease",
     "EntryStat",
     "FileLease",
     "HTTPBackend",
     "LocalBackend",
+    "NOT_MODIFIED",
+    "RemoteLease",
     "StoreBackend",
     "StoreServer",
+    "entry_etag",
     "LEASE_STEAL_SECONDS",
     "BatchReport",
     "CellFailure",

@@ -18,29 +18,46 @@ the reader, not the transport.  This module defines that seam:
   timeout, mid-body truncation), so a flaky remote can cost a cache miss
   but never a crash;
 * :class:`StoreServer` — the matching stdlib ``http.server`` front end
-  (``repro store serve``) publishing a local store to other hosts;
+  (``repro store serve``) publishing a local store to other hosts, now a
+  *coordination plane*: server-held compute leases (``POST
+  /leases/<key>``), delta key listings (``GET /keys?since=``),
+  checksum-``ETag`` conditional GETs, a ``GET /stats`` operability
+  probe, and an optional token-authenticated admin mode gating
+  ``PUT``/``DELETE``;
 * :class:`FileLease` — an advisory lock file with
   acquire / steal-after-stale / release semantics.  Theft favours
   liveness: because entries are content-addressed and recomputable, the
   worst case of a misjudged steal is duplicated work, never a wrong
-  result.
+  result;
+* :class:`RemoteLease` / :class:`ComputeLease` — the cross-host mirror
+  of :class:`FileLease`: a server-held per-key claim (token-checked,
+  steal-after-stale) layered over the local lease so N hosts sharing one
+  hub compute each identical cell exactly once anywhere.  The remote
+  layer *fails open*: an unreachable or pre-lease hub degrades to
+  local-only coordination, never to a stuck sweep.
 
 The written contract — which operations each backend must make atomic,
 the read-through/write-back order, the lease lifecycle — lives in
 ``docs/store-backends.md`` and is drift-checked by tests.
 """
 
+import collections
+import hashlib
+import hmac
 import json
 import os
 import re
+import secrets
 import tempfile
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Iterator, Optional, Protocol, runtime_checkable
+from typing import (Dict, Iterator, List, Optional, Protocol, Tuple,
+                    runtime_checkable)
 
 from repro.common.errors import DaydreamError
 from repro.common.prng import stable_hash
@@ -52,6 +69,33 @@ LEASE_STEAL_SECONDS = 120.0
 #: content keys are 32 lowercase hex chars (blake2b-128); both the server
 #: and the backends refuse anything else before touching the filesystem
 KEY_RE = re.compile(r"^[0-9a-f]{32}$")
+
+#: the server refuses PUT bodies larger than this (64 MiB) outright — a
+#: sweep entry is a few KiB of JSON, so anything near the cap is a broken
+#: or hostile client, not a result
+MAX_BODY_BYTES = 64 << 20
+
+
+class _NotModified:
+    """Singleton sentinel: a conditional fetch matched the caller's ETag."""
+
+    def __repr__(self) -> str:
+        return "NOT_MODIFIED"
+
+
+#: returned by :meth:`HTTPBackend.fetch` when the server answered 304 —
+#: the remote copy is byte-identical to the ETag the caller already holds
+NOT_MODIFIED = _NotModified()
+
+
+def entry_etag(data: bytes) -> str:
+    """The ETag of one entry body: a short content checksum.
+
+    Free with content addressing — identical bytes always hash identically
+    — so conditional GETs (``If-None-Match``) can skip transferring bodies
+    both sides already hold.
+    """
+    return hashlib.blake2b(data, digest_size=8).hexdigest()
 
 
 class BackendError(DaydreamError):
@@ -73,10 +117,15 @@ class BackendError(DaydreamError):
 
 @dataclass(frozen=True)
 class EntryStat:
-    """What :meth:`StoreBackend.stat` reports about one stored entry."""
+    """What :meth:`StoreBackend.stat` reports about one stored entry.
+
+    ``mtime`` is optional: remote tiers know an entry's size (from
+    ``Content-Length``) but not its modification time, and fabricating
+    ``0.0`` would poison any age-based decision downstream.
+    """
 
     size: int
-    mtime: float
+    mtime: Optional[float] = None
 
 
 @runtime_checkable
@@ -308,6 +357,26 @@ class LocalBackend:
                 pass
         return freed
 
+    def delete_entry(self, key: str) -> bool:
+        """Atomically remove one entry file; ``True`` iff *we* removed it.
+
+        Unlike :meth:`delete` this reports whether the unlink actually
+        happened here, so two racing deleters cannot both claim success
+        (the ``do_DELETE`` handler's honesty guarantee).  The sidecar is
+        cleaned up best-effort either way.
+        """
+        removed = False
+        try:
+            os.unlink(self.path_for(key))
+            removed = True
+        except OSError:
+            pass
+        try:
+            os.unlink(self.served_path_for(key))
+        except OSError:
+            pass
+        return removed
+
     def iter_keys(self) -> Iterator[str]:
         """Every content key currently on disk (unvalidated), sorted."""
         objects = self.objects_dir
@@ -456,17 +525,29 @@ class HTTPBackend:
     geometrically less often.  ``backoff_s`` seeds the policy's base
     delay for back-compatibility.  (An HTTP error status is a *reachable*
     server answering — 404 is an ordinary miss — and never touches the
-    backoff.)  Explicit transfers (:meth:`put`, :meth:`delete`,
-    :meth:`iter_keys`) raise :class:`BackendError` instead:
-    ``push``/``pull`` must fail loudly, not publish silence.
+    backoff.)  **Any** successful exchange — reads *and* explicit
+    transfers — resets the streak and clears the down window, so a
+    remote that answers a ``push`` is immediately readable again.
+    Explicit transfers (:meth:`put`, :meth:`delete`, :meth:`iter_keys`)
+    raise :class:`BackendError` instead of degrading: ``push``/``pull``
+    must fail loudly, not publish silence.
+
+    ``auth_token`` (``--auth-token``) is sent as a ``Bearer`` token on
+    every request; servers run in admin mode require it on
+    ``PUT``/``DELETE``.  ``journal`` counts every exchange by verb plus
+    ``entry_bodies`` (bodies actually transferred) and
+    ``fetch_not_modified`` (304s) — how the delta-sync tests prove an
+    already-synced hub moves zero bytes.
     """
 
     def __init__(self, base_url: str, timeout_s: float = 5.0,
                  backoff_s: float = 30.0,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 auth_token: Optional[str] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.backoff_s = backoff_s
+        self.auth_token = auth_token
         if retry is None:
             retry = RetryPolicy(max_attempts=6, base_delay_s=backoff_s,
                                 multiplier=2.0, max_delay_s=backoff_s * 16,
@@ -475,6 +556,8 @@ class HTTPBackend:
         self.retry = retry
         self._backoff = BackoffState(policy=retry)
         self._down_until = 0.0
+        #: per-verb exchange counters (see class docstring)
+        self.journal: "collections.Counter[str]" = collections.Counter()
 
     def _reachable(self) -> bool:
         """Whether the down-backoff window allows a network attempt."""
@@ -486,8 +569,27 @@ class HTTPBackend:
         self._down_until = time.time() + window
 
     def _mark_up(self) -> None:
-        """Reset the failure streak: the remote answered."""
+        """The remote answered: reset the streak AND clear the window.
+
+        Clearing ``_down_until`` matters as much as resetting the streak —
+        a successful explicit transfer (``put``/``delete``/``fetch``/
+        ``iter_keys``) inside a down window proves the remote is back, and
+        leaving the window armed would keep ``get``/``stat`` blind for its
+        remainder.
+        """
         self._backoff = self._backoff.after_success()
+        self._down_until = 0.0
+
+    def _request(self, url: str, method: str, data: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> urllib.request.Request:
+        """One outbound request, with the auth token attached if set."""
+        req = urllib.request.Request(url, data=data, method=method)
+        if self.auth_token:
+            req.add_header("Authorization", f"Bearer {self.auth_token}")
+        for name, value in (headers or {}).items():
+            req.add_header(name, value)
+        return req
 
     def url_for(self, key: str) -> str:
         """The entry URL of one content key."""
@@ -499,11 +601,13 @@ class HTTPBackend:
         """Entry bytes from the remote, or ``None`` on any trouble."""
         if not self._reachable():
             return None
+        self.journal["get"] += 1
         try:
-            req = urllib.request.Request(self.url_for(key), method="GET")
+            req = self._request(self.url_for(key), "GET")
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
                 data = resp.read()
             self._mark_up()  # reachable: the failure streak resets
+            self.journal["entry_bodies"] += 1
             return data
         except BackendError:
             raise  # a malformed key is a caller bug, not a remote flake
@@ -514,21 +618,33 @@ class HTTPBackend:
             self._mark_down()  # transport trouble: back off for a while
             return None  # unreachable/timeout/truncation: a miss, never a crash
 
-    def fetch(self, key: str) -> Optional[bytes]:
+    def fetch(self, key: str, etag: Optional[str] = None):
         """Entry bytes for an *explicit* transfer: loud, unlike :meth:`get`.
 
         Returns ``None`` only when a reachable server answers 404 (the
         entry vanished between listing and fetching); any transport
         trouble raises :class:`BackendError`, so ``repro store pull``
         cannot silently misreport a dead server as a pile of rejected
-        entries.
+        entries.  With ``etag`` (from :func:`entry_etag` over bytes the
+        caller already holds) the request is conditional: a 304 answer
+        returns the :data:`NOT_MODIFIED` sentinel without moving a body.
         """
+        self.journal["fetch"] += 1
+        headers = {"If-None-Match": f'"{etag}"'} if etag else None
         try:
-            req = urllib.request.Request(self.url_for(key), method="GET")
+            req = self._request(self.url_for(key), "GET", headers=headers)
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return resp.read()
+                data = resp.read()
+            self._mark_up()
+            self.journal["entry_bodies"] += 1
+            return data
         except urllib.error.HTTPError as exc:
+            if exc.code == 304:
+                self._mark_up()
+                self.journal["fetch_not_modified"] += 1
+                return NOT_MODIFIED
             if exc.code == 404:
+                self._mark_up()
                 return None
             raise BackendError(
                 f"cannot fetch {key} from {self.base_url}: {exc}"
@@ -542,56 +658,125 @@ class HTTPBackend:
 
     def put(self, key: str, data: bytes) -> None:
         """Publish one entry to the remote (raises on any failure)."""
-        req = urllib.request.Request(self.url_for(key), data=data,
-                                     method="PUT")
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s):
-                pass
-        except Exception as exc:
-            raise BackendError(
-                f"cannot publish {key} to {self.base_url}: {exc}"
-            ) from None
-
-    def delete(self, key: str) -> None:
-        """Drop one remote entry (raises on any failure but 404)."""
-        req = urllib.request.Request(self.url_for(key), method="DELETE")
+        self.journal["put"] += 1
+        req = self._request(self.url_for(key), "PUT", data=data)
         try:
             with urllib.request.urlopen(req, timeout=self.timeout_s):
                 pass
         except urllib.error.HTTPError as exc:
+            self._mark_up()  # a refusal is still a live remote
+            raise BackendError(
+                f"cannot publish {key} to {self.base_url}: {exc}"
+            ) from None
+        except Exception as exc:
+            self._mark_down()
+            raise BackendError(
+                f"cannot publish {key} to {self.base_url}: {exc}"
+            ) from None
+        self._mark_up()
+        self.journal["entry_bodies"] += 1
+
+    def delete(self, key: str) -> None:
+        """Drop one remote entry (raises on any failure but 404)."""
+        self.journal["delete"] += 1
+        req = self._request(self.url_for(key), "DELETE")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s):
+                pass
+        except urllib.error.HTTPError as exc:
+            self._mark_up()
             if exc.code != 404:
                 raise BackendError(
                     f"cannot delete {key} from {self.base_url}: {exc}"
                 ) from None
+            return
         except Exception as exc:
+            self._mark_down()
             raise BackendError(
                 f"cannot delete {key} from {self.base_url}: {exc}"
             ) from None
+        self._mark_up()
 
     def iter_keys(self) -> Iterator[str]:
         """Every key the remote holds (raises if it cannot be listed)."""
+        self.journal["iter_keys"] += 1
         try:
-            req = urllib.request.Request(f"{self.base_url}/keys",
-                                         method="GET")
+            req = self._request(f"{self.base_url}/keys", "GET")
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
                 keys = json.loads(resp.read().decode("utf-8"))
-        except Exception as exc:
+        except urllib.error.HTTPError as exc:
+            self._mark_up()
             raise BackendError(
                 f"cannot list keys of {self.base_url}: {exc}"
             ) from None
+        except Exception as exc:
+            self._mark_down()
+            raise BackendError(
+                f"cannot list keys of {self.base_url}: {exc}"
+            ) from None
+        self._mark_up()
         if not isinstance(keys, list):
             raise BackendError(f"{self.base_url}/keys did not return a list")
         return iter([k for k in keys if isinstance(k, str)
                      and KEY_RE.match(k)])
 
+    def iter_keys_since(self, since: float
+                        ) -> Optional[Tuple[List[str], float]]:
+        """Delta key listing: keys changed at-or-after ``since``.
+
+        Returns ``(keys, clock)`` where ``clock`` is the server's current
+        sync clock (pass it back as the next ``since``), or ``None`` when
+        the server predates delta listings (callers fall back to the full
+        :meth:`iter_keys`).  Raises :class:`BackendError` on transport
+        trouble or a malformed answer, like every explicit transfer.
+        The boundary is inclusive — a key stamped exactly at ``since`` is
+        re-listed — so the clock can never skip an entry written in the
+        same instant the previous scan ended.
+        """
+        self.journal["iter_keys_since"] += 1
+        url = (f"{self.base_url}/keys?"
+               + urllib.parse.urlencode({"since": repr(float(since))}))
+        try:
+            req = self._request(url, "GET")
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            self._mark_up()
+            if exc.code == 404:
+                return None  # a pre-delta server: callers list in full
+            raise BackendError(
+                f"cannot list key delta of {self.base_url}: {exc}"
+            ) from None
+        except Exception as exc:
+            self._mark_down()
+            raise BackendError(
+                f"cannot list key delta of {self.base_url}: {exc}"
+            ) from None
+        self._mark_up()
+        if (not isinstance(payload, dict)
+                or not isinstance(payload.get("keys"), list)
+                or not isinstance(payload.get("clock"), (int, float))):
+            raise BackendError(
+                f"{self.base_url}/keys?since= returned a malformed delta")
+        keys = [k for k in payload["keys"]
+                if isinstance(k, str) and KEY_RE.match(k)]
+        return keys, float(payload["clock"])
+
     def stat(self, key: str) -> Optional[EntryStat]:
-        """Remote entry size via ``HEAD``, or ``None`` on any trouble."""
+        """Remote entry size via ``HEAD``, or ``None`` on any trouble.
+
+        A reachable server whose answer lacks a parseable non-negative
+        ``Content-Length`` is treated as a miss — fabricating
+        ``size=0`` would silently corrupt remote byte accounting — and
+        ``mtime`` is left unset (HTTP does not report it).
+        """
         if not self._reachable():
             return None
+        self.journal["stat"] += 1
         try:
-            req = urllib.request.Request(self.url_for(key), method="HEAD")
+            req = self._request(self.url_for(key), "HEAD")
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                size = int(resp.headers.get("Content-Length") or 0)
+                raw = resp.headers.get("Content-Length")
         except BackendError:
             raise
         except urllib.error.HTTPError:
@@ -601,7 +786,282 @@ class HTTPBackend:
             self._mark_down()
             return None
         self._mark_up()
-        return EntryStat(size=size, mtime=0.0)
+        try:
+            size = int(raw) if raw is not None else -1
+        except ValueError:
+            return None
+        if size < 0:
+            return None
+        return EntryStat(size=size)
+
+    def stats(self) -> Dict[str, object]:
+        """The server's ``GET /stats`` operability payload (loud)."""
+        self.journal["stats"] += 1
+        try:
+            req = self._request(f"{self.base_url}/stats", "GET")
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            self._mark_up()
+            raise BackendError(
+                f"cannot read stats of {self.base_url}: {exc}"
+            ) from None
+        except Exception as exc:
+            self._mark_down()
+            raise BackendError(
+                f"cannot read stats of {self.base_url}: {exc}"
+            ) from None
+        self._mark_up()
+        if not isinstance(payload, dict):
+            raise BackendError(f"{self.base_url}/stats did not return a dict")
+        return payload
+
+    # ------------------------------------------------------ lease plane
+
+    def lease_request(self, key: str, verb: str,
+                      token: Optional[str] = None
+                      ) -> Tuple[str, Optional[str]]:
+        """One lease verb against the coordination plane.
+
+        Returns ``(status, token)`` where status is one of ``"granted"``
+        (claim won; token carried), ``"denied"`` (a live holder exists, or
+        the token check failed), ``"ok"`` (refresh/release accepted) or
+        ``"unavailable"`` (unreachable, read-only, or a server predating
+        the lease endpoints).  Never raises: lease coordination is an
+        optimization, and its failure mode is duplicated work, not a
+        stuck sweep.
+        """
+        if not KEY_RE.match(key):
+            return "unavailable", None
+        if not self._reachable():
+            return "unavailable", None
+        self.journal[f"lease_{verb}"] += 1
+        body = json.dumps({"verb": verb, "token": token}).encode("utf-8")
+        try:
+            req = self._request(f"{self.base_url}/leases/{key}", "POST",
+                                data=body,
+                                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            self._mark_up()
+            if exc.code == 409:
+                return "denied", None
+            return "unavailable", None  # 404/403/501: no lease plane here
+        except Exception:
+            self._mark_down()
+            return "unavailable", None
+        self._mark_up()
+        if verb == "claim":
+            granted = isinstance(payload, dict) and payload.get("granted")
+            token = payload.get("token") if isinstance(payload, dict) else None
+            if granted and isinstance(token, str):
+                return "granted", token
+            return "denied", None
+        return "ok", None
+
+    def lease(self, key: str) -> "RemoteLease":
+        """The server-held compute lease of one key (not yet claimed)."""
+        return RemoteLease(self, key)
+
+
+class RemoteLease:
+    """A server-held per-key compute claim on the coordination plane.
+
+    Mirrors :class:`FileLease` semantics over HTTP: ``claim`` is the
+    O_EXCL-equivalent acquisition (the server grants exactly one token
+    per key at a time), a claim untouched past the server's steal window
+    may be stolen, ``refresh`` re-stamps it, and ``release`` is
+    token-checked so a stolen claim cannot be released by its old owner.
+
+    The remote layer **fails open**: when the hub is unreachable,
+    read-only, or predates the lease endpoints, :meth:`try_acquire`
+    reports failure with ``unavailable=True`` and callers (see
+    :class:`ComputeLease`) degrade to local-only coordination — the
+    worst case is duplicated work across hosts, never a stuck sweep.
+    """
+
+    def __init__(self, backend: HTTPBackend, key: str) -> None:
+        self.backend = backend
+        self.key = key
+        self.owned = False
+        #: the last acquisition attempt could not reach a lease plane
+        self.unavailable = False
+        self._token: Optional[str] = None
+
+    def try_acquire(self) -> bool:
+        """One non-blocking claim attempt against the server."""
+        status, token = self.backend.lease_request(self.key, "claim")
+        if status == "granted":
+            self.owned = True
+            self.unavailable = False
+            self._token = token
+            return True
+        self.owned = False
+        self.unavailable = status != "denied"
+        return False
+
+    def refresh(self) -> None:
+        """Re-stamp the claim so waiting hosts do not steal it.
+
+        A 409 means the claim was stolen (our token no longer matches);
+        we drop ownership and keep computing — both holders will publish
+        byte-identical, content-addressed results.  Transport trouble is
+        ignored: refresh is best-effort liveness signalling.
+        """
+        if not self.owned:
+            return
+        status, _ = self.backend.lease_request(self.key, "refresh",
+                                               self._token)
+        if status == "denied":
+            self.owned = False
+
+    def release(self) -> None:
+        """Give the claim up — token-checked, best-effort, idempotent."""
+        if not self.owned:
+            return
+        self.owned = False
+        self.backend.lease_request(self.key, "release", self._token)
+
+    def __enter__(self) -> "RemoteLease":
+        """Context-manager entry (the caller has already claimed)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Release on context exit."""
+        self.release()
+
+
+class ComputeLease:
+    """One cell's compute claim across tiers: local file + remote server.
+
+    Acquisition is local-first: the :class:`FileLease` dedupes sweeps
+    sharing a filesystem exactly as before, and only a locally-won claim
+    is escalated to the hub's lease plane.  A remote *denial* (another
+    host is computing this cell) releases the local lease and reports
+    failure, so the cell is deferred and later served from the hub; a
+    remote that is merely *unavailable* keeps the locally-won claim —
+    cross-host coordination fails open to the PR-5 single-host
+    behaviour.  ``remote_owned`` tells :func:`~repro.scenarios.batch`
+    whether the computed entry should be published to the hub at record
+    time (the exactly-once handshake: publish precedes release).
+    """
+
+    def __init__(self, local: FileLease,
+                 remote: Optional[RemoteLease] = None) -> None:
+        self.local = local
+        self.remote = remote
+
+    @property
+    def owned(self) -> bool:
+        """Whether the local tier's claim is held (gates store writes)."""
+        return self.local.owned
+
+    @property
+    def remote_owned(self) -> bool:
+        """Whether the hub granted this cell's cross-host claim."""
+        return self.remote is not None and self.remote.owned
+
+    def try_acquire(self) -> bool:
+        """Claim locally, then escalate to the hub; fail open if it's gone."""
+        if not self.local.try_acquire():
+            return False
+        if self.remote is not None:
+            if not self.remote.try_acquire() and not self.remote.unavailable:
+                self.local.release()  # another host is computing this cell
+                return False
+        return True
+
+    def refresh(self) -> None:
+        """Re-stamp both tiers' claims (best-effort)."""
+        self.local.refresh()
+        if self.remote is not None:
+            self.remote.refresh()
+
+    def release(self) -> None:
+        """Release the remote claim first, then the local lease."""
+        if self.remote is not None:
+            self.remote.release()
+        self.local.release()
+
+    def __enter__(self) -> "ComputeLease":
+        """Context-manager entry (the caller has already acquired)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Release on context exit."""
+        self.release()
+
+
+class _LeaseTable:
+    """Server-held per-key compute leases (the coordination plane).
+
+    The in-memory mirror of :class:`FileLease`: claiming an unheld (or
+    stale) key atomically installs a fresh random token under one lock —
+    the O_EXCL equivalent — and refresh/release are token-checked with a
+    constant-time compare.  State is deliberately ephemeral: a hub
+    restart forgets every claim, which merely lets hosts re-claim work
+    already in flight — duplicated effort, never a wrong result.
+    """
+
+    def __init__(self, steal_after: float = LEASE_STEAL_SECONDS) -> None:
+        self.steal_after = steal_after
+        self._lock = threading.Lock()
+        #: key -> (token, last-refresh timestamp)
+        self._held: Dict[str, Tuple[str, float]] = {}
+        self.claims = 0
+        self.steals = 0
+
+    def _matches(self, current: Tuple[str, float],
+                 token: Optional[str]) -> bool:
+        return (isinstance(token, str)
+                and hmac.compare_digest(current[0], token))
+
+    def claim(self, key: str) -> Optional[str]:
+        """Claim ``key``: a fresh token, or ``None`` if a live holder exists."""
+        now = time.time()
+        with self._lock:
+            current = self._held.get(key)
+            if current is not None and now - current[1] <= self.steal_after:
+                return None
+            token = secrets.token_hex(16)
+            if current is not None:
+                self.steals += 1  # stale holder: stolen, like FileLease
+            self._held[key] = (token, now)
+            self.claims += 1
+            return token
+
+    def refresh(self, key: str, token: Optional[str]) -> bool:
+        """Re-stamp a held claim; ``False`` if it was stolen or released."""
+        with self._lock:
+            current = self._held.get(key)
+            if current is None or not self._matches(current, token):
+                return False
+            self._held[key] = (current[0], time.time())
+            return True
+
+    def release(self, key: str, token: Optional[str]) -> bool:
+        """Drop a held claim; ``False`` if it was stolen or already gone."""
+        with self._lock:
+            current = self._held.get(key)
+            if current is None or not self._matches(current, token):
+                return False
+            del self._held[key]
+            return True
+
+    def backdate(self, key: str, age_s: float) -> None:
+        """Age a claim's refresh stamp (test hook for steal-after-stale)."""
+        with self._lock:
+            current = self._held.get(key)
+            if current is not None:
+                self._held[key] = (current[0], time.time() - age_s)
+
+    def __len__(self) -> int:
+        """How many *live* (unexpired) claims are currently held."""
+        now = time.time()
+        with self._lock:
+            return sum(1 for _token, stamp in self._held.values()
+                       if now - stamp <= self.steal_after)
 
 
 class _StoreHTTPHandler(BaseHTTPRequestHandler):
@@ -610,36 +1070,130 @@ class _StoreHTTPHandler(BaseHTTPRequestHandler):
     # set by StoreServer on the subclass it builds per server instance
     backend: LocalBackend
     read_only: bool = False
+    auth_token: Optional[str] = None
+    leases: _LeaseTable
+    started_at: float = 0.0
     server_version = "repro-store/1"
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request stderr logging (the CLI prints a summary)."""
 
-    def _key_from_path(self) -> Optional[str]:
-        match = re.match(r"^/objects/([0-9a-f]{32})\.json$", self.path)
+    def _key_from_path(self, path: Optional[str] = None) -> Optional[str]:
+        match = re.match(r"^/objects/([0-9a-f]{32})\.json$",
+                         self.path if path is None else path)
         return match.group(1) if match else None
 
     def _send(self, code: int, body: bytes = b"",
-              content_type: str = "application/json") -> None:
+              content_type: str = "application/json",
+              etag: Optional[str] = None) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", f'"{etag}"')
         self.end_headers()
         if self.command != "HEAD":
             self.wfile.write(body)
 
+    def _authorized(self) -> bool:
+        """Whether this request may mutate an admin-mode (token'd) store."""
+        if not self.auth_token:
+            return True
+        header = self.headers.get("Authorization") or ""
+        presented = header[len("Bearer "):] \
+            if header.startswith("Bearer ") else ""
+        return hmac.compare_digest(presented, self.auth_token)
+
+    def _read_body(self, cap: int = MAX_BODY_BYTES) -> Optional[bytes]:
+        """The request body, validated against its declared length.
+
+        Sends the error response itself and returns ``None`` when the
+        declared ``Content-Length`` is missing/unparseable/negative
+        (400), exceeds ``cap`` (413, refused before reading a byte), or
+        the client died mid-upload leaving fewer bytes than declared
+        (400) — a short read must never be stored as a whole entry.
+        """
+        raw = self.headers.get("Content-Length")
+        try:
+            length = int(raw) if raw is not None else -1
+        except ValueError:
+            length = -1
+        if length < 0:
+            self.close_connection = True
+            self._send(400, b'{"error": "bad content-length"}')
+            return None
+        if length > cap:
+            self.close_connection = True
+            self._send(413, b'{"error": "body too large"}')
+            return None
+        data = self.rfile.read(length)
+        if len(data) != length:
+            self.close_connection = True  # the stream is now unframed
+            self._send(400, b'{"error": "body shorter than declared"}')
+            return None
+        return data
+
+    def _keys_since(self, since: float) -> Tuple[List[str], float]:
+        """Keys stamped at-or-after ``since``, plus the new sync clock.
+
+        The clock is the maximum entry mtime seen (never regressing below
+        ``since``); the inclusive boundary over-reports ties rather than
+        ever skipping an entry written in the scan's final instant.
+        """
+        keys: List[str] = []
+        clock = since
+        for key in self.backend.iter_keys():
+            st = self.backend.stat(key)
+            if st is None or st.mtime is None:
+                continue
+            clock = max(clock, st.mtime)
+            if st.mtime >= since:
+                keys.append(key)
+        return keys, clock
+
     def do_GET(self) -> None:
-        """Serve ``/keys`` or one entry; 404 anything else."""
-        if self.path == "/keys":
+        """Serve ``/keys[?since=]``, ``/stats`` or one entry; else 404."""
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/keys":
+            query = urllib.parse.parse_qs(parsed.query)
+            if "since" in query:
+                try:
+                    since = float(query["since"][0])
+                except ValueError:
+                    self._send(400, b'{"error": "bad since clock"}')
+                    return
+                keys, clock = self._keys_since(since)
+                body = json.dumps({"keys": keys, "clock": clock}).encode()
+                self._send(200, body)
+                return
             body = json.dumps(sorted(self.backend.iter_keys())).encode()
             self._send(200, body)
             return
-        key = self._key_from_path()
+        if parsed.path == "/stats":
+            keys = list(self.backend.iter_keys())
+            body = json.dumps({
+                "entries": len(keys),
+                "bytes": self.backend.total_bytes(),
+                "leases": len(self.leases),
+                "lease_claims": self.leases.claims,
+                "lease_steals": self.leases.steals,
+                "uptime_s": max(0.0, time.time() - self.started_at),
+                "read_only": self.read_only,
+                "auth_required": bool(self.auth_token),
+            }).encode()
+            self._send(200, body)
+            return
+        key = self._key_from_path(parsed.path)
         data = self.backend.get(key) if key else None
         if data is None:
             self._send(404, b'{"error": "no such entry"}')
-        else:
-            self._send(200, data)
+            return
+        etag = entry_etag(data)
+        wanted = (self.headers.get("If-None-Match") or "").strip().strip('"')
+        if wanted and wanted == etag:
+            self._send(304, etag=etag)
+            return
+        self._send(200, data, etag=etag)
 
     def do_HEAD(self) -> None:
         """Existence/size probe of one entry."""
@@ -652,18 +1206,65 @@ class _StoreHTTPHandler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(stat.size))
             self.end_headers()
 
+    def do_POST(self) -> None:
+        """Lease verbs: claim / refresh / release one key's compute claim."""
+        match = re.match(r"^/leases/([0-9a-f]{32})$", self.path)
+        if not match:
+            self._send(404, b'{"error": "no such endpoint"}')
+            return
+        if self.read_only:
+            self._send(403, b'{"error": "read-only store"}')
+            return
+        data = self._read_body(cap=4096)
+        if data is None:
+            return
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = None
+        if not isinstance(payload, dict):
+            self._send(400, b'{"error": "lease body is not JSON"}')
+            return
+        key = match.group(1)
+        verb = payload.get("verb")
+        token = payload.get("token")
+        if verb == "claim":
+            granted = self.leases.claim(key)
+            if granted is None:
+                self._send(409, b'{"granted": false}')
+            else:
+                body = json.dumps({"granted": True,
+                                   "token": granted}).encode()
+                self._send(200, body)
+        elif verb == "refresh":
+            if self.leases.refresh(key, token):
+                self._send(200, b'{"refreshed": true}')
+            else:
+                self._send(409, b'{"refreshed": false}')
+        elif verb == "release":
+            if self.leases.release(key, token):
+                self._send(200, b'{"released": true}')
+            else:
+                self._send(409, b'{"released": false}')
+        else:
+            self._send(400, b'{"error": "unknown lease verb"}')
+
     def do_PUT(self) -> None:
         """Accept one pushed entry after a minimal embedded-key check."""
         if self.read_only:
             self._send(403, b'{"error": "read-only store"}')
             return
+        if not self._authorized():
+            self._send(401, b'{"error": "missing or wrong auth token"}')
+            return
         key = self._key_from_path()
         if key is None:
             self._send(404, b'{"error": "bad entry path"}')
             return
+        data = self._read_body()
+        if data is None:
+            return
         try:
-            length = int(self.headers.get("Content-Length") or 0)
-            data = self.rfile.read(length)
             payload = json.loads(data.decode("utf-8"))
             embedded = payload.get("key") if isinstance(payload, dict) \
                 else None
@@ -677,15 +1278,22 @@ class _StoreHTTPHandler(BaseHTTPRequestHandler):
         self._send(201, b'{"stored": true}')
 
     def do_DELETE(self) -> None:
-        """Drop one entry (404 when absent)."""
+        """Drop one entry (404 when absent — honestly, under races).
+
+        The unlink itself is the existence check: of two concurrent
+        deletes, exactly one sees 200 and the other 404, with no
+        stat-then-delete window in which both could claim success.
+        """
         if self.read_only:
             self._send(403, b'{"error": "read-only store"}')
             return
+        if not self._authorized():
+            self._send(401, b'{"error": "missing or wrong auth token"}')
+            return
         key = self._key_from_path()
-        if key is None or self.backend.stat(key) is None:
+        if key is None or not self.backend.delete_entry(key):
             self._send(404, b'{"error": "no such entry"}')
             return
-        self.backend.delete(key)
         self._send(200, b'{"deleted": true}')
 
 
@@ -700,13 +1308,25 @@ class StoreServer:
     embedded-key sanity check on pushed entries; *clients* re-verify
     key/salt/checksum on every read, so a compromised or skewed server
     can cost misses, never wrong values.
+
+    Beyond the byte surface the server is the cross-host coordination
+    plane: :attr:`leases` holds the per-key compute claims behind ``POST
+    /leases/<key>`` (steal window ``lease_steal_after``), ``GET /stats``
+    reports entries/bytes/leases/uptime, and ``auth_token`` switches on
+    admin mode — ``PUT``/``DELETE`` then require the matching ``Bearer``
+    token (constant-time compare); reads and leases stay open.
     """
 
     def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
-                 read_only: bool = False) -> None:
+                 read_only: bool = False,
+                 auth_token: Optional[str] = None,
+                 lease_steal_after: float = LEASE_STEAL_SECONDS) -> None:
         backend = LocalBackend(root)
+        self.leases = _LeaseTable(steal_after=lease_steal_after)
         handler = type("_BoundStoreHTTPHandler", (_StoreHTTPHandler,),
-                       {"backend": backend, "read_only": read_only})
+                       {"backend": backend, "read_only": read_only,
+                        "auth_token": auth_token, "leases": self.leases,
+                        "started_at": time.time()})
         try:
             self._server = ThreadingHTTPServer((host, port), handler)
         except OSError as exc:

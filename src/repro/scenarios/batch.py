@@ -29,7 +29,15 @@ finished cells remembered.  :func:`run_batch` is that substrate:
   two concurrent sweeps over one store dedupe identical cells: the sweep
   that loses the claim defers the cell, serves the winner's entry the
   moment it lands, and inherits the computation only if the winner's
-  lease goes stale (a crash) without producing one;
+  lease goes stale (a crash) without producing one.  With a
+  lease-capable ``remote`` hub the claim escalates across hosts
+  (:meth:`~repro.scenarios.store.SweepStore.compute_lease`): the hub
+  grants each cell's claim to exactly one host, the winner publishes
+  the entry to the hub at record time *before* releasing the claim, and
+  deferring hosts read it through — N hosts partition one grid with no
+  coordinator, each identical cell computed once anywhere.  The remote
+  layer fails open: an unreachable or lease-less hub degrades to
+  single-host coordination, never a stuck sweep;
 * the pool **survives its own workers dying**: a worker the kernel
   OOM-kills (or the chaos hook SIGKILLs) breaks the
   ``ProcessPoolExecutor`` — instead of aborting the sweep, the parent
@@ -86,6 +94,12 @@ from repro.scenarios.store import SweepStore, scenario_key
 #: how often a deferred cell re-checks the store while another sweep's
 #: lease holder is computing it
 DEDUPE_POLL_SECONDS = 0.05
+
+#: a deferred cell with a remote hub configured does one full
+#: read-through (and cross-host claim attempt) every this many local
+#: polls — the winner may be on another host, but the hub should not be
+#: hammered at the local poll cadence
+REMOTE_PROBE_POLLS = 5
 
 #: one unit of worker work: (cell index, scenario dict)
 _Cell = Tuple[int, Dict[str, object]]
@@ -334,13 +348,19 @@ def _resolve_deferred(index: int, scenario: Scenario,
     Polls the *local* tier (a pure :meth:`SweepStore.contains` probe: no
     counters, no remote traffic) while the lease stays fresh, and serves
     the entry the moment its owner persists it — that is the cross-sweep
-    dedupe.  If the lease is released (or stale enough to steal) without
-    a usable entry, the owner crashed or was killed: this sweep inherits
-    the cell — after one full :meth:`~SweepStore.get` (remote included),
-    in case the result exists beyond the local tier — and computes it
-    in-process.
+    dedupe.  When the store has a remote hub, the claim's holder may be
+    a *different host* whose entry only ever lands on the hub: every
+    :data:`REMOTE_PROBE_POLLS`-th poll does one full read-through (and
+    only then re-attempts the cross-host claim, throttling hub
+    traffic).  If the lease is released (or stale enough to steal)
+    without a usable entry, the owner crashed or was killed: this sweep
+    inherits the cell — after one full :meth:`~SweepStore.get` (remote
+    included), in case the result exists beyond the local tier — and
+    computes it in-process.
     """
     key = scenario_key(scenario, registry)
+    probe_remote = store.remote is not None
+    polls = 0
 
     def serve(values: Dict[str, object]) -> None:
         report.hits += 1
@@ -354,7 +374,16 @@ def _resolve_deferred(index: int, scenario: Scenario,
             if _values_ok(values):
                 serve(values)
                 return
-        lease = store.lease(key)
+        polls += 1
+        if probe_remote:
+            if polls % REMOTE_PROBE_POLLS:
+                time.sleep(DEDUPE_POLL_SECONDS)
+                continue  # local probes stay cheap between hub round-trips
+            values = store.get(scenario)  # the winner may be another host
+            if _values_ok(values):
+                serve(values)
+                return
+        lease = store.compute_lease(key)
         if lease.try_acquire():
             # the inherited computation can outlast the steal window just
             # like a normal chunk: keep this claim fresh on a time cadence
@@ -380,6 +409,8 @@ def _resolve_deferred(index: int, scenario: Scenario,
                 store.put(scenario, {"baseline_us": baseline_us,
                                      "predicted_us": predicted_us},
                           lease=lease)
+                if getattr(lease, "remote_owned", False):
+                    store.publish(key)  # before release: see record()
                 report.computed += 1
                 finish(index, SweepCell(scenario=scenario, key=key,
                                         cached=False,
@@ -541,10 +572,11 @@ def run_batch(
 
     # claim each missing cell's compute lease so two concurrent sweeps
     # over one store dedupe identical cells: unclaimable cells are being
-    # computed by another sweep right now and are *deferred* — we pick
-    # their results up (or inherit the work) after our own cells finish
+    # computed by another sweep right now (possibly on another host, via
+    # the hub's lease plane) and are *deferred* — we pick their results
+    # up (or inherit the work) after our own cells finish
     deferred: List[int] = []
-    owned: Dict[str, FileLease] = {}
+    owned: Dict[str, FileLease] = {}  # may hold ComputeLease (same surface)
     owned_lock = threading.Lock()
     if store is not None and not force and pending:
         claimed: List[int] = []
@@ -553,8 +585,23 @@ def run_batch(
             if key in owned:
                 claimed.append(index)  # duplicate cell of a key we own
                 continue
-            lease = store.lease(key)
+            lease = store.compute_lease(key)
             if lease.try_acquire():
+                if getattr(lease, "remote_owned", False):
+                    # claim-then-recheck: a peer host may have published
+                    # this cell between our miss above and this claim
+                    # being granted (publish precedes claim release, so
+                    # a granted claim with an entry present means the
+                    # previous winner already finished)
+                    values = store.get(scenarios[index])
+                    if _values_ok(values):
+                        lease.release()
+                        report.hits += 1
+                        finish(index, SweepCell(
+                            scenario=scenarios[index], key=key, cached=True,
+                            baseline_us=values["baseline_us"],
+                            predicted_us=values["predicted_us"]))
+                        continue
                 owned[key] = lease
                 claimed.append(index)
             else:
@@ -597,6 +644,11 @@ def run_batch(
                 store.put(scenario, {"baseline_us": baseline_us,
                                      "predicted_us": predicted_us},
                           lease=lease)
+                if getattr(lease, "remote_owned", False):
+                    # the cross-host handshake: publish to the hub
+                    # *before* releasing the claim, so peers deferring
+                    # on it find the bytes the moment it frees
+                    store.publish(key)
         finally:
             if lease is not None:
                 lease.release()  # persisted: waiting sweeps read it now

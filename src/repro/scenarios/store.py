@@ -57,10 +57,13 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 from repro.common.errors import ConfigError
 from repro.scenarios.backends import (
     LEASE_STEAL_SECONDS,
+    NOT_MODIFIED,
     BackendError,
+    ComputeLease,
     FileLease,
     HTTPBackend,
     LocalBackend,
+    entry_etag,
 )
 from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
 from repro.scenarios.retry import RetryPolicy, sync_retry_policy
@@ -162,6 +165,8 @@ class StoreStats:
     remote_hits: int = 0      # served read-through from the remote tier
     remote_rejected: int = 0  # remote bytes that failed verification
     remote_faults: int = 0    # remote reads that raised (treated as misses)
+    published: int = 0        # entries pushed to the hub at record time
+    publish_failures: int = 0  # record-time publishes that failed (kept local)
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict form for JSON reporting."""
@@ -169,7 +174,9 @@ class StoreStats:
                 "writes": self.writes, "rejected": self.rejected,
                 "evicted": self.evicted, "remote_hits": self.remote_hits,
                 "remote_rejected": self.remote_rejected,
-                "remote_faults": self.remote_faults}
+                "remote_faults": self.remote_faults,
+                "published": self.published,
+                "publish_failures": self.publish_failures}
 
 
 @dataclass
@@ -323,6 +330,24 @@ class SweepStore:
         acquire / steal-after-stale / release lifecycle.
         """
         return self._local.lease(key, steal_after=steal_after)
+
+    def compute_lease(self, key: str,
+                      steal_after: float = LEASE_STEAL_SECONDS):
+        """The cross-tier compute claim of one key (not yet acquired).
+
+        With a lease-capable ``remote`` tier configured this is a
+        :class:`~repro.scenarios.backends.ComputeLease` — the local
+        :class:`~repro.scenarios.backends.FileLease` escalated to the
+        hub's lease plane, so sweeps on *different hosts* sharing one hub
+        dedupe identical cells too.  Without a remote (or with a tier
+        that has no lease plane, e.g. a fault-injection wrapper) it is
+        the plain local lease, byte-for-byte the PR-5 behaviour.
+        """
+        local = self._local.lease(key, steal_after=steal_after)
+        remote_lease = getattr(self.remote, "lease", None)
+        if remote_lease is None:
+            return local
+        return ComputeLease(local, remote_lease(key))
 
     # ----------------------------------------------------------------- reads
 
@@ -515,6 +540,30 @@ class SweepStore:
             self._approx_bytes = max(0, self._approx_bytes - freed)
         return freed
 
+    def publish(self, key: str) -> bool:
+        """Best-effort upload of one local entry to the ``remote`` tier.
+
+        The record-time half of the cross-host exactly-once handshake:
+        a batch worker that computed a cell under a *granted* remote
+        claim publishes the entry before releasing the claim, so peers
+        deferring on that claim find the bytes the moment it frees.
+        Failure is counted (``stats.publish_failures``) but never raised
+        — the entry is safely local and a later ``push`` replays it; the
+        deferred peer's steal-after-stale path recomputes at worst.
+        """
+        if self.remote is None:
+            return False
+        data = self._local.get(key)
+        if data is None:
+            return False
+        try:
+            self.remote.put(key, data)
+        except Exception:
+            self.stats.publish_failures += 1
+            return False
+        self.stats.published += 1
+        return True
+
     # --------------------------------------------------------------- queries
 
     def keys(self) -> Iterator[str]:
@@ -706,6 +755,49 @@ class SweepStore:
 
     # ------------------------------------------------------------ replication
 
+    def _sync_state_path(self, base_url: str) -> str:
+        """The per-remote sync journal file (keyed by hashed base URL)."""
+        digest = hashlib.blake2b(base_url.encode("utf-8"),
+                                 digest_size=8).hexdigest()
+        return os.path.join(self.root, "sync", f"{digest}.json")
+
+    def _load_sync_state(self, base_url: str) -> Dict[str, object]:
+        """The saved delta-sync journal of one remote (empty = cold)."""
+        try:
+            with open(self._sync_state_path(base_url),
+                      encoding="utf-8") as f:
+                state = json.load(f)
+        except (OSError, ValueError):
+            return {"clock": 0.0, "keys": []}
+        if (not isinstance(state, dict)
+                or not isinstance(state.get("clock"), (int, float))
+                or not isinstance(state.get("keys"), list)):
+            return {"clock": 0.0, "keys": []}
+        return state
+
+    def _save_sync_state(self, base_url: str, clock: float,
+                         keys: "set[str]") -> None:
+        """Atomically journal one remote's sync clock + known key set.
+
+        Saved only after a transfer fully succeeded — a sync that died
+        mid-flight must never advance the clock past entries it did not
+        actually move.
+        """
+        path = self._sync_state_path(base_url)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        body = json.dumps({"url": base_url, "clock": clock,
+                           "keys": sorted(keys)})
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                f.write(body)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     def _remote_or_error(self,
                          remote: Optional[Union[str, HTTPBackend]]
                          ) -> HTTPBackend:
@@ -740,7 +832,8 @@ class SweepStore:
 
     def push(self, remote: Optional[Union[str, HTTPBackend]] = None,
              force: bool = False,
-             retry: Optional[RetryPolicy] = None) -> SyncReport:
+             retry: Optional[RetryPolicy] = None,
+             since: Optional[float] = None) -> SyncReport:
         """Publish every live local entry to the remote tier.
 
         Only entries that verify under the *current* salt travel — a
@@ -749,9 +842,22 @@ class SweepStore:
         by presence, not by verifying the remote copy; if a previously
         interrupted transfer left a corrupt copy on the server (clients
         reject it on every read-through), ``force=True`` (``repro store
-        push --force``) re-uploads everything and overwrites it.  Unlike
-        read-through, this is an explicit transfer: each listing/upload
-        op is retried under ``retry`` (the unified
+        push --force``) re-uploads everything and overwrites it.
+
+        Against a delta-capable remote (``GET /keys?since=``) the
+        "already listed" check scales: only keys changed since the
+        journaled sync clock are listed, merged with the journal's known
+        set (``<root>/sync/``, per remote URL), so re-pushing against a
+        million-entry hub lists a handful of keys and moves zero bodies.
+        ``since`` (``--since``) overrides the journaled clock — ``0``
+        relists the hub in full and drops the journal's stale memory,
+        the repair path when hub state was lost behind the journal's
+        back.  The journal is saved only after the transfer fully
+        succeeded.  Older servers without delta listings fall back to
+        the full listing transparently.
+
+        Unlike read-through, this is an explicit transfer: each
+        listing/upload op is retried under ``retry`` (the unified
         :class:`~repro.scenarios.retry.RetryPolicy`; ``repro store push
         --retries``), and once the policy's caps trip it raises
         :class:`~repro.scenarios.backends.BackendError` whose
@@ -760,9 +866,38 @@ class SweepStore:
         remote = self._remote_or_error(remote)
         policy = retry or sync_retry_policy()
         report = SyncReport()
-        remote_keys = set() if force else set(self._sync_op(
-            policy, "listing remote keys for push", report,
-            lambda: list(remote.iter_keys())))
+        lister = getattr(remote, "iter_keys_since", None)
+        base_url = getattr(remote, "base_url", None)
+        delta_capable = lister is not None and isinstance(base_url, str)
+        state = self._load_sync_state(base_url) if delta_capable else None
+        # the clock the trailing listing resumes from (force rebuilds the
+        # journal from scratch; --since trusts the caller over the journal)
+        resync_from = 0.0 if force else (
+            float(since) if since is not None
+            else float(state["clock"]) if state is not None else 0.0)
+        known: "set[str]" = set()
+        clock = resync_from
+        if not force:
+            if delta_capable:
+                if since is None:
+                    known.update(k for k in state["keys"]
+                                 if isinstance(k, str))
+                listing = self._sync_op(
+                    policy, "listing the remote key delta for push", report,
+                    lambda: lister(resync_from))
+                if listing is None:  # a pre-delta server: list in full
+                    delta_capable = False
+                    known = set(self._sync_op(
+                        policy, "listing remote keys for push", report,
+                        lambda: list(remote.iter_keys())))
+                else:
+                    delta, clock = listing
+                    known.update(delta)
+            else:
+                known = set(self._sync_op(
+                    policy, "listing remote keys for push", report,
+                    lambda: list(remote.iter_keys())))
+        pushed: "set[str]" = set()
         for key in self.keys():
             report.examined += 1
             # one read serves both verification and upload (no re-read,
@@ -774,24 +909,50 @@ class SweepStore:
                                                         count=False):
                 report.rejected += 1
                 continue
-            if key in remote_keys:
+            if key in known:
                 report.skipped += 1
                 continue
             self._sync_op(policy, f"pushing entry {key}", report,
                           lambda key=key, data=data: remote.put(key, data))
             report.transferred += 1
+            pushed.add(key)
+        if delta_capable:
+            # advance the journal clock past our own uploads (keys only;
+            # best-effort — a failure here just re-lists them next time)
+            try:
+                trailing = lister(resync_from)
+            except BackendError:
+                trailing = None
+            if trailing is not None:
+                extra, clock = trailing
+                known.update(extra)
+            self._save_sync_state(base_url, clock, known | pushed)
         return report
 
     def pull(self,
              remote: Optional[Union[str, HTTPBackend]] = None,
-             retry: Optional[RetryPolicy] = None) -> SyncReport:
+             retry: Optional[RetryPolicy] = None,
+             since: Optional[float] = None) -> SyncReport:
         """Replicate every trustworthy remote entry into the local tier.
 
         Each remote entry faces full verification — embedded key, current
         salt, checksum — before landing locally; failures count
         ``rejected`` and are never written.  Keys already trustworthy
-        locally are skipped.  Listing or fetching ops are retried under
-        ``retry`` (the unified
+        locally are skipped.
+
+        Against a delta-capable remote only keys changed since the
+        journaled sync clock are even listed (``GET /keys?since=``; the
+        journal lives in ``<root>/sync/``, per remote URL, shared with
+        :meth:`push`), and fetches of keys whose local copy exists but is
+        not live go out conditionally (``If-None-Match`` with the
+        content-checksum ETag) — so re-syncing an already-synced hub
+        transfers *zero entry bodies*.  ``since`` (``--since``) overrides
+        the journaled clock (``0`` = full relist); the journal is saved
+        only after the transfer fully succeeded, so a mid-flight death
+        never advances the clock past entries that did not land.  Older
+        servers without delta listings fall back to the full listing.
+
+        Listing or fetching ops are retried under ``retry`` (the unified
         :class:`~repro.scenarios.retry.RetryPolicy`; ``repro store pull
         --retries``); a server that stays dead mid-transfer then raises
         :class:`~repro.scenarios.backends.BackendError` whose ``partial``
@@ -803,15 +964,50 @@ class SweepStore:
         policy = retry or sync_retry_policy()
         report = SyncReport()
         fetch = getattr(remote, "fetch", remote.get)
-        for key in self._sync_op(policy, "listing remote keys for pull",
+        lister = getattr(remote, "iter_keys_since", None)
+        base_url = getattr(remote, "base_url", None)
+        delta_capable = lister is not None and isinstance(base_url, str)
+        state = self._load_sync_state(base_url) if delta_capable else None
+        keys: Optional[List[str]] = None
+        clock = 0.0
+        known: "set[str]" = set()
+        if delta_capable:
+            start = float(since) if since is not None \
+                else float(state["clock"])
+            if since is None:
+                known.update(k for k in state["keys"] if isinstance(k, str))
+            listing = self._sync_op(
+                policy, "listing the remote key delta for pull", report,
+                lambda: lister(start))
+            if listing is None:  # a pre-delta server: list in full
+                delta_capable = False
+            else:
+                keys, clock = listing
+        if keys is None:
+            keys = self._sync_op(policy, "listing remote keys for pull",
                                  report,
-                                 lambda: list(remote.iter_keys())):
+                                 lambda: list(remote.iter_keys()))
+        for key in keys:
             report.examined += 1
             if self._classify(key) == "live":
                 report.skipped += 1
                 continue
-            data = self._sync_op(policy, f"fetching entry {key}", report,
-                                 lambda key=key: fetch(key))
+            # a non-live local copy still short-circuits identical bytes:
+            # the conditional fetch costs headers, not a body (the remote
+            # copy would fail the same verification that demoted ours)
+            stale_local = self._local.get(key) if delta_capable else None
+            if stale_local is not None:
+                data = self._sync_op(
+                    policy, f"fetching entry {key}", report,
+                    lambda key=key, etag=entry_etag(stale_local):
+                        fetch(key, etag=etag))
+            else:
+                data = self._sync_op(policy, f"fetching entry {key}",
+                                     report, lambda key=key: fetch(key))
+            if data is NOT_MODIFIED:
+                self.stats.remote_rejected += 1
+                report.rejected += 1  # same bytes we already reject locally
+                continue
             if data is None:
                 report.skipped += 1  # vanished between listing and fetch
                 continue
@@ -824,4 +1020,6 @@ class SweepStore:
                 continue
             self._write_entry(key, data)
             report.transferred += 1
+        if delta_capable:
+            self._save_sync_state(base_url, clock, known | set(keys))
         return report

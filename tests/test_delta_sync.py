@@ -1,0 +1,290 @@
+"""Delta sync must scale push/pull without ever skipping an entry.
+
+``GET /keys?since=<clock>`` lists only the keys stamped at-or-after the
+caller's sync clock (inclusive — ties are over-reported, never skipped),
+and conditional entry GETs (``If-None-Match`` with the content-checksum
+ETag) short-circuit identical bytes.  Together with the per-remote sync
+journal under ``<root>/sync/`` this makes re-syncing an already-synced
+hub transfer *zero entry bodies* — the acceptance criterion, verified
+here by the :class:`HTTPBackend` journal counters, not by timing.  The
+failure half matters just as much: a sync that dies mid-flight must not
+advance the journal clock past entries it never moved, and a pre-delta
+server must degrade to the full listing, not to an error.  The CI
+``cross-host`` job runs this file.
+"""
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.__main__ import main
+from repro.scenarios import (
+    NOT_MODIFIED,
+    BackendError,
+    HTTPBackend,
+    LocalBackend,
+    Scenario,
+    StoreServer,
+    SweepStore,
+    entry_etag,
+    no_retry,
+)
+from repro.scenarios.store import RESULT_SCHEMA_VERSION, _entry_checksum
+
+KEYS = ["ab" * 16, "cd" * 16, "ef" * 16]
+
+
+def entry_bytes_for(key):
+    return json.dumps({"key": key}).encode()
+
+
+def stamped_backend(root, mtimes):
+    """A LocalBackend holding KEYS with pinned entry mtimes."""
+    backend = LocalBackend(str(root))
+    for key, mtime in zip(KEYS, mtimes):
+        backend.put(key, entry_bytes_for(key))
+        os.utime(backend.path_for(key), (mtime, mtime))
+    return backend
+
+
+def seeded_publisher(root, n=3):
+    """A SweepStore holding ``n`` live single-value entries."""
+    store = SweepStore(str(root))
+    for i in range(n):
+        store.put(Scenario(model="resnet50", batch_size=8 + i),
+                  {"baseline_us": float(i), "predicted_us": float(i)})
+    return store
+
+
+# ------------------------------------------------------------ delta listing
+
+def test_keys_since_zero_lists_everything_and_returns_the_clock(tmp_path):
+    stamped_backend(tmp_path, [1000.0, 2000.0, 3000.0])
+    with StoreServer(str(tmp_path), port=0) as server:
+        listing = HTTPBackend(server.url).iter_keys_since(0.0)
+    assert listing is not None
+    keys, clock = listing
+    assert sorted(keys) == sorted(KEYS)
+    assert clock == 3000.0  # the max entry mtime = the next since
+
+
+def test_keys_since_boundary_is_inclusive(tmp_path):
+    """A key stamped exactly at the clock re-lists — over-reporting a tie
+    is harmless (the pull skips it as live), skipping it loses data."""
+    stamped_backend(tmp_path, [1000.0, 2000.0, 3000.0])
+    with StoreServer(str(tmp_path), port=0) as server:
+        backend = HTTPBackend(server.url)
+        keys, clock = backend.iter_keys_since(2000.0)
+        assert sorted(keys) == sorted(KEYS[1:])  # 2000.0 itself included
+        assert clock == 3000.0
+        later, clock2 = backend.iter_keys_since(3000.5)
+        assert later == []
+        assert clock2 == 3000.5  # the clock never regresses below since
+
+
+def test_conditional_fetch_returns_not_modified_on_etag_match(tmp_path):
+    backend_dir = LocalBackend(str(tmp_path))
+    backend_dir.put(KEYS[0], entry_bytes_for(KEYS[0]))
+    with StoreServer(str(tmp_path), port=0) as server:
+        client = HTTPBackend(server.url)
+        data = client.fetch(KEYS[0])
+        assert data == entry_bytes_for(KEYS[0])
+        assert client.fetch(KEYS[0],
+                            etag=entry_etag(data)) is NOT_MODIFIED
+        assert client.journal["fetch_not_modified"] == 1
+        # a different etag still moves the body
+        assert client.fetch(KEYS[0], etag="0" * 16) == data
+
+
+# --------------------------------------------------------- zero-body resync
+
+def test_resync_of_a_synced_hub_moves_zero_entry_bodies(tmp_path):
+    """The acceptance criterion, verified by wire counters per phase."""
+    publisher = seeded_publisher(tmp_path / "publisher")
+    with StoreServer(str(tmp_path / "hub"), port=0) as server:
+        first_push = HTTPBackend(server.url)
+        assert publisher.push(first_push).transferred == 3
+        assert first_push.journal["put"] == 3
+
+        second_push = HTTPBackend(server.url)  # fresh wire counters
+        report = publisher.push(second_push)
+        assert report.transferred == 0
+        assert second_push.journal["put"] == 0
+        assert second_push.journal["entry_bodies"] == 0
+
+        mirror = SweepStore(str(tmp_path / "mirror"))
+        first_pull = HTTPBackend(server.url)
+        assert mirror.pull(first_pull).transferred == 3
+        assert first_pull.journal["entry_bodies"] == 3
+
+        second_pull = HTTPBackend(server.url)
+        again = mirror.pull(second_pull)
+        assert again.transferred == 0
+        # boundary ties may re-list, but live local copies never fetch
+        assert second_pull.journal["fetch"] == 0
+        assert second_pull.journal["entry_bodies"] == 0
+
+
+def test_pull_short_circuits_stale_identical_bytes_without_a_body(tmp_path):
+    """A non-live local copy whose bytes match the hub's goes out as a
+    conditional GET: the 304 costs headers, not a body — the remote copy
+    would fail the exact verification that demoted ours."""
+    client_root = tmp_path / "mirror"
+    probe = SweepStore(str(client_root))
+    scenario = Scenario(model="resnet50")
+    key = probe.key(scenario)
+    payload = {
+        "format": RESULT_SCHEMA_VERSION,
+        "key": key,
+        "kind": "predict",
+        "salt": "v1:another-generation-entirely",
+        "scenario": scenario.to_dict(),
+        "values": {"baseline_us": 1.0, "predicted_us": 1.0},
+    }
+    payload["checksum"] = _entry_checksum(payload)
+    body = json.dumps(payload).encode()
+    LocalBackend(str(client_root)).put(key, body)   # the stale local copy
+    LocalBackend(str(tmp_path / "hub")).put(key, body)  # same bytes remote
+
+    with StoreServer(str(tmp_path / "hub"), port=0) as server:
+        wire = HTTPBackend(server.url)
+        report = SweepStore(str(client_root)).pull(wire)
+    assert report.rejected == 1
+    assert report.transferred == 0
+    assert wire.journal["fetch_not_modified"] == 1
+    assert wire.journal["entry_bodies"] == 0
+
+
+def test_push_since_zero_repairs_a_hub_behind_the_journals_back(tmp_path):
+    """--since 0 drops the journal's memory and relists the hub in full:
+    the repair path when hub entries vanished after a successful sync."""
+    publisher = seeded_publisher(tmp_path / "publisher")
+    hub = tmp_path / "hub"
+    with StoreServer(str(hub), port=0) as server:
+        assert publisher.push(server.url).transferred == 3
+        lost = sorted(LocalBackend(str(hub)).iter_keys())[0]
+        assert LocalBackend(str(hub)).delete_entry(lost)
+        # the journal still remembers all three: a plain push moves nothing
+        assert publisher.push(server.url).transferred == 0
+        # the repair path relists and restores exactly the lost entry
+        repair = publisher.push(server.url, since=0.0)
+        assert repair.transferred == 1
+        assert sorted(LocalBackend(str(hub)).iter_keys()) \
+            == sorted(publisher.keys())
+
+
+# ------------------------------------------------------------- failure half
+
+class _DeltaThenDyingHandler(BaseHTTPRequestHandler):
+    """Answers /keys?since= like a delta server, 500s every entry GET."""
+
+    keys = []
+
+    def log_message(self, format, *args):  # noqa: A002
+        """Keep the test output clean."""
+
+    def do_GET(self):
+        """Serve the delta listing; die on everything else."""
+        if self.path.startswith("/keys"):
+            body = json.dumps({"keys": self.keys, "clock": 777.0}).encode()
+            self.send_response(200)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(500, "the server died mid-sync")
+
+
+def _serve(handler_cls):
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), handler_cls)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    return httpd, thread, url
+
+
+def test_mid_death_never_advances_the_sync_journal(tmp_path):
+    """A pull that dies after the listing must not journal clock 777 —
+    the next sync against a healed server still sees those keys."""
+    _DeltaThenDyingHandler.keys = [KEYS[0]]
+    httpd, thread, url = _serve(_DeltaThenDyingHandler)
+    try:
+        mirror = SweepStore(str(tmp_path / "mirror"))
+        with pytest.raises(BackendError):
+            mirror.pull(url, retry=no_retry())
+        sync_dir = os.path.join(mirror.root, "sync")
+        assert not os.path.isdir(sync_dir) or not os.listdir(sync_dir)
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5.0)
+        httpd.server_close()
+
+
+class _LegacyHandler(BaseHTTPRequestHandler):
+    """A pre-delta server: exact-path /keys only, no ?since=, no ETag."""
+
+    backend_root = ""
+
+    def log_message(self, format, *args):  # noqa: A002
+        """Keep the test output clean."""
+
+    def _reply(self, code, body):
+        self.send_response(code)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        """The old servers' exact-match routing: ?since= is a 404."""
+        backend = LocalBackend(self.backend_root)
+        if self.path == "/keys":
+            self._reply(200, json.dumps(sorted(backend.iter_keys()))
+                        .encode())
+            return
+        key = self.path.rsplit("/", 1)[-1].removesuffix(".json")
+        data = backend.get(key) if len(key) == 32 else None
+        if data is None:
+            self._reply(404, b"{}")
+        else:
+            self._reply(200, data)
+
+
+def test_pull_falls_back_to_full_listing_on_a_pre_delta_server(tmp_path):
+    publisher = seeded_publisher(tmp_path / "hub-root")
+    _LegacyHandler.backend_root = publisher.root
+    httpd, thread, url = _serve(_LegacyHandler)
+    try:
+        mirror = SweepStore(str(tmp_path / "mirror"))
+        wire = HTTPBackend(url)
+        assert wire.iter_keys_since(0.0) is None  # 404 = pre-delta
+        report = mirror.pull(wire, retry=no_retry())
+        assert report.transferred == 3
+        assert len(mirror) == 3
+        # no delta journal is written for a server that cannot use one
+        sync_dir = os.path.join(mirror.root, "sync")
+        assert not os.path.isdir(sync_dir) or not os.listdir(sync_dir)
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5.0)
+        httpd.server_close()
+
+
+# --------------------------------------------------------------------- CLI
+
+def test_cli_push_and_pull_accept_since(tmp_path, capsys):
+    publisher = seeded_publisher(tmp_path / "publisher")
+    with StoreServer(str(tmp_path / "hub"), port=0) as server:
+        assert main(["store", "push", publisher.root,
+                     "--remote", server.url]) == 0
+        assert json.loads(capsys.readouterr().out)["transferred"] == 3
+        # --since 0 relists in full; everything is already there
+        assert main(["store", "push", publisher.root,
+                     "--remote", server.url, "--since", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["skipped"] == 3
+        assert main(["store", "pull", str(tmp_path / "mirror"),
+                     "--remote", server.url, "--since", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["transferred"] == 3

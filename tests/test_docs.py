@@ -148,6 +148,11 @@ def test_remote_tier_flags_stay_live():
     assert "--remote" in live["experiment"]
     assert {"--remote", "--host", "--port", "--duration",
             "--read-only"} <= live["store"]
+    # the coordination plane's surface: admin auth everywhere a remote
+    # is dialed, delta-sync clock override on the transfer commands
+    assert "--auth-token" in live["sweep"]
+    assert "--auth-token" in live["experiment"]
+    assert {"--auth-token", "--since"} <= live["store"]
 
 
 def test_store_backends_contract_doc_exists():
@@ -156,7 +161,11 @@ def test_store_backends_contract_doc_exists():
     # silently drop a section the code still depends on
     for term in ("StoreBackend", "LocalBackend", "HTTPBackend",
                  "read-through", "write-back", "lease",
-                 "steal", "corruption", "atomic"):
+                 "steal", "corruption", "atomic",
+                 # the coordination plane's vocabulary
+                 "ComputeLease", "exactly once", "fail.{1,2}open",
+                 "ETag", "If-None-Match", r"\?since=", "/stats",
+                 "auth-token", "401", "down window"):
         assert re.search(term, text, flags=re.I), (
             f"docs/store-backends.md lost its {term!r} contract"
         )
@@ -176,7 +185,8 @@ def test_robustness_contract_doc_exists():
         )
     # the matrix itself: a table row per anticipated fault class
     for fault in ("Worker crash", "unreachable", "corrupt", "truncated",
-                  "mid-`push`", "GC racing"):
+                  "mid-`push`", "GC racing", "Lease server dies",
+                  "401 on push"):
         assert re.search(fault, text, flags=re.I), (
             f"docs/robustness.md matrix lost its {fault!r} row"
         )

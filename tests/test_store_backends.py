@@ -7,9 +7,12 @@ steal-after-stale, release) that the exact-GC and cross-sweep-dedupe
 guarantees are built on.
 """
 
+import http.client
 import json
 import os
+import socket
 import threading
+import urllib.parse
 
 import pytest
 
@@ -22,6 +25,7 @@ from repro.scenarios import (
     StoreBackend,
     StoreServer,
 )
+from repro.scenarios.backends import MAX_BODY_BYTES
 
 KEY_A = "aa" * 16
 KEY_B = "bb" * 16
@@ -244,3 +248,167 @@ def test_push_pull_raise_loudly_when_unreachable():
         list(backend.iter_keys())
     with pytest.raises(BackendError):
         backend.put(KEY_A, b"{}")
+
+
+# ------------------------------------------------- down-window reset (regr.)
+
+@pytest.mark.parametrize("op", ["put", "delete", "fetch", "iter_keys"])
+def test_any_successful_op_disarms_the_down_window(tmp_path, op):
+    """Regression: put/delete/fetch/iter_keys never called ``_mark_up``,
+    so an explicit transfer succeeding *inside* a down window left
+    ``get``/``stat`` blind for the window's remainder — up to the full
+    backoff — against a provably live server."""
+    entry = json.dumps({"key": KEY_A}).encode()
+    with StoreServer(str(tmp_path), port=0) as server:
+        LocalBackend(str(tmp_path)).put(KEY_A, entry)
+        backend = HTTPBackend("http://127.0.0.1:1", timeout_s=0.2,
+                              backoff_s=3600.0)
+        assert backend.get(KEY_B) is None  # transport failure...
+        assert backend._down_until > 0    # ...arms a long down window
+        backend.base_url = server.url     # the remote heals mid-window
+        if op == "put":
+            backend.put(KEY_B, json.dumps({"key": KEY_B}).encode())
+        elif op == "delete":
+            backend.delete(KEY_B)  # 404 no-op: still a live remote
+        elif op == "fetch":
+            assert backend.fetch(KEY_A) == entry
+        else:
+            assert KEY_A in list(backend.iter_keys())
+        assert backend._down_until == 0.0  # window disarmed, streak reset
+        assert backend.get(KEY_A) == entry  # reads recover immediately
+
+
+# --------------------------------------------------- honest stat (regr.)
+
+def _head_only_server(content_length):
+    """A server whose HEAD answers carry a broken Content-Length."""
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class _Handler(BaseHTTPRequestHandler):
+        def log_message(self, format, *args):  # noqa: A002
+            """Keep the test output clean."""
+
+        def do_HEAD(self):
+            """Answer 200 with the configured (broken) length header."""
+            self.send_response(200)
+            if content_length is not None:
+                self.send_header("Content-Length", content_length)
+            self.end_headers()
+
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    return httpd, thread, f"http://127.0.0.1:{httpd.server_address[1]}"
+
+
+@pytest.mark.parametrize("content_length", [None, "not-a-number", "-5"])
+def test_stat_without_a_parseable_length_is_a_miss(content_length):
+    """Regression: ``int(headers.get("Content-Length") or 0)`` fabricated
+    ``EntryStat(size=0, mtime=0.0)`` for any answer missing the header,
+    silently corrupting remote byte accounting and LRU ordering."""
+    httpd, thread, url = _head_only_server(content_length)
+    try:
+        backend = HTTPBackend(url)
+        assert backend.stat(KEY_A) is None
+        assert backend._down_until == 0.0  # reachable: a miss, no backoff
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5.0)
+        httpd.server_close()
+
+
+def test_stat_never_fabricates_an_mtime(tmp_path):
+    """HTTP reports size but not mtime; the old hard-coded ``mtime=0.0``
+    made every remote entry look infinitely old to LRU comparisons."""
+    entry = json.dumps({"key": KEY_A}).encode()
+    local = LocalBackend(str(tmp_path))
+    local.put(KEY_A, entry)
+    assert local.stat(KEY_A).mtime > 0  # the local tier knows the truth
+    with StoreServer(str(tmp_path), port=0) as server:
+        stat = HTTPBackend(server.url).stat(KEY_A)
+    assert stat.size == len(entry)
+    assert stat.mtime is None  # absent, not zero
+
+
+# ------------------------------------------- honest server writes (regr.)
+
+def _server_address(server):
+    parts = urllib.parse.urlsplit(server.url)
+    return parts.hostname, parts.port
+
+
+def test_put_with_a_short_body_is_rejected_not_truncated(tmp_path):
+    """Regression: ``do_PUT`` accepted whatever ``rfile.read`` returned —
+    a client dying mid-upload landed a truncated (corrupt) entry that
+    every reader then had to reject."""
+    body = json.dumps({"key": KEY_A, "values": {"x": 1.0}}).encode()
+    with StoreServer(str(tmp_path), port=0) as server:
+        host, port = _server_address(server)
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall((f"PUT /objects/{KEY_A}.json HTTP/1.1\r\n"
+                          f"Host: {host}\r\n"
+                          f"Content-Length: {len(body) + 500}\r\n"
+                          f"\r\n").encode() + body)
+            sock.shutdown(socket.SHUT_WR)  # the client dies mid-upload
+            status = sock.recv(4096).split(b"\r\n", 1)[0]
+        assert b"400" in status
+        assert LocalBackend(str(tmp_path)).get(KEY_A) is None  # no entry
+
+
+@pytest.mark.parametrize("length,expected", [
+    ("-7", 400),                          # negative: nonsense framing
+    ("banana", 400),                      # unparseable: nonsense framing
+    (str(MAX_BODY_BYTES + 1), 413),       # absurd: refused before reading
+])
+def test_put_with_a_bogus_content_length_is_refused(tmp_path, length,
+                                                    expected):
+    with StoreServer(str(tmp_path), port=0) as server:
+        host, port = _server_address(server)
+        conn = http.client.HTTPConnection(host, port, timeout=5.0)
+        try:
+            conn.putrequest("PUT", f"/objects/{KEY_A}.json",
+                            skip_accept_encoding=True)
+            conn.putheader("Content-Length", length)
+            conn.endheaders()
+            assert conn.getresponse().status == expected
+        finally:
+            conn.close()
+        assert LocalBackend(str(tmp_path)).get(KEY_A) is None
+
+
+def test_concurrent_deletes_report_exactly_one_success(tmp_path):
+    """Regression: ``do_DELETE`` statted then unlinked — two racing
+    deletes could both see the entry and both claim a 200.  The unlink
+    itself is now the existence check, so exactly one wins."""
+    LocalBackend(str(tmp_path)).put(KEY_A, json.dumps({"key": KEY_A})
+                                    .encode())
+    with StoreServer(str(tmp_path), port=0) as server:
+        host, port = _server_address(server)
+        barrier = threading.Barrier(2)
+        statuses = []
+
+        def _delete():
+            conn = http.client.HTTPConnection(host, port, timeout=5.0)
+            try:
+                barrier.wait(timeout=5.0)
+                conn.request("DELETE", f"/objects/{KEY_A}.json")
+                statuses.append(conn.getresponse().status)
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=_delete) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+    assert sorted(statuses) == [200, 404]
+    assert LocalBackend(str(tmp_path)).get(KEY_A) is None
+
+
+def test_local_delete_entry_reports_whether_it_removed(tmp_path):
+    backend = LocalBackend(str(tmp_path))
+    backend.put(KEY_A, b'{"key": "x"}')
+    assert backend.delete_entry(KEY_A) is True
+    assert backend.delete_entry(KEY_A) is False  # already gone: honest
+    assert backend.get(KEY_A) is None

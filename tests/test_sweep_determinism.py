@@ -1,6 +1,6 @@
 """Every sweep substrate must produce bit-identical rows.
 
-A pinned grid runs through all seven execution paths —
+A pinned grid runs through all eight execution paths —
 
 * serial ``run_grid`` (``processes=1``: plain in-process loop),
 * the fork-based ``WhatIfSession.sweep`` fan-out (``processes=2``),
@@ -12,6 +12,10 @@ A pinned grid runs through all seven execution paths —
 * a warm re-run served entirely from the store,
 * a warm re-run served entirely **read-through from a remote store
   server** (entries pushed, the local cache empty),
+* a **cross-host** run: host A sweeps against a hub through the remote
+  coordination plane (compute leases claimed, cells published at record
+  time), then a cold host B on a different store root is served every
+  cell from the hub,
 * a **chaos** run under injected faults: a worker hard-killed by the
   :mod:`repro.scenarios.faults` kill hook while the remote tier
   corrupts, truncates and errors planned reads — the sweep must
@@ -174,6 +178,30 @@ def test_remote_warm_rows_identical(pinned_scenarios, tmp_path):
     assert rows_of(remote_warm) == rows_of(serial)
     assert all(o.cached for o in remote_warm)
     assert consumer.stats.remote_hits == len(pinned_scenarios)
+
+
+def test_cross_host_warm_rows_identical(pinned_scenarios, tmp_path):
+    """The eighth path: rows that crossed hosts through the coordination
+    plane.  Host A sweeps against the hub (remote compute leases claimed,
+    every computed cell published at record time); host B, cold and on a
+    different store root, must then be served every cell from the hub —
+    bit-identical to serial, with zero re-simulations anywhere."""
+    serial = ScenarioRunner().run_grid(pinned_scenarios, processes=1)
+    with StoreServer(str(tmp_path / "hub"), port=0) as server:
+        host_a = SweepStore(str(tmp_path / "host-a"), remote=server.url)
+        computed = ScenarioRunner().run_grid(pinned_scenarios, parallel=2,
+                                             store=host_a)
+        assert rows_of(computed) == rows_of(serial)
+        assert all(not o.cached for o in computed)
+        # record-time publishing: the hub is warm without a push
+        assert host_a.stats.published == len(pinned_scenarios)
+
+        host_b = SweepStore(str(tmp_path / "host-b"), remote=server.url)
+        warm = ScenarioRunner().run_grid(pinned_scenarios, store=host_b)
+    assert rows_of(warm) == rows_of(serial)
+    assert all(o.cached for o in warm)
+    assert host_b.stats.remote_hits == len(pinned_scenarios)
+    assert host_b.stats.remote_rejected == 0
 
 
 def test_chaos_rows_identical_under_injected_faults(pinned_scenarios,
