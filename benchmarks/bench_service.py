@@ -1,0 +1,161 @@
+"""Load-test the prediction daemon: latency, QPS and warm-hit ratio.
+
+The service promises the paper's value proposition *as a service*: once a
+workload's session is warm and its answers are memoized, a what-if query
+costs an HTTP round-trip plus a store read — no profiling, no simulation.
+This driver stands up one real daemon (socket and all), hammers it with
+concurrent threaded clients drawn from a small scenario mix, and records
+the numbers the ROADMAP asks for in ``BENCH_service.json``: p50/p99
+request latency, sustained QPS, and the warm-hit ratio under load.  Every
+response is also checked against the serial path, so the load test is a
+correctness test at volume.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke) shrinks the client
+count and request volume and writes ``BENCH_service_quick.json`` so the
+committed full-mode record never gets clobbered by a CI runner's timings.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+import urllib.request
+
+from conftest import run_once
+from repro.scenarios import (
+    PredictServer,
+    PredictService,
+    Scenario,
+    ScenarioRunner,
+    SweepStore,
+)
+
+#: quick mode (CI smoke): fewer clients, fewer requests, one workload
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: quick runs must not clobber the committed full-mode record
+BENCH_SERVICE_JSON = os.path.join(
+    os.path.dirname(__file__), os.pardir,
+    "BENCH_service_quick.json" if QUICK else "BENCH_service.json")
+
+CLIENTS = 2 if QUICK else 8
+REQUESTS_PER_CLIENT = 5 if QUICK else 40
+
+
+def _scenario_mix():
+    """The workload mix clients draw from (two models, two stacks full)."""
+    models = ["resnet50"] if QUICK else ["resnet50", "vgg19"]
+    return [Scenario(model=model, optimizations=stack)
+            for model in models
+            for stack in ([], ["amp"])]
+
+
+def _post_predict(url: str, body: bytes):
+    """One client request; returns ``(latency_s, parsed response)``."""
+    request = urllib.request.Request(url + "/predict", data=body)
+    t0 = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=60) as response:
+        payload = json.loads(response.read())
+    return time.perf_counter() - t0, payload
+
+
+def _percentile(samples, q):
+    """Nearest-rank percentile (samples must be non-empty)."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def test_service_latency_qps_and_warm_hits(benchmark):
+    """One daemon, many clients: every answer exact, and fast when warm."""
+    mix = _scenario_mix()
+    expected = {s.label(): ScenarioRunner().run(s).as_row() for s in mix}
+    bodies = [(s.label(), json.dumps(s.to_dict()).encode("utf-8"))
+              for s in mix]
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+
+    def run():
+        store = SweepStore(os.path.join(tmp, "store"))
+        service = PredictService(store=store, workers=4)
+        latencies = []
+        failures = []
+        lock = threading.Lock()
+
+        with PredictServer(service) as server:
+            # cold pass: one request per scenario pays profile + simulate
+            t0 = time.perf_counter()
+            for label, body in bodies:
+                _, answer = _post_predict(server.url, body)
+                if answer["row"] != expected[label] or answer["cached"]:
+                    failures.append(("cold", label, answer))
+            cold_s = time.perf_counter() - t0
+
+            def client(worker: int) -> None:
+                for round_ in range(REQUESTS_PER_CLIENT):
+                    label, body = bodies[(worker + round_) % len(bodies)]
+                    try:
+                        latency, answer = _post_predict(server.url, body)
+                    except Exception as exc:  # noqa: BLE001 — reported
+                        with lock:
+                            failures.append((worker, round_, repr(exc)))
+                        return
+                    with lock:
+                        latencies.append(latency)
+                        if answer["row"] != expected[label]:
+                            failures.append((worker, round_, answer))
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(CLIENTS)]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed_s = time.perf_counter() - t0
+        return service, latencies, failures, cold_s, elapsed_s
+
+    try:
+        service, latencies, failures, cold_s, elapsed_s = \
+            run_once(benchmark, run)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    assert not failures, failures[:5]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(latencies) == total
+
+    memo = service.stats()["memo"]
+    # warm-hit ratio over the loaded phase: of the `total` requests, all
+    # were memoized by the cold pass, so every one should be a store hit
+    warm_hits = memo["hits"]
+    warm_ratio = warm_hits / total
+    p50_ms = _percentile(latencies, 0.50) * 1000.0
+    p99_ms = _percentile(latencies, 0.99) * 1000.0
+    qps = total / elapsed_s if elapsed_s > 0 else float("inf")
+
+    payload = {
+        "mode": "quick" if QUICK else "full",
+        "clients": CLIENTS,
+        "requests": total,
+        "scenario_mix": len(bodies),
+        "workers": 4,
+        "cold_pass_s": round(cold_s, 4),
+        "p50_ms": round(p50_ms, 3),
+        "p99_ms": round(p99_ms, 3),
+        "qps": round(qps, 1),
+        "warm_hit_ratio": round(warm_ratio, 4),
+        "protocol": "one HTTP daemon + sweep-store memo; cold pass "
+                    "answers each scenario once, then N threaded clients "
+                    "replay the mix; latency is client-side wall clock "
+                    "per request, every row checked against the serial "
+                    "path",
+    }
+    with open(BENCH_SERVICE_JSON, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    assert warm_ratio >= 0.99, payload
+    assert qps > (1.0 if QUICK else 20.0), payload
+    assert p99_ms >= p50_ms > 0.0, payload

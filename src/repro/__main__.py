@@ -25,6 +25,12 @@ Commands:
 * ``store ACTION DIR``   — manage a sweep store (``stats``, ``gc``,
                            ``prune``, ``verify``, and the shared-tier
                            actions ``serve``, ``push``, ``pull``);
+* ``serve-predict``      — run the persistent prediction daemon: an LRU
+                           pool of warm sessions answering scenario-JSON
+                           ``POST /predict`` queries over HTTP, memoized
+                           on a sweep store (``--workers``,
+                           ``--max-sessions``, ``--auth-token``,
+                           ``--store``/``--remote`` tiers);
 * ``models``             — list available models;
 * ``optimizations``      — list the optimization registry.
 """
@@ -40,10 +46,14 @@ from repro.common.errors import DaydreamError
 from repro.models.registry import available_models
 from repro.scenarios import (
     DEFAULT_MAX_CELL_RETRIES,
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_WORKERS,
     START_METHODS,
     ClusterShape,
     HTTPBackend,
     OptimizationPipeline,
+    PredictServer,
+    PredictService,
     ScenarioRunner,
     StoreServer,
     SweepStore,
@@ -336,6 +346,34 @@ def cmd_store(args) -> int:
     raise AssertionError(f"unhandled store action {args.action!r}")
 
 
+def cmd_serve_predict(args) -> int:
+    if args.remote and not args.store:
+        raise DaydreamError("--remote needs --store: the local store is "
+                            "the write-back cache the remote tier reads "
+                            "through into")
+    remote = _remote_tier(args.remote, args.remote_timeout,
+                          args.remote_backoff)
+    store = SweepStore(args.store, remote=remote) if args.store else None
+    service = PredictService(store=store, max_sessions=args.max_sessions,
+                             workers=args.workers)
+    server = PredictServer(service, host=args.host, port=args.port,
+                           auth_token=args.auth_token)
+    memo = f"memoized on {store.root}" if store is not None else "unmemoized"
+    if args.remote:
+        memo += f" + remote {args.remote}"
+    gate = "token-gated" if args.auth_token else "open"
+    span = (f"for {args.duration:g}s" if args.duration is not None
+            else "until interrupted")
+    print(f"predicting at {server.url}/predict ({gate}, {memo}, "
+          f"{args.max_sessions} warm sessions, {args.workers} workers) "
+          f"{span}", file=sys.stderr)
+    try:
+        server.serve(duration_s=args.duration)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -500,9 +538,48 @@ def build_parser() -> argparse.ArgumentParser:
                                  "remote in full — the repair path when "
                                  "hub state changed behind the journal's "
                                  "back")
+    serve_predict = sub.add_parser(
+        "serve-predict",
+        help="run the persistent prediction daemon: warm what-if sessions "
+             "answering scenario-JSON queries over HTTP, memoized on a "
+             "sweep store")
+    serve_predict.add_argument("--host", default="127.0.0.1",
+                               help="bind address (default 127.0.0.1; use "
+                                    "0.0.0.0 to serve other hosts)")
+    serve_predict.add_argument("--port", type=int, default=8232, metavar="N",
+                               help="bind port (default 8232; 0 picks a "
+                                    "free one, printed on stderr)")
+    serve_predict.add_argument("--workers", type=int,
+                               default=DEFAULT_WORKERS, metavar="N",
+                               help="concurrent simulations served at once "
+                                    f"(default {DEFAULT_WORKERS}); extra "
+                                    "requests queue")
+    serve_predict.add_argument("--max-sessions", type=int,
+                               default=DEFAULT_MAX_SESSIONS, metavar="N",
+                               help="warm per-workload sessions kept in "
+                                    "the LRU pool (default "
+                                    f"{DEFAULT_MAX_SESSIONS})")
+    serve_predict.add_argument("--auth-token", default=None, metavar="TOKEN",
+                               help="require this Bearer token "
+                                    "(constant-time compared) on POST "
+                                    "/predict and /predict/batch; the GET "
+                                    "/healthz and /stats probes stay open")
+    serve_predict.add_argument("--store", default=None, metavar="DIR",
+                               help="memoize answers in this sweep store "
+                                    "(same canonical keys and salt as "
+                                    "'repro sweep'); repeat queries cost "
+                                    "one store read")
+    serve_predict.add_argument("--remote", default=None, metavar="URL",
+                               help="read-through remote store tier (a "
+                                    "'repro store serve' URL) behind the "
+                                    "local memo.  Needs --store")
+    serve_predict.add_argument("--duration", type=float, default=None,
+                               metavar="S",
+                               help="serve for S seconds then exit 0 "
+                                    "(default: serve until interrupted)")
     # every surface that opens an HTTP remote tier exposes its transport
     # knobs; the defaults match HTTPBackend's
-    for surface in (sweep, experiment, push, pull):
+    for surface in (sweep, experiment, push, pull, serve_predict):
         surface.add_argument("--remote-timeout", type=float, default=5.0,
                              metavar="S",
                              help="per-request timeout for the remote "
@@ -513,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "fails at the transport level; repeated "
                                   "failures escalate it exponentially and "
                                   "a success resets it (default 30)")
+    # serve-predict's --auth-token (above) gates its own POST endpoints,
+    # so only these surfaces take the remote-admin meaning of the flag
+    for surface in (sweep, experiment, push, pull):
         surface.add_argument("--auth-token", default=None, metavar="TOKEN",
                              help="Bearer token for an admin-mode remote "
                                   "(required there for PUT/DELETE; "
@@ -533,6 +613,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "experiment": cmd_experiment,
         "store": cmd_store,
+        "serve-predict": cmd_serve_predict,
     }
     try:
         return handlers[args.command](args)

@@ -30,7 +30,12 @@ This package is the single front door for running what-if analyses:
   harness: JSON-describable :class:`FaultPlan` rules driving a
   :class:`FaultInjectingBackend` wrapper, plus the env-gated
   :class:`KillPlan` worker-crash hook the chaos suite uses
-  (``docs/robustness.md`` is the failure-mode contract).
+  (``docs/robustness.md`` is the failure-mode contract);
+* :mod:`repro.scenarios.service` — the interactive prediction daemon
+  (``repro serve-predict``): a :class:`PredictService` holding an LRU
+  :class:`SessionPool` of warm sessions, memoized on the sweep store,
+  behind the stdlib-HTTP :class:`PredictServer`
+  (``docs/service.md`` is the protocol contract).
 
 Quickstart::
 
@@ -103,6 +108,16 @@ from repro.scenarios.scenario import (
     register_schedule_policy,
     runtime_schedule_policies,
 )
+from repro.scenarios.service import (
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_WORKERS,
+    MAX_REQUEST_BYTES,
+    PredictServer,
+    PredictService,
+    ServiceError,
+    SessionPool,
+    parse_scenario_payload,
+)
 from repro.scenarios.store import (
     RESULT_SCHEMA_VERSION,
     GCReport,
@@ -170,6 +185,14 @@ __all__ = [
     "SCENARIO_RESULT_HEADERS",
     "ScenarioOutcome",
     "ScenarioRunner",
+    "PredictServer",
+    "PredictService",
+    "ServiceError",
+    "SessionPool",
+    "parse_scenario_payload",
+    "DEFAULT_MAX_SESSIONS",
+    "DEFAULT_WORKERS",
+    "MAX_REQUEST_BYTES",
     "ClusterShape",
     "Scenario",
     "ScenarioGrid",

@@ -76,6 +76,56 @@ KEY_RE = re.compile(r"^[0-9a-f]{32}$")
 MAX_BODY_BYTES = 64 << 20
 
 
+def bearer_authorized(headers, token: Optional[str]) -> bool:
+    """Whether a request's ``Authorization`` header satisfies ``token``.
+
+    The shared auth check of every repro HTTP surface (the store server's
+    admin mode and the prediction service's request gating): with no
+    ``token`` configured every request passes; otherwise the header must
+    carry the matching ``Bearer`` token, compared constant-time so a
+    wrong token leaks nothing about the right one.
+    """
+    if not token:
+        return True
+    header = headers.get("Authorization") or ""
+    presented = header[len("Bearer "):] \
+        if header.startswith("Bearer ") else ""
+    return hmac.compare_digest(presented, token)
+
+
+def read_framed_body(handler, cap: int = MAX_BODY_BYTES
+                     ) -> Tuple[Optional[bytes], Optional[int]]:
+    """Read one HTTP request body, validated against its declared length.
+
+    The shared framing helper of every repro HTTP handler.  Returns
+    ``(data, None)`` on success.  On a framing problem the error response
+    has *already been sent* and ``(None, status)`` reports which: a
+    missing/unparseable/negative ``Content-Length`` is a 400, a declared
+    length over ``cap`` is a 413 (refused before reading a byte), and a
+    client that died mid-upload leaving fewer bytes than declared is a
+    400 — a short read must never be processed as a whole body.
+    """
+    raw = handler.headers.get("Content-Length")
+    try:
+        length = int(raw) if raw is not None else -1
+    except ValueError:
+        length = -1
+    if length < 0:
+        handler.close_connection = True
+        handler._send(400, b'{"error": "bad content-length"}')
+        return None, 400
+    if length > cap:
+        handler.close_connection = True
+        handler._send(413, b'{"error": "body too large"}')
+        return None, 413
+    data = handler.rfile.read(length)
+    if len(data) != length:
+        handler.close_connection = True  # the stream is now unframed
+        handler._send(400, b'{"error": "body shorter than declared"}')
+        return None, 400
+    return data, None
+
+
 class _NotModified:
     """Singleton sentinel: a conditional fetch matched the caller's ETag."""
 
@@ -1097,15 +1147,10 @@ class _StoreHTTPHandler(BaseHTTPRequestHandler):
 
     def _authorized(self) -> bool:
         """Whether this request may mutate an admin-mode (token'd) store."""
-        if not self.auth_token:
-            return True
-        header = self.headers.get("Authorization") or ""
-        presented = header[len("Bearer "):] \
-            if header.startswith("Bearer ") else ""
-        return hmac.compare_digest(presented, self.auth_token)
+        return bearer_authorized(self.headers, self.auth_token)
 
     def _read_body(self, cap: int = MAX_BODY_BYTES) -> Optional[bytes]:
-        """The request body, validated against its declared length.
+        """The request body via the shared :func:`read_framed_body`.
 
         Sends the error response itself and returns ``None`` when the
         declared ``Content-Length`` is missing/unparseable/negative
@@ -1113,24 +1158,7 @@ class _StoreHTTPHandler(BaseHTTPRequestHandler):
         the client died mid-upload leaving fewer bytes than declared
         (400) — a short read must never be stored as a whole entry.
         """
-        raw = self.headers.get("Content-Length")
-        try:
-            length = int(raw) if raw is not None else -1
-        except ValueError:
-            length = -1
-        if length < 0:
-            self.close_connection = True
-            self._send(400, b'{"error": "bad content-length"}')
-            return None
-        if length > cap:
-            self.close_connection = True
-            self._send(413, b'{"error": "body too large"}')
-            return None
-        data = self.rfile.read(length)
-        if len(data) != length:
-            self.close_connection = True  # the stream is now unframed
-            self._send(400, b'{"error": "body shorter than declared"}')
-            return None
+        data, _status = read_framed_body(self, cap=cap)
         return data
 
     def _keys_since(self, since: float) -> Tuple[List[str], float]:

@@ -29,6 +29,7 @@ from repro.experiments.common import ExperimentResult
 from repro.framework.config import TrainingConfig
 from repro.hw.topology import ClusterSpec
 from repro.models.base import ModelSpec
+from repro.models.registry import runtime_registered_models
 from repro.scenarios.pipeline import OptimizationPipeline
 from repro.scenarios.registry import DEFAULT_REGISTRY, OptimizationRegistry
 from repro.scenarios.scenario import Scenario, ScenarioGrid
@@ -94,14 +95,27 @@ class ScenarioRunner:
                  cache_sessions: bool = True) -> None:
         self.registry = registry or DEFAULT_REGISTRY
         self.cache_sessions = cache_sessions
-        self._sessions: Dict[object, Tuple[WhatIfSession, ModelSpec,
-                                           TrainingConfig]] = {}
+        self._sessions: Dict[object, Tuple[Tuple[WhatIfSession, ModelSpec,
+                                                 TrainingConfig],
+                                           object]] = {}
 
     # -------------------------------------------------------------- sessions
 
     @staticmethod
     def _session_key(scenario: Scenario, config: TrainingConfig) -> object:
         return (scenario.model, scenario.batch_size, config)
+
+    @staticmethod
+    def _builder_token(scenario: Scenario) -> object:
+        """Identity of the runtime builder behind a scenario's model name.
+
+        ``None`` for shipped zoo models (immutable within a process).  A
+        cached session whose token no longer matches was profiled against
+        a model that has since been re-registered (``register_model(...,
+        overwrite=True)``) — trusting it would serve the *old* model's
+        timings under the new model's name, so it is rebuilt instead.
+        """
+        return runtime_registered_models().get(scenario.model.lower())
 
     def session(self, scenario: Scenario) -> WhatIfSession:
         """The profiled session for a scenario's workload (cached)."""
@@ -112,14 +126,18 @@ class ScenarioRunner:
     ) -> Tuple[WhatIfSession, ModelSpec, TrainingConfig]:
         config = scenario.build_config()
         key = self._session_key(scenario, config)
-        entry = self._sessions.get(key)
-        if entry is None:
+        token = self._builder_token(scenario)
+        cached = self._sessions.get(key)
+        if cached is not None and cached[1] is not token:
+            del self._sessions[key]
+            cached = None
+        if cached is None:
             model = scenario.build_model()
             session = WhatIfSession.from_model(model, config=config)
-            entry = (session, model, config)
+            cached = ((session, model, config), token)
             if self.cache_sessions:
-                self._sessions[key] = entry
-        return entry
+                self._sessions[key] = cached
+        return cached[0]
 
     # ------------------------------------------------------------- execution
 

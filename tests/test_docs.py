@@ -51,7 +51,7 @@ def test_readme_has_a_quickstart():
     # the walkthrough covers the advertised command surface
     covered = {cmd.split()[0] for cmd in commands}
     assert {"profile", "whatif", "run", "sweep", "experiment",
-            "store"} <= covered
+            "store", "serve-predict"} <= covered
 
 
 def test_readme_quickstart_commands_execute_as_written(repo_cwd, capsys):
@@ -106,7 +106,7 @@ def test_cli_reference_documents_every_subcommand():
         "docs/cli.md sections do not match the live subcommands — "
         f"documented {sorted(documented)}, live {sorted(live)}"
     )
-    assert len(live) == 8  # the README promises all eight
+    assert len(live) == 9  # the README promises all nine
 
 
 def test_cli_reference_matches_live_parsers():
@@ -153,6 +153,25 @@ def test_remote_tier_flags_stay_live():
     assert "--auth-token" in live["sweep"]
     assert "--auth-token" in live["experiment"]
     assert {"--auth-token", "--since"} <= live["store"]
+    # the prediction daemon's surface: pool/concurrency knobs, request
+    # auth, and the same store/remote memo tiers as every other surface
+    assert {"--host", "--port", "--workers", "--max-sessions",
+            "--auth-token", "--store", "--remote", "--duration",
+            "--remote-timeout", "--remote-backoff"} == live["serve-predict"]
+
+
+def test_service_contract_doc_exists():
+    text = (DOCS / "service.md").read_text(encoding="utf-8")
+    # the service contract's load-bearing vocabulary, pinned so a
+    # rewrite cannot silently drop a section the code still depends on
+    for term in ("POST /predict", "/predict/batch", "/healthz", "/stats",
+                 "LRU", "session", "memoiz", "salt", "Bearer",
+                 "simulate_many", "bit-identical", "warm", "evict",
+                 "400", "401", "413", "500", "per request",
+                 "scenario_key", "determinism"):
+        assert re.search(term, text, flags=re.I), (
+            f"docs/service.md lost its {term!r} contract"
+        )
 
 
 def test_store_backends_contract_doc_exists():

@@ -1,0 +1,112 @@
+"""Property tests: the service wire format never drifts from the store.
+
+Two invariants hold for *every* expressible scenario, not just the ones
+the end-to-end suite happens to post:
+
+* **wire round-trip** — a scenario serialized to its wire dict, dumped
+  to JSON bytes, parsed back by :func:`parse_scenario_payload` and
+  re-serialized is unchanged: the wire format *is* the canonical dict
+  the store hashes, with no lossy edge;
+* **one keying scheme** — the key the service reports for a scenario is
+  exactly the :class:`SweepStore` key (= :func:`scenario_key` under the
+  shared registry), including the canonical int→float widening, so a
+  response key can always be looked up in any store of the same salt.
+
+Hypothesis generates the scenarios; the properties never simulate, so
+hundreds of examples stay fast.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    DEFAULT_REGISTRY,
+    PredictService,
+    Scenario,
+    SweepStore,
+    canonical_scenario_json,
+    parse_scenario_payload,
+    scenario_key,
+)
+
+# names only need to be strings — from_dict does not resolve the model,
+# so the wire format must round-trip unregistered names too
+_MODELS = st.sampled_from(["resnet50", "vgg19", "gnmt", "custom_net"])
+
+_OPTIMIZATIONS = st.lists(
+    st.sampled_from(["amp", "fused_adam", "gist",
+                     {"name": "gist", "params": {"lossy": True}}]),
+    max_size=2, unique_by=str)
+
+_CLUSTERS = st.one_of(
+    st.none(),
+    st.builds(dict,
+              machines=st.integers(min_value=1, max_value=4),
+              gpus_per_machine=st.integers(min_value=1, max_value=2),
+              bandwidth_gbps=st.floats(min_value=1.0, max_value=100.0,
+                                       allow_nan=False)))
+
+
+def _scenario_dicts() -> st.SearchStrategy:
+    """Wire-format scenario dicts, omitting fields drawn as ``None``."""
+    return st.builds(
+        lambda **fields: {k: v for k, v in fields.items() if v is not None},
+        model=_MODELS,
+        batch_size=st.one_of(st.none(),
+                             st.integers(min_value=1, max_value=64)),
+        precision=st.one_of(st.none(), st.just("fp32"), st.just("fp16")),
+        data_loading_us=st.one_of(
+            st.none(),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+        cluster=_CLUSTERS,
+        optimizations=st.one_of(st.none(), _OPTIMIZATIONS),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_scenario_dicts())
+def test_wire_format_round_trips_unchanged(payload):
+    """parse(json(dict)) → to_dict() is a fixed point of the wire format."""
+    scenario = parse_scenario_payload(json.loads(json.dumps(payload)))
+    wire = scenario.to_dict()
+    assert parse_scenario_payload(wire) == scenario
+    assert parse_scenario_payload(wire).to_dict() == wire
+    # and the canonical JSON the store hashes is reached either way
+    assert canonical_scenario_json(scenario) == \
+        canonical_scenario_json(Scenario.from_dict(payload))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_scenario_dicts())
+def test_response_keys_equal_sweep_store_keys(tmp_path_factory, payload):
+    """No second keying scheme: service keys are SweepStore keys."""
+    scenario = parse_scenario_payload(payload)
+    service = PredictService()
+    store = SweepStore(str(tmp_path_factory.mktemp("store")),
+                       registry=DEFAULT_REGISTRY)
+    assert service.key_for(scenario) == store.key(scenario)
+    assert service.key_for(scenario) == scenario_key(scenario,
+                                                     DEFAULT_REGISTRY)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6),
+       _MODELS)
+def test_keys_widen_ints_like_the_canonical_form(us, model):
+    """An int where a float belongs keys identically (canonical widening)."""
+    as_int = parse_scenario_payload({"model": model, "data_loading_us": us})
+    as_float = parse_scenario_payload({"model": model,
+                                       "data_loading_us": float(us)})
+    assert scenario_key(as_int, DEFAULT_REGISTRY) == \
+        scenario_key(as_float, DEFAULT_REGISTRY)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_scenario_dicts())
+def test_key_is_stable_across_services(payload):
+    """Two service instances agree on every key (it is content, not state)."""
+    scenario = parse_scenario_payload(payload)
+    assert PredictService().key_for(scenario) == \
+        PredictService().key_for(scenario)
